@@ -1,0 +1,63 @@
+// Ablation: which prefetch unit produces the Figure-4b knee at 8 entries
+// per array? (DESIGN.md decision 1 / paper §4.2's architectural analysis.)
+//
+// Runs the 1-byte, depth-1024 spatial sweep on Sandy Bridge with each
+// hardware prefetcher disabled in turn, quantifying each unit's
+// contribution. Measured on this model: the L1 next-line unit carries most
+// of the covered in-node lines (LLA arrays are sequential, so it stays
+// ahead of the scan); the pair and streamer units contribute at the
+// margins; with no prefetching at all the LLA family keeps a substantial
+// advantage — pure packing (2+ entries per line, one pointer hop per K
+// entries) — but loses the extra coverage that separates LLA-8 from
+// LLA-2. The baseline, whose next-node address is data-dependent and
+// scattered, gains from no unit.
+
+#include "bench/bench_util.hpp"
+#include "workloads/osu.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_ablation_prefetch",
+          "Prefetcher ablation for the 8-entries-per-array knee");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bool quick = cli.flag("quick");
+
+  struct Variant {
+    const char* name;
+    bool next_line, pair, streamer;
+  };
+  const Variant variants[] = {
+      {"all prefetchers", true, true, true},
+      {"no L1 next-line", false, true, true},
+      {"no L2 adjacent-pair", true, false, true},
+      {"no L2 streamer", true, true, false},
+      {"no prefetching", false, false, false},
+  };
+
+  std::vector<std::string> headers{"prefetch config", "baseline"};
+  for (std::size_t k : {2, 4, 8, 16, 32}) headers.push_back("LLA-" + std::to_string(k));
+  Table table(headers);
+  for (const auto& v : variants) {
+    std::vector<std::string> row{v.name};
+    for (const char* label :
+         {"baseline", "lla-2", "lla-4", "lla-8", "lla-16", "lla-32"}) {
+      workloads::OsuParams p;
+      p.arch = cachesim::sandy_bridge();
+      p.arch.prefetch.l1_next_line = v.next_line;
+      p.arch.prefetch.l2_adjacent_pair = v.pair;
+      p.arch.prefetch.l2_streamer = v.streamer;
+      p.queue = match::QueueConfig::from_label(label);
+      p.msg_bytes = 1;
+      p.queue_depth = 1024;
+      p.iterations = quick ? 2 : 6;
+      p.warmup_iterations = 1;
+      row.push_back(Table::num(workloads::run_osu_bw(p).bandwidth_mibps, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(
+      "Prefetcher ablation: 1 B messages, depth 1024, Sandy Bridge (MiBps)",
+      table, cli.flag("csv"));
+  return 0;
+}

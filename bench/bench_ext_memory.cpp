@@ -1,0 +1,105 @@
+// Extension: the memory-vs-selection-speed trade-off across the binned
+// structures the paper's §2.2/§5 discuss.
+//
+// The Open MPI per-source array reaches a source's short list in O(1) but
+// costs O(N) memory per communicator ("not scalable in terms of memory
+// consumption... a total of O(N^2) memory usage" across N processes). The
+// 4-D rank decomposition (Zounmevo & Afsahi) trades four dependent table
+// reads for memory that scales with the number of *communicating* peers;
+// the hash table (Flajslik et al.) fixes its bin count. This bench holds a
+// realistic sparse peer set (64 sources, halo-like) and sweeps the
+// communicator size, reporting per-process structure memory and the
+// simulated per-message match cost — the locality price of each selection
+// scheme, which is exactly the kind of comparison the paper argues its
+// tools enable.
+
+#include "bench/bench_util.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "match/factory.hpp"
+
+namespace {
+
+using namespace semperm;
+
+struct Probe {
+  std::size_t footprint_bytes = 0;
+  double match_cycles_per_msg = 0.0;
+};
+
+Probe probe(const match::QueueConfig& cfg, int comm_size, int peers,
+            int msgs_per_peer) {
+  cachesim::Hierarchy hier(cachesim::sandy_bridge());
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+  auto bundle = match::make_engine(mem, space, cfg);
+
+  std::vector<match::MatchRequest> reqs(
+      static_cast<std::size_t>(peers) * static_cast<std::size_t>(msgs_per_peer));
+  std::size_t r = 0;
+  // Sparse peer set spread across the communicator.
+  for (int p = 0; p < peers; ++p) {
+    const int source = p * (comm_size / peers);
+    for (int m = 0; m < msgs_per_peer; ++m, ++r) {
+      reqs[r] = match::MatchRequest(match::RequestKind::kRecv, r);
+      bundle->post_recv(match::Pattern::make(source, m, 0), &reqs[r]);
+    }
+  }
+  const std::size_t footprint = bundle->prq().footprint_bytes();
+
+  hier.pollute(24ull * 1024 * 1024);
+  const Cycles mark = mem.cycles();
+  std::uint64_t matched = 0;
+  std::vector<match::MatchRequest> msgs(reqs.size());
+  r = 0;
+  for (int p = 0; p < peers; ++p) {
+    const int source = p * (comm_size / peers);
+    for (int m = 0; m < msgs_per_peer; ++m, ++r) {
+      msgs[r] = match::MatchRequest(match::RequestKind::kUnexpected, r);
+      if (bundle->incoming(
+              match::Envelope{m, static_cast<std::int16_t>(source), 0},
+              &msgs[r]) != nullptr)
+        ++matched;
+    }
+  }
+  Probe out;
+  out.footprint_bytes = footprint;
+  out.match_cycles_per_msg = static_cast<double>(mem.cycles() - mark) /
+                             static_cast<double>(matched);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ext_memory",
+          "Memory vs selection cost across binned structures");
+  bench::add_standard_flags(cli);
+  cli.add_int("peers", 64, "Communicating sources (sparse halo-like set)");
+  cli.add_int("msgs", 8, "Pending messages per source");
+  if (!cli.parse(argc, argv)) return 0;
+  const int peers = static_cast<int>(cli.get_int("peers"));
+  const int msgs = static_cast<int>(cli.get_int("msgs"));
+  const bool quick = cli.flag("quick");
+
+  Table table({"comm size", "structure", "structure bytes",
+               "match cycles/msg"});
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{1024, 16384}
+            : std::vector<int>{1024, 4096, 16384, 32640};
+  for (int comm : sizes) {
+    for (const char* base_label : {"baseline", "lla-8", "ompi", "4d", "hash-256"}) {
+      auto cfg = match::QueueConfig::from_label(base_label);
+      if (cfg.kind == match::QueueKind::kOmpiBins ||
+          cfg.kind == match::QueueKind::kFourDim)
+        cfg.bins = static_cast<std::size_t>(comm);
+      const Probe p = probe(cfg, comm, peers, msgs);
+      table.add_row({Table::num(std::int64_t{comm}), cfg.label(),
+                     Table::num(std::uint64_t{p.footprint_bytes}),
+                     Table::num(p.match_cycles_per_msg, 1)});
+    }
+  }
+  bench::emit("Structure memory vs per-message match cost (64 sparse peers)",
+              table, cli.flag("csv"));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Extension: multithreaded matching contention, measured natively.
+//
+// The paper's motivation (§1, §2.3): MPI_THREAD_MULTIPLE concentrates many
+// threads' traffic on a single match engine, growing list lengths and
+// search depths while adding lock contention. This bench runs T posting
+// threads and T sending threads against ONE engine guarded by a mutex —
+// the structure a THREAD_MULTIPLE MPI library has — and reports, per queue
+// structure and thread count:
+//
+//   * matching throughput (operations/second, wall clock, this machine);
+//   * the mean search depth the interleaved traffic produced;
+//   * the peak posted-queue length.
+//
+// Expected: list length and search depth grow with the thread count
+// (scheduling interleaves the bursts — the Table 1 effect, live), and the
+// spatial-locality ranking of the structures carries over to the
+// contended case. On a single-core host the thread counts time-slice, so
+// throughput mostly shows lock overhead; depth/length effects are
+// scheduling-driven and appear regardless.
+
+#include <atomic>
+#include <barrier>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "match/factory.hpp"
+
+namespace {
+
+using namespace semperm;
+
+struct MtResult {
+  double mops_per_sec = 0.0;
+  double mean_depth = 0.0;
+  std::uint64_t max_prq_len = 0;
+};
+
+MtResult run_contended(const std::string& label, int threads, int recvs_per_thread,
+                       int rounds) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto cfg = match::QueueConfig::from_label(label);
+  if (cfg.kind == match::QueueKind::kOmpiBins ||
+      cfg.kind == match::QueueKind::kFourDim)
+    cfg.bins = static_cast<std::size_t>(threads) + 2;
+  auto bundle = match::make_engine(mem, space, cfg);
+  bundle->enable_sampling(16, 16);
+  std::mutex engine_mutex;  // the THREAD_MULTIPLE big lock
+
+  // Requests live for the whole run; indexed [thread][i].
+  const std::size_t per_thread = static_cast<std::size_t>(recvs_per_thread);
+  std::vector<std::vector<match::MatchRequest>> recv_reqs(
+      static_cast<std::size_t>(threads));
+  std::vector<std::vector<match::MatchRequest>> msg_reqs(
+      static_cast<std::size_t>(threads));
+  for (auto& v : recv_reqs) v.resize(per_thread);
+  for (auto& v : msg_reqs) v.resize(per_thread);
+
+  std::barrier sync(threads);
+  std::atomic<std::uint64_t> ops{0};
+  Timer timer;
+
+  auto worker = [&](int tid) {
+    Rng rng(0x3ead5ULL + static_cast<std::uint64_t>(tid));
+    for (int round = 0; round < rounds; ++round) {
+      // Phase 1: every thread posts its receives (tag = tid, sub-tag i).
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        recv_reqs[static_cast<std::size_t>(tid)][i] = match::MatchRequest(
+            match::RequestKind::kRecv, static_cast<std::uint64_t>(i));
+        std::lock_guard<std::mutex> lock(engine_mutex);
+        bundle->post_recv(
+            match::Pattern::make(
+                tid, round * recvs_per_thread + static_cast<int>(i), 0),
+            &recv_reqs[static_cast<std::size_t>(tid)][i]);
+      }
+      sync.arrive_and_wait();
+      // Phase 2: every thread proxies the sends for its *neighbour's*
+      // receives, in a scheduling-shuffled order.
+      const int target = (tid + 1) % threads;
+      std::vector<int> order(per_thread);
+      for (std::size_t i = 0; i < per_thread; ++i) order[i] = static_cast<int>(i);
+      rng.shuffle(order);
+      for (int i : order) {
+        msg_reqs[static_cast<std::size_t>(tid)][static_cast<std::size_t>(i)] =
+            match::MatchRequest(match::RequestKind::kUnexpected,
+                                static_cast<std::uint64_t>(i));
+        std::lock_guard<std::mutex> lock(engine_mutex);
+        bundle->incoming(
+            match::Envelope{round * recvs_per_thread + i,
+                            static_cast<std::int16_t>(target), 0},
+            &msg_reqs[static_cast<std::size_t>(tid)][static_cast<std::size_t>(i)]);
+      }
+      ops.fetch_add(2 * per_thread, std::memory_order_relaxed);
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+
+  MtResult r;
+  r.mops_per_sec = static_cast<double>(ops.load()) / timer.elapsed_s() / 1e6;
+  r.mean_depth = bundle->prq().stats().mean_inspected();
+  r.max_prq_len = bundle->prq_sampler()->histogram().max_value_seen();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_ext_mt_contention",
+          "Multithreaded matching contention on one engine (native)");
+  bench::add_standard_flags(cli);
+  cli.add_int("recvs", 256, "Receives per thread per round");
+  cli.add_int("rounds", 20, "Rounds per configuration");
+  if (!cli.parse(argc, argv)) return 0;
+  const bool quick = cli.flag("quick");
+  const int recvs = static_cast<int>(cli.get_int("recvs")) / (quick ? 4 : 1);
+  const int rounds = static_cast<int>(cli.get_int("rounds")) / (quick ? 4 : 1);
+
+  Table table({"threads", "structure", "Mops/s", "mean search depth",
+               "peak PRQ length"});
+  for (int threads : {1, 2, 4, 8}) {
+    for (const char* label : {"baseline", "lla-8", "ompi", "hash-256"}) {
+      const MtResult r =
+          run_contended(label, threads, recvs, std::max(1, rounds));
+      table.add_row({Table::num(std::int64_t{threads}), label,
+                     Table::num(r.mops_per_sec, 3), Table::num(r.mean_depth, 1),
+                     Table::num(std::uint64_t{r.max_prq_len})});
+    }
+  }
+  bench::emit("Multithreaded matching contention (native, this machine)",
+              table, cli.flag("csv"));
+  return 0;
+}

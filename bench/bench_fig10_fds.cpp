@@ -1,0 +1,80 @@
+// Reproduces Figure 10: "Fire Dynamics Simulator Scaling Results for
+// Nehalem" — factor speedup over the per-system baseline for:
+//   * LLA on Broadwell (128..1024 processes; paper: 1.21x at 1024),
+//   * LLA, HC, and HC+LLA on Nehalem (128..4096; paper: LLA diverges to
+//     ~2x at 4 Ki, HC helps at small scale but slows down at scale due to
+//     heater-registry lock contention, HC+LLA is best at small scale),
+//   * LLA-Large (512-entry arrays) on Nehalem at up to 8192 processes
+//     (paper: ~2x at 8 Ki).
+
+#include "apps/apps.hpp"
+#include "bench/bench_util.hpp"
+#include "workloads/app_model.hpp"
+
+namespace {
+
+double speedup(const semperm::workloads::AppModelParams& base,
+               const semperm::workloads::AppModelParams& variant) {
+  const auto b = semperm::workloads::run_app_model(base);
+  const auto v = semperm::workloads::run_app_model(variant);
+  return b.runtime_s / v.runtime_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  using workloads::HeaterMode;
+  Cli cli("bench_fig10_fds", "Figure 10: FDS factor speedup over baseline");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bool quick = cli.flag("quick");
+
+  Table table({"Process Count", "LLA Broadwell", "HC Nehalem", "LLA Nehalem",
+               "HC+LLA Nehalem", "LLA-Large Nehalem"});
+  const auto lla = match::QueueConfig::from_label("lla-2");
+  const auto lla_large = match::QueueConfig::from_label("lla-large");
+  for (int procs : {128, 256, 512, 1024, 2048, 4096, 8192}) {
+    std::vector<std::string> row{Table::num(std::int64_t{procs})};
+
+    // Broadwell cluster runs stop at 1024 (paper §4.5).
+    if (procs <= 1024) {
+      auto base = apps::fds_params(procs, apps::FdsSystem::kBroadwell);
+      if (quick) base.phases /= 5;
+      auto v = base;
+      v.queue = lla;
+      row.push_back(Table::num(speedup(base, v), 3));
+    } else {
+      row.push_back("-");
+    }
+
+    auto base = apps::fds_params(procs, apps::FdsSystem::kNehalem);
+    if (quick) base.phases /= 5;
+    {
+      auto v = base;
+      v.heater = HeaterMode::kPerElement;
+      row.push_back(Table::num(speedup(base, v), 3));
+    }
+    // The paper plots LLA / HC / HC+LLA on Nehalem up to 4096 processes and
+    // the early large-array MVAPICH2 variant at 8192.
+    if (procs <= 4096) {
+      auto v = base;
+      v.queue = lla;
+      row.push_back(Table::num(speedup(base, v), 3));
+      v.heater = HeaterMode::kPooled;
+      row.push_back(Table::num(speedup(base, v), 3));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    {
+      auto v = base;
+      v.queue = lla_large;
+      row.push_back(Table::num(speedup(base, v), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit("Figure 10: FDS factor speedup over per-system baseline", table,
+              cli.flag("csv"));
+  return 0;
+}

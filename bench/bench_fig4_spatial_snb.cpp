@@ -1,0 +1,24 @@
+// Reproduces Figure 4: "Impact of Spacial Locality for Sandy Bridge
+// Architecture" — modified osu_bw over the baseline linked list and
+// linked-list-of-arrays variants (2..32 entries per array) on the Sandy
+// Bridge profile with its QDR InfiniBand wire model.
+//
+// Expected shape (paper §4.2): a large jump from the baseline to the first
+// LLA configuration, small further gains that stop at 8 entries per array,
+// up to ~2x for small/medium messages at depth 1024, and convergence at
+// large message sizes where the wire is the bottleneck.
+
+#include "bench/bench_util.hpp"
+#include "bench/figure_panels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_fig4_spatial_snb",
+          "Figure 4: spatial locality on Sandy Bridge (simulated)");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::run_osu_figure("Figure 4", cachesim::sandy_bridge(),
+                        simmpi::qdr_infiniband(), bench::spatial_series(),
+                        cli.flag("quick"), cli.flag("csv"));
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 5: "Impact of Spacial Locality for Broadwell
+// Architecture" — the Figure-4 sweep on the Broadwell profile with its
+// OmniPath wire model. Same expected shape as Figure 4 (the spatial effect
+// is architecture-robust), with Broadwell's higher-latency decoupled L3
+// changing the absolute numbers.
+
+#include "bench/bench_util.hpp"
+#include "bench/figure_panels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_fig5_spatial_bdw",
+          "Figure 5: spatial locality on Broadwell (simulated)");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::run_osu_figure("Figure 5", cachesim::broadwell(), simmpi::omnipath(),
+                        bench::spatial_series(), cli.flag("quick"),
+                        cli.flag("csv"));
+  return 0;
+}

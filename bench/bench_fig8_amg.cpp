@@ -1,0 +1,38 @@
+// Reproduces Figure 8: "AMG2013 Scaling Results for Broadwell" — weak
+// scaling of the AMG proxy from 128 to 1024 processes, baseline vs LLA.
+//
+// Expected shape (paper §4.4.1): runtimes are nearly flat (weak scaling,
+// not large enough to show clear trends), with a small LLA improvement
+// that grows with scale, ~2.9 % at 1024 processes.
+
+#include "apps/apps.hpp"
+#include "bench/bench_util.hpp"
+#include "workloads/app_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_fig8_amg", "Figure 8: AMG2013 weak scaling, baseline vs LLA");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bool quick = cli.flag("quick");
+
+  Table table({"Process Count", "Baseline (s)", "LLA (s)", "Improvement (%)",
+               "baseline match share (%)"});
+  for (int procs : {128, 256, 512, 1024}) {
+    auto base = apps::amg_params(procs);
+    if (quick) base.phases /= 10;
+    auto lla = base;
+    // The application studies use the first spatial-locality level
+    // (2 PRQ / 3 UMQ entries per list element, paper §4.4).
+    lla.queue = match::QueueConfig::from_label("lla-2");
+    const auto b = workloads::run_app_model(base);
+    const auto l = workloads::run_app_model(lla);
+    table.add_row({Table::num(std::int64_t{procs}), Table::num(b.runtime_s, 2),
+                   Table::num(l.runtime_s, 2),
+                   Table::num(100.0 * (1.0 - l.runtime_s / b.runtime_s), 2),
+                   Table::num(100.0 * b.match_s / b.runtime_s, 2)});
+  }
+  bench::emit("Figure 8: AMG2013 scaling results (Broadwell)", table,
+              cli.flag("csv"));
+  return 0;
+}

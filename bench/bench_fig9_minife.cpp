@@ -1,0 +1,37 @@
+// Reproduces Figure 9: "MiniFE Results at 512 processes with varying match
+// list lengths for Broadwell" — the CG halo-exchange proxy with the posted
+// receive queue length forced to 128..2048.
+//
+// Expected shape (paper §4.4.2): small but growing improvement from LLA as
+// the forced list lengthens — ~2.3 % at queue size 2048, negligible at 128.
+
+#include "apps/apps.hpp"
+#include "bench/bench_util.hpp"
+#include "workloads/app_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_fig9_minife",
+          "Figure 9: MiniFE at 512 processes vs forced match-list length");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const bool quick = cli.flag("quick");
+
+  Table table({"Match list Length", "Baseline (s)", "LLA (s)",
+               "Improvement (%)", "baseline match share (%)"});
+  for (std::size_t length : {128, 512, 2048}) {
+    auto base = apps::minife_params(length);
+    if (quick) base.phases /= 10;
+    auto lla = base;
+    lla.queue = match::QueueConfig::from_label("lla-2");
+    const auto b = workloads::run_app_model(base);
+    const auto l = workloads::run_app_model(lla);
+    table.add_row({Table::num(std::uint64_t{length}),
+                   Table::num(b.runtime_s, 2), Table::num(l.runtime_s, 2),
+                   Table::num(100.0 * (1.0 - l.runtime_s / b.runtime_s), 2),
+                   Table::num(100.0 * b.match_s / b.runtime_s, 2)});
+  }
+  bench::emit("Figure 9: MiniFE, 512 processes, 1320^3 (Broadwell)", table,
+              cli.flag("csv"));
+  return 0;
+}

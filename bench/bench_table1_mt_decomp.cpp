@@ -1,0 +1,41 @@
+// Reproduces Table 1: "Queue lengths and mean search depths for 2d and 3d
+// decompositions" — the multithreaded-decomposition matching benchmark of
+// §2.3, averaged over 10 seeded trials like the paper.
+//
+// tr/ts/Length are exact combinatorial quantities of the (grid, stencil)
+// pair and should match the paper digit-for-digit; mean search depth
+// depends on arrival-order randomness and should match to within a few
+// percent (the paper's KNL runs have scheduling noise, ours has seeded
+// shuffles).
+
+#include "bench/bench_util.hpp"
+#include "motifs/mt_decomp.hpp"
+#include "motifs/stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_table1_mt_decomp",
+          "Table 1: multithreaded decomposition queue lengths/search depths");
+  bench::add_standard_flags(cli);
+  cli.add_int("trials", 10, "Trials to average search depth over");
+  cli.add_string("queue", "baseline", "Queue structure under test");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.flag("quick");
+  Table table({"Decomp.", "Stencil", "tr", "ts", "Length", "Search depth",
+               "(stddev)"});
+  for (auto params : motifs::table1_rows()) {
+    params.trials = quick ? 2 : static_cast<int>(cli.get_int("trials"));
+    params.queue = match::QueueConfig::from_label(cli.get_string("queue"));
+    if (quick && params.grid.cells() * 27 > 40000) continue;  // skip 27pt giants
+    const auto r = motifs::run_mt_decomp(params);
+    table.add_row({r.grid.to_string(), motifs::stencil_name(r.stencil),
+                   Table::num(std::int64_t{r.tr}), Table::num(std::int64_t{r.ts}),
+                   Table::num(std::int64_t{r.length}),
+                   Table::num(r.mean_search_depth, 2),
+                   Table::num(r.stddev_search_depth, 2)});
+  }
+  bench::emit("Table 1: queue lengths and mean search depths", table,
+              cli.flag("csv"));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// bench/bench_util.hpp
+//
+// Shared plumbing for the figure-reproduction binaries: standard sweeps,
+// table emission, and the --quick / --csv flags every bench accepts.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace semperm::bench {
+
+/// Message sizes of the OSU-style panels: 1 B .. 1 MiB, powers of two.
+inline std::vector<std::size_t> osu_message_sizes(bool quick) {
+  std::vector<std::size_t> sizes;
+  const std::size_t step = quick ? 4 : 1;
+  for (std::size_t p = 0; p <= 20; p += step) sizes.push_back(std::size_t{1} << p);
+  return sizes;
+}
+
+/// Search-depth axis of panels (b)/(c): 1 .. 8192, powers of two.
+inline std::vector<std::size_t> osu_search_depths(bool quick) {
+  std::vector<std::size_t> depths;
+  const std::size_t step = quick ? 3 : 1;
+  for (std::size_t p = 0; p <= 13; p += step) depths.push_back(std::size_t{1} << p);
+  return depths;
+}
+
+/// Emit a table in the selected format, preceded by a banner.
+inline void emit(const std::string& title, const Table& table, bool csv) {
+  std::fputs(banner(title).c_str(), stdout);
+  std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+}
+
+/// Register the standard bench flags.
+inline void add_standard_flags(Cli& cli) {
+  cli.add_flag("quick", "Reduced sweep for smoke testing (fewer points/iterations)");
+  cli.add_flag("csv", "Emit CSV instead of aligned tables");
+}
+
+}  // namespace semperm::bench

@@ -1,0 +1,98 @@
+#include "bench/figure_panels.hpp"
+
+#include "bench/bench_util.hpp"
+
+namespace semperm::bench {
+
+std::vector<SeriesSpec> spatial_series() {
+  std::vector<SeriesSpec> series;
+  series.push_back({"baseline", match::QueueConfig::from_label("baseline")});
+  for (std::size_t k : {2, 4, 8, 16, 32}) {
+    SeriesSpec s;
+    s.label = "LLA-" + std::to_string(k);
+    s.queue = match::QueueConfig::from_label("lla-" + std::to_string(k));
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+std::vector<SeriesSpec> temporal_series() {
+  std::vector<SeriesSpec> series;
+  series.push_back({"baseline", match::QueueConfig::from_label("baseline")});
+  series.push_back({"HC", match::QueueConfig::from_label("baseline"),
+                    workloads::HeaterMode::kPerElement});
+  // The application studies use the first spatial-locality level (2 PRQ
+  // entries per element); the temporal experiments pair it with the
+  // heater-friendly dedicated pool.
+  series.push_back({"LLA", match::QueueConfig::from_label("lla-2")});
+  series.push_back({"HC+LLA", match::QueueConfig::from_label("lla-2"),
+                    workloads::HeaterMode::kPooled});
+  return series;
+}
+
+namespace {
+
+workloads::OsuParams base_params(const cachesim::ArchProfile& arch,
+                                 const simmpi::NetworkModel& net,
+                                 const SeriesSpec& spec, bool quick) {
+  workloads::OsuParams p;
+  p.arch = arch;
+  p.net = net;
+  p.queue = spec.queue;
+  p.heater = spec.heater;
+  p.iterations = quick ? 2 : 6;
+  p.warmup_iterations = 1;
+  return p;
+}
+
+}  // namespace
+
+void run_osu_figure(const std::string& figure_name,
+                    const cachesim::ArchProfile& arch,
+                    const simmpi::NetworkModel& net,
+                    const std::vector<SeriesSpec>& series, bool quick,
+                    bool csv) {
+  std::vector<std::string> headers;
+
+  // Panel (a): message-size sweep at queue depth 1024.
+  headers = {"msg size"};
+  for (const auto& s : series) headers.push_back(s.label + " (MiBps)");
+  Table panel_a(headers);
+  for (std::size_t size : osu_message_sizes(quick)) {
+    std::vector<std::string> row{format_bytes(size)};
+    for (const auto& s : series) {
+      auto p = base_params(arch, net, s, quick);
+      p.msg_bytes = size;
+      p.queue_depth = 1024;
+      row.push_back(Table::num(workloads::run_osu_bw(p).bandwidth_mibps, 3));
+    }
+    panel_a.add_row(std::move(row));
+  }
+  emit(figure_name + "a: bandwidth vs message size (queue depth 1024)",
+       panel_a, csv);
+
+  // Panels (b) and (c): search-depth sweeps at 1 B and 4 KiB.
+  for (const auto& [panel, bytes] :
+       std::vector<std::pair<std::string, std::size_t>>{{"b", 1},
+                                                        {"c", 4096}}) {
+    headers = {"PRQ search length"};
+    for (const auto& s : series) headers.push_back(s.label + " (MiBps)");
+    Table table(headers);
+    for (std::size_t depth : osu_search_depths(quick)) {
+      std::vector<std::string> row{Table::num(std::uint64_t{depth})};
+      for (const auto& s : series) {
+        auto p = base_params(arch, net, s, quick);
+        p.msg_bytes = bytes;
+        p.queue_depth = depth;
+        row.push_back(Table::num(workloads::run_osu_bw(p).bandwidth_mibps,
+                                 bytes == 1 ? 4 : 2));
+      }
+      table.add_row(std::move(row));
+    }
+    emit(figure_name + panel + ": bandwidth vs search depth (" +
+             format_bytes(bytes) + " messages)",
+         table, csv);
+  }
+}
+
+}  // namespace semperm::bench

@@ -1,0 +1,39 @@
+// bench/figure_panels.hpp
+//
+// The three-panel OSU figure layout shared by Figs. 4/5 (spatial) and
+// Figs. 6/7 (temporal):
+//   (a) bandwidth vs message size at a fixed 1024-deep posted queue;
+//   (b) bandwidth vs queue search depth for 1-byte messages;
+//   (c) bandwidth vs queue search depth for 4 KiB messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cachesim/arch.hpp"
+#include "simmpi/network_model.hpp"
+#include "workloads/osu.hpp"
+
+namespace semperm::bench {
+
+/// One line series of a panel: label + how to build its OsuParams.
+struct SeriesSpec {
+  std::string label;
+  match::QueueConfig queue;
+  workloads::HeaterMode heater = workloads::HeaterMode::kOff;
+};
+
+/// The spatial-locality series set: baseline + LLA-{2,4,8,16,32}.
+std::vector<SeriesSpec> spatial_series();
+
+/// The temporal-locality series set: baseline, HC, LLA(-2), HC+LLA.
+std::vector<SeriesSpec> temporal_series();
+
+/// Print all three panels for one architecture/network.
+void run_osu_figure(const std::string& figure_name,
+                    const cachesim::ArchProfile& arch,
+                    const simmpi::NetworkModel& net,
+                    const std::vector<SeriesSpec>& series, bool quick,
+                    bool csv);
+
+}  // namespace semperm::bench

@@ -1,0 +1,97 @@
+// examples/fds_like.cpp
+//
+// FDS-style unsynchronised traffic on the in-process runtime (paper §4.5):
+// one consumer rank owns many mesh interfaces and pre-posts a receive per
+// interface; producer ranks send in a randomised order, so matches land
+// deep in the posted queue rather than at its head. The example runs the
+// same workload over two matching structures and reports the wall-clock
+// and search-depth difference on the *native* path — the spatial-locality
+// effect, measured for real on this machine.
+//
+// Usage: fds_like [--interfaces 2048] [--rounds 64] [--producers 3]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace semperm;
+
+struct RunResult {
+  double seconds;
+  double mean_depth;
+};
+
+RunResult run(const std::string& queue_label, int interfaces, int rounds,
+              int producers) {
+  simmpi::Runtime rt(1 + producers, match::QueueConfig::from_label(queue_label));
+  Timer timer;
+  rt.run([&](simmpi::Comm& comm) {
+    const int consumer = 0;
+    std::vector<double> payload(8, 1.5);
+    if (comm.rank() == consumer) {
+      std::vector<double> buffers(
+          static_cast<std::size_t>(interfaces) * payload.size());
+      for (int round = 0; round < rounds; ++round) {
+        std::vector<simmpi::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(interfaces));
+        for (int i = 0; i < interfaces; ++i) {
+          const int producer = 1 + i % producers;
+          auto span = std::span<double>(
+              buffers.data() + static_cast<std::size_t>(i) * payload.size(),
+              payload.size());
+          reqs.push_back(
+              comm.irecv(producer, i, std::as_writable_bytes(span)));
+        }
+        comm.wait_all(std::span<simmpi::Request>(reqs));
+      }
+    } else {
+      // Producers send their interfaces in a per-round shuffled order —
+      // the "does not typically match the first element" behaviour.
+      Rng rng(0xfd5f00dULL + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<int> mine;
+      for (int i = 0; i < interfaces; ++i)
+        if (1 + i % producers == comm.rank()) mine.push_back(i);
+      for (int round = 0; round < rounds; ++round) {
+        rng.shuffle(mine);
+        for (int tag : mine)
+          comm.send(consumer, tag,
+                    std::as_bytes(std::span<const double>(payload)));
+      }
+    }
+  });
+  const auto stats = rt.aggregate_prq_stats();
+  return RunResult{timer.elapsed_s(), stats.mean_inspected()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("fds_like", "FDS-style deep-match workload, native comparison");
+  cli.add_int("interfaces", 1024, "Mesh interfaces (posted receives per round)");
+  cli.add_int("rounds", 32, "Communication rounds");
+  cli.add_int("producers", 3, "Producer ranks");
+  if (!cli.parse(argc, argv)) return 0;
+  const int interfaces = static_cast<int>(cli.get_int("interfaces"));
+  const int rounds = static_cast<int>(cli.get_int("rounds"));
+  const int producers = static_cast<int>(cli.get_int("producers"));
+
+  std::printf("fds_like: %d interfaces x %d rounds, %d producers\n\n",
+              interfaces, rounds, producers);
+  RunResult baseline{}, lla{};
+  for (int rep = 0; rep < 2; ++rep) {  // second rep is the measured one
+    baseline = run("baseline", interfaces, rounds, producers);
+    lla = run("lla-8", interfaces, rounds, producers);
+  }
+  std::printf("baseline list : %.3f s, mean search depth %.1f\n",
+              baseline.seconds, baseline.mean_depth);
+  std::printf("LLA-8         : %.3f s, mean search depth %.1f\n", lla.seconds,
+              lla.mean_depth);
+  std::printf("native speedup: %.2fx\n", baseline.seconds / lla.seconds);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// examples/halo3d_app.cpp
+//
+// A small but real bulk-synchronous application on the in-process MPI-like
+// runtime: Jacobi iteration over a 3-D domain decomposed across ranks,
+// with face halo exchanges (the Halo3D pattern of the paper's Fig. 1c) and
+// an allreduce-based convergence check. Every receive goes through the
+// selected matching structure, so the run reports real matching statistics
+// for a real communication pattern.
+//
+// Usage: halo3d_app [--ranks 8] [--n 24] [--iters 20] [--queue lla-8]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace {
+
+using namespace semperm;
+
+struct Grid3 {
+  int x = 2, y = 2, z = 2;
+};
+
+/// Factor `n` into a boxy 3-D grid.
+Grid3 factor_ranks(int n) {
+  Grid3 g{1, 1, 1};
+  int* dims[3] = {&g.x, &g.y, &g.z};
+  int which = 0;
+  for (int f = 2; n > 1; ) {
+    if (n % f == 0) {
+      *dims[which % 3] *= f;
+      which++;
+      n /= f;
+    } else {
+      ++f;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("halo3d_app", "Jacobi + halo exchange on the simmpi runtime");
+  cli.add_int("ranks", 8, "Number of ranks (threads)");
+  cli.add_int("n", 16, "Local cubic subdomain edge length");
+  cli.add_int("iters", 10, "Jacobi iterations");
+  cli.add_string("queue", "lla-8", "Match-queue structure");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int nranks = static_cast<int>(cli.get_int("ranks"));
+  const int n = static_cast<int>(cli.get_int("n"));
+  const int iters = static_cast<int>(cli.get_int("iters"));
+  const Grid3 grid = factor_ranks(nranks);
+  std::printf("halo3d: %d ranks as %dx%dx%d, %d^3 local cells, queue=%s\n",
+              nranks, grid.x, grid.y, grid.z, n,
+              cli.get_string("queue").c_str());
+
+  simmpi::Runtime rt(nranks,
+                     match::QueueConfig::from_label(cli.get_string("queue")));
+  rt.run([&](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    const int rx = r % grid.x;
+    const int ry = (r / grid.x) % grid.y;
+    const int rz = r / (grid.x * grid.y);
+    auto rank_of = [&](int x, int y, int z) {
+      return (z * grid.y + y) * grid.x + x;
+    };
+    // The six face neighbours (or -1 at domain boundaries).
+    struct Face {
+      int neighbour;
+      int tag;  // direction id doubles as message tag
+    };
+    std::vector<Face> faces;
+    if (rx > 0) faces.push_back({rank_of(rx - 1, ry, rz), 0});
+    if (rx + 1 < grid.x) faces.push_back({rank_of(rx + 1, ry, rz), 1});
+    if (ry > 0) faces.push_back({rank_of(rx, ry - 1, rz), 2});
+    if (ry + 1 < grid.y) faces.push_back({rank_of(rx, ry + 1, rz), 3});
+    if (rz > 0) faces.push_back({rank_of(rx, ry, rz - 1), 4});
+    if (rz + 1 < grid.z) faces.push_back({rank_of(rx, ry, rz + 1), 5});
+    auto opposite = [](int tag) { return tag ^ 1; };
+
+    const std::size_t cells = static_cast<std::size_t>(n) * n * n;
+    const std::size_t face_cells = static_cast<std::size_t>(n) * n;
+    std::vector<double> field(cells, r == 0 ? 100.0 : 0.0);
+    std::vector<std::vector<double>> halos(faces.size(),
+                                           std::vector<double>(face_cells));
+    std::vector<std::vector<double>> sends(faces.size(),
+                                           std::vector<double>(face_cells));
+
+    for (int it = 0; it < iters; ++it) {
+      // Post all halo receives first (pre-posted fast path).
+      std::vector<simmpi::Request> reqs;
+      reqs.reserve(faces.size());
+      for (std::size_t f = 0; f < faces.size(); ++f) {
+        reqs.push_back(comm.irecv(
+            faces[f].neighbour, opposite(faces[f].tag),
+            std::as_writable_bytes(std::span<double>(halos[f]))));
+      }
+      // Pack boundary planes (simplified: mean-value planes) and send.
+      double mean = 0.0;
+      for (double v : field) mean += v;
+      mean /= static_cast<double>(cells);
+      for (std::size_t f = 0; f < faces.size(); ++f) {
+        for (auto& v : sends[f]) v = mean;
+        comm.send(faces[f].neighbour, faces[f].tag,
+                  std::as_bytes(std::span<const double>(sends[f])));
+      }
+      comm.wait_all(std::span<simmpi::Request>(reqs));
+
+      // Jacobi-ish relaxation toward the halo means.
+      double halo_mean = 0.0;
+      for (const auto& h : halos)
+        for (double v : h) halo_mean += v;
+      if (!faces.empty())
+        halo_mean /=
+            static_cast<double>(faces.size()) * static_cast<double>(face_cells);
+      double delta = 0.0;
+      for (auto& v : field) {
+        const double next = 0.5 * (v + halo_mean);
+        delta += std::fabs(next - v);
+        v = next;
+      }
+
+      const double total_delta = comm.allreduce_sum(delta);
+      if (r == 0 && (it == 0 || it == iters - 1))
+        std::printf("iter %3d: global delta %.4f\n", it, total_delta);
+    }
+    comm.barrier();
+  });
+
+  const auto prq = rt.aggregate_prq_stats();
+  const auto umq = rt.aggregate_umq_stats();
+  std::printf(
+      "matching totals: PRQ %llu searches (mean inspected %.2f), "
+      "UMQ %llu searches, %llu unexpected buffered\n",
+      static_cast<unsigned long long>(prq.searches), prq.mean_inspected(),
+      static_cast<unsigned long long>(umq.searches),
+      static_cast<unsigned long long>(umq.appends));
+  return 0;
+}

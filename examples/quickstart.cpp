@@ -1,0 +1,95 @@
+// examples/quickstart.cpp
+//
+// Five-minute tour of semperm's public API:
+//   1. build a matching engine with a runtime-selected queue structure;
+//   2. run the MPI matching protocol by hand (post_recv / incoming),
+//      including wildcards and the unexpected-message path;
+//   3. read back the observability the study is built on (search depth,
+//      list lengths);
+//   4. run the same structure under the cache-hierarchy simulator and see
+//      the modelled cycle cost of a deep search on two architectures.
+//
+// Usage: quickstart [--queue baseline|lla-8|lla-large|ompi|hash-256]
+
+#include <cstdio>
+
+#include "cachesim/mem_model.hpp"
+#include "common/cli.hpp"
+#include "match/factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("quickstart", "semperm API tour");
+  cli.add_string("queue", "lla-8", "Match-queue structure");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto cfg = match::QueueConfig::from_label(cli.get_string("queue"));
+  std::printf("queue structure: %s\n\n", cfg.label().c_str());
+
+  // ---- 1/2: native engine, matching semantics ------------------------
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto engine = match::make_engine(mem, space, cfg);
+
+  // A receive posted before its message arrives...
+  match::MatchRequest recv_a(match::RequestKind::kRecv, 1);
+  engine->post_recv(match::Pattern::make(/*source=*/3, /*tag=*/42, /*ctx=*/0),
+                    &recv_a);
+  // ...matches when the message shows up:
+  match::MatchRequest msg_a(match::RequestKind::kUnexpected, 2);
+  match::MatchRequest* done =
+      engine->incoming(match::Envelope{42, 3, 0}, &msg_a);
+  std::printf("pre-posted receive matched: %s (source %d, tag %d)\n",
+              done == &recv_a ? "yes" : "no", done->matched().rank,
+              done->matched().tag);
+
+  // A message with no posted receive is buffered on the unexpected queue,
+  // and a wildcard receive can pick it up later:
+  match::MatchRequest msg_b(match::RequestKind::kUnexpected, 3);
+  engine->incoming(match::Envelope{7, 5, 0}, &msg_b);
+  std::printf("unexpected queue length: %zu\n", engine->umq().size());
+  match::MatchRequest recv_b(match::RequestKind::kRecv, 4);
+  match::MatchRequest* buffered = engine->post_recv(
+      match::Pattern::make(match::kAnySource, match::kAnyTag, 0), &recv_b);
+  std::printf("wildcard receive consumed buffered message: %s\n\n",
+              buffered == &msg_b ? "yes" : "no");
+
+  // ---- 3: observability ----------------------------------------------
+  const auto& stats = engine->prq().stats();
+  std::printf("PRQ: %llu searches, mean inspected %.2f, structure '%s'\n\n",
+              static_cast<unsigned long long>(stats.searches),
+              stats.mean_inspected(), engine->prq().name());
+
+  // ---- 4: the same structure under the cache simulator ----------------
+  for (const char* arch_name : {"sandybridge", "broadwell"}) {
+    const auto arch = cachesim::arch_by_name(arch_name);
+    cachesim::Hierarchy hier(arch);
+    cachesim::SimMem sim(hier);
+    memlayout::AddressSpace sim_space;
+    auto sim_engine = match::make_engine(sim, sim_space, cfg);
+
+    // 1024 unmatched receives ahead of the traffic, like the paper's
+    // modified micro-benchmarks.
+    std::vector<match::MatchRequest> decoys(1024);
+    for (int i = 0; i < 1024; ++i) {
+      decoys[static_cast<std::size_t>(i)] =
+          match::MatchRequest(match::RequestKind::kRecv,
+                              static_cast<std::uint64_t>(i));
+      sim_engine->post_recv(match::Pattern::make(2, 1'000'000 + i, 0),
+                            &decoys[static_cast<std::size_t>(i)]);
+    }
+    hier.flush_all();  // emulated compute phase
+    match::MatchRequest recv(match::RequestKind::kRecv, 1);
+    sim_engine->post_recv(match::Pattern::make(1, 7, 0), &recv);
+    match::MatchRequest msg(match::RequestKind::kUnexpected, 2);
+    const Cycles before = sim.cycles();
+    sim_engine->incoming(match::Envelope{7, 1, 0}, &msg);
+    std::printf(
+        "%-12s cold search past 1024 entries: %llu cycles (%.1f ns)\n",
+        arch.name.c_str(),
+        static_cast<unsigned long long>(sim.cycles() - before),
+        arch.cycles_to_ns(sim.cycles() - before));
+  }
+  std::printf("\nTry --queue baseline vs --queue lla-8 to see the spatial-"
+              "locality gap.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "cachesim/arch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace semperm::cachesim {
+
+namespace {
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * KiB;
+}  // namespace
+
+ArchProfile sandy_bridge() {
+  ArchProfile a;
+  a.name = "SandyBridge";
+  a.ghz = 2.6;
+  a.cores_per_socket = 8;
+  a.l1 = {32 * KiB, 8, 4};
+  a.l2 = {256 * KiB, 8, 12};
+  // L3 in the core clock domain — low latency relative to its size.
+  a.l3 = {20 * MiB, 20, 28};
+  a.dram_latency = 200;  // ~77 ns at 2.6 GHz
+  a.lock_transfer = 110;
+  a.sw_overhead_ns = 2600.0;
+  return a;
+}
+
+ArchProfile broadwell() {
+  ArchProfile a;
+  a.name = "Broadwell";
+  a.ghz = 2.1;
+  a.cores_per_socket = 18;
+  a.l1 = {32 * KiB, 8, 4};
+  a.l2 = {256 * KiB, 8, 12};
+  // Decoupled uncore clock (since Haswell): noticeably higher L3 latency,
+  // higher bandwidth (bandwidth is modelled in the network/wire layer; the
+  // match path is latency-bound, as the paper notes in §4.3).
+  a.l3 = {45 * MiB, 20, 52};
+  a.dram_latency = 190;  // ~90 ns at 2.1 GHz
+  // Larger ring + decoupled uncore: contended line transfers cost more.
+  a.lock_transfer = 260;
+  a.sw_overhead_ns = 1500.0;
+  return a;
+}
+
+ArchProfile nehalem() {
+  ArchProfile a;
+  a.name = "Nehalem";
+  a.ghz = 2.53;
+  a.cores_per_socket = 4;
+  a.l1 = {32 * KiB, 8, 4};
+  a.l2 = {256 * KiB, 8, 10};
+  a.l3 = {8 * MiB, 16, 38};
+  a.dram_latency = 165;  // ~65 ns at 2.53 GHz
+  a.lock_transfer = 90;
+  a.sw_overhead_ns = 1900.0;
+  // Nehalem's streamer is less aggressive than later generations.
+  a.prefetch.stream_degree = 2;
+  return a;
+}
+
+ArchProfile knl() {
+  ArchProfile a;
+  a.name = "KNL";
+  a.ghz = 1.4;
+  a.cores_per_socket = 68;
+  a.l1 = {32 * KiB, 8, 5};
+  a.l2 = {1 * MiB, 16, 17};
+  a.l3 = {0, 0, 0};  // no shared L3; MCDRAM behaves as memory here
+  a.dram_latency = 215;
+  a.lock_transfer = 300;
+  a.sw_overhead_ns = 2500.0;
+  a.prefetch.l2_adjacent_pair = false;  // KNL lacks the spatial pair unit
+  return a;
+}
+
+ArchProfile arch_by_name(const std::string& name) {
+  std::string low;
+  for (char c : name) low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (low == "sandybridge" || low == "snb" || low == "sandy_bridge") return sandy_bridge();
+  if (low == "broadwell" || low == "bdw") return broadwell();
+  if (low == "nehalem" || low == "nhm") return nehalem();
+  if (low == "knl") return knl();
+  throw std::invalid_argument("unknown architecture: " + name);
+}
+
+}  // namespace semperm::cachesim

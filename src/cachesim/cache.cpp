@@ -1,0 +1,173 @@
+#include "cachesim/cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace semperm::cachesim {
+
+SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
+                             unsigned assoc)
+    : name_(std::move(name)), size_bytes_(size_bytes), assoc_(assoc) {
+  SEMPERM_ASSERT(assoc_ > 0);
+  SEMPERM_ASSERT(size_bytes_ % (static_cast<std::size_t>(assoc_) * kCacheLine) == 0);
+  const std::size_t set_count = size_bytes_ / (assoc_ * kCacheLine);
+  // Non-power-of-two set counts are common for sliced LLCs (e.g. 18-slice
+  // Broadwell); index by modulo, as slice-hashing hardware effectively does.
+  set_count_ = set_count;
+  sets_.resize(set_count);
+  for (auto& s : sets_) s.reserve(assoc_);
+}
+
+SetAssocCache::Set& SetAssocCache::set_for(Addr line) {
+  return sets_[static_cast<std::size_t>(line) % set_count_];
+}
+
+const SetAssocCache::Set& SetAssocCache::set_for(Addr line) const {
+  return sets_[static_cast<std::size_t>(line) % set_count_];
+}
+
+void SetAssocCache::purge(Set& set) {
+  std::erase_if(set, [this](const Way& w) { return w.epoch != epoch_; });
+}
+
+bool SetAssocCache::access(Addr line) {
+  Set& set = set_for(line);
+  purge(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].line == line) {
+      ++stats_.demand_hits;
+      if (set[i].reason == FillReason::kPrefetch) {
+        ++stats_.prefetch_hits;
+        set[i].reason = FillReason::kDemand;  // count first use only
+      } else if (set[i].reason == FillReason::kHeater) {
+        ++stats_.heater_hits;
+        set[i].reason = FillReason::kDemand;
+      }
+      // Move to MRU position.
+      Way hit = set[i];
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+      set.insert(set.begin(), hit);
+      return true;
+    }
+  }
+  ++stats_.demand_misses;
+  return false;
+}
+
+bool SetAssocCache::contains(Addr line) const {
+  const Set& set = set_for(line);
+  return std::any_of(set.begin(), set.end(), [this, line](const Way& w) {
+    return w.epoch == epoch_ && w.line == line;
+  });
+}
+
+void SetAssocCache::set_partition(unsigned reserved_ways) {
+  SEMPERM_ASSERT_MSG(reserved_ways < assoc_,
+                     "partition must leave at least one normal way");
+  reserved_ways_ = reserved_ways;
+}
+
+std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
+                                        LineClass cls) {
+  Set& set = set_for(line);
+  purge(set);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].line == line) {
+      // Refresh LRU position; heater touches re-mark the line so coverage
+      // accounting reflects the most recent provider.
+      Way w = set[i];
+      if (reason == FillReason::kHeater) w.reason = FillReason::kHeater;
+      w.cls = cls;
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+      set.insert(set.begin(), w);
+      return std::nullopt;
+    }
+  }
+  if (reason == FillReason::kPrefetch) ++stats_.prefetch_fills;
+  if (reason == FillReason::kHeater) ++stats_.heater_fills;
+
+  std::optional<Addr> evicted;
+  if (reserved_ways_ == 0) {
+    // Unpartitioned: one LRU pool.
+    if (set.size() >= assoc_) {
+      evicted = set.back().line;
+      set.pop_back();
+      ++stats_.evictions;
+    }
+  } else {
+    // Partitioned: each class evicts within its own way quota.
+    const std::size_t quota = cls == LineClass::kNetwork
+                                  ? reserved_ways_
+                                  : assoc_ - reserved_ways_;
+    std::size_t in_class = 0;
+    for (const Way& w : set)
+      if (w.cls == cls) ++in_class;
+    if (in_class >= quota) {
+      // Evict the LRU way of this class.
+      for (std::size_t i = set.size(); i-- > 0;) {
+        if (set[i].cls == cls) {
+          evicted = set[i].line;
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+          ++stats_.evictions;
+          break;
+        }
+      }
+    }
+  }
+  set.insert(set.begin(), Way{line, epoch_, reason, cls});
+  return evicted;
+}
+
+void SetAssocCache::invalidate(Addr line) {
+  Set& set = set_for(line);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].epoch == epoch_ && set[i].line == line) {
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void SetAssocCache::flush() { ++epoch_; }
+
+void SetAssocCache::pollute(std::size_t bytes) {
+  // Lines the stream pushes through each set.
+  const std::size_t per_set =
+      (bytes / kCacheLine + set_count_ - 1) / set_count_;
+  if (reserved_ways_ == 0 && per_set >= assoc_) {
+    flush();  // unpartitioned total displacement: O(1)
+    return;
+  }
+  // The compute stream is ordinary traffic: with a partition configured it
+  // competes only for the normal ways and cannot displace network lines.
+  const std::size_t normal_capacity = assoc_ - reserved_ways_;
+  for (auto& set : sets_) {
+    purge(set);
+    // The stream's lines and the residents compete for the normal ways;
+    // only the overflow (LRU-first) is displaced. A set holding few lines
+    // keeps them all — this is how a large LLC retains match state.
+    std::size_t normal = 0;
+    for (const Way& w : set)
+      if (w.cls == LineClass::kNormal) ++normal;
+    if (normal + per_set <= normal_capacity) continue;
+    std::size_t drop = normal + per_set - normal_capacity;
+    for (std::size_t i = set.size(); i-- > 0 && drop > 0;) {
+      if (set[i].cls == LineClass::kNormal) {
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        --drop;
+      }
+    }
+  }
+}
+
+std::size_t SetAssocCache::resident_lines() const {
+  std::size_t n = 0;
+  for (const auto& s : sets_)
+    n += static_cast<std::size_t>(
+        std::count_if(s.begin(), s.end(),
+                      [this](const Way& w) { return w.epoch == epoch_; }));
+  return n;
+}
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,133 @@
+// semperm/cachesim/cache.hpp
+//
+// A single set-associative cache level with true-LRU replacement.
+//
+// The simulator is trace-driven: callers present cache-line indices and the
+// cache answers hit/miss, tracking which resident lines arrived via
+// prefetch so the hierarchy can attribute "prefetch covered this demand
+// access" statistics (the mechanism behind the paper's Fig. 4/5 analysis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace semperm::cachesim {
+
+/// Why a line was inserted — used for prefetch-coverage accounting.
+enum class FillReason : std::uint8_t {
+  kDemand,    // demand miss fill
+  kPrefetch,  // hardware prefetcher fill
+  kHeater,    // hot-caching refresh touch
+};
+
+/// Traffic class of a line, for the paper's §6 proposal of
+/// hardware-supported locality: "network" lines (match-queue state) can be
+/// granted a reserved way partition that ordinary traffic cannot displace.
+enum class LineClass : std::uint8_t {
+  kNormal,
+  kNetwork,
+};
+
+/// Per-level counters.
+struct CacheStats {
+  std::uint64_t demand_hits = 0;
+  std::uint64_t demand_misses = 0;
+  std::uint64_t prefetch_fills = 0;
+  std::uint64_t prefetch_hits = 0;  // demand hits on prefetch-filled lines
+  std::uint64_t heater_fills = 0;
+  std::uint64_t heater_hits = 0;  // demand hits on heater-filled lines
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const double total =
+        static_cast<double>(demand_hits) + static_cast<double>(demand_misses);
+    return total > 0 ? static_cast<double>(demand_hits) / total : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  /// `size_bytes` total capacity, `assoc` ways. size must be a multiple of
+  /// assoc * 64 and yield a power-of-two set count.
+  SetAssocCache(std::string name, std::size_t size_bytes, unsigned assoc);
+
+  /// Demand access to `line` (a cache-line index, not a byte address).
+  /// Returns true on hit. On hit the line becomes most-recently-used and
+  /// prefetch/heater coverage is recorded.
+  bool access(Addr line);
+
+  /// Probe without updating LRU or statistics.
+  bool contains(Addr line) const;
+
+  /// Insert `line` (after a miss at this level, or as prefetch/heater fill).
+  /// Returns the evicted line, if any. Inserting an already-resident line
+  /// just refreshes its LRU position (and reason, if heater).
+  /// With a way partition configured, `cls` selects the class the line
+  /// competes in: each class evicts only its own LRU line once its way
+  /// quota is full.
+  std::optional<Addr> fill(Addr line, FillReason reason,
+                           LineClass cls = LineClass::kNormal);
+
+  /// Reserve `reserved_ways` of every set for kNetwork lines (the paper's
+  /// posited "cache partition"). 0 disables partitioning. Must be less
+  /// than the associativity.
+  void set_partition(unsigned reserved_ways);
+  unsigned reserved_ways() const { return reserved_ways_; }
+
+  /// Drop a specific line if present.
+  void invalidate(Addr line);
+
+  /// Drop everything (the paper's modified micro-benchmarks clear the cache
+  /// between iterations to emulate a compute phase, §4.1). O(1): bumps an
+  /// epoch; stale ways are lazily purged on the next touch of their set.
+  void flush();
+
+  /// Model a compute phase streaming `bytes` of unrelated data through the
+  /// cache: evicts the LRU-most ways of every set that the stream would
+  /// displace, keeping the MRU remainder. A working set >= the cache size
+  /// degenerates to flush(). This is what lets a large LLC retain match
+  /// state across compute phases ("semi-permanent occupancy") while a
+  /// smaller one loses it.
+  void pollute(std::size_t bytes);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  const std::string& name() const { return name_; }
+  std::size_t size_bytes() const { return size_bytes_; }
+  unsigned associativity() const { return assoc_; }
+  std::size_t set_count() const { return sets_.size(); }
+
+  /// Number of currently valid lines (for occupancy reporting).
+  std::size_t resident_lines() const;
+
+ private:
+  struct Way {
+    Addr line = 0;
+    std::uint64_t epoch = 0;
+    FillReason reason = FillReason::kDemand;
+    LineClass cls = LineClass::kNormal;
+  };
+  // Each set is kept in LRU order: front = most recent.
+  using Set = std::vector<Way>;
+
+  Set& set_for(Addr line);
+  const Set& set_for(Addr line) const;
+  /// Drop ways from flushed epochs.
+  void purge(Set& set);
+
+  std::string name_;
+  std::size_t size_bytes_;
+  unsigned assoc_;
+  std::size_t set_count_;
+  std::uint64_t epoch_ = 0;
+  unsigned reserved_ways_ = 0;
+  std::vector<Set> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,184 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm::cachesim {
+
+Hierarchy::Hierarchy(const ArchProfile& arch)
+    : arch_(arch),
+      streamer_(arch.prefetch.stream_trigger, arch.prefetch.stream_degree) {
+  SEMPERM_ASSERT(arch_.l1.present() && arch_.l2.present());
+  levels_.emplace_back("L1", arch_.l1.size_bytes, arch_.l1.assoc);
+  level_latency_.push_back(arch_.l1.hit_latency);
+  levels_.emplace_back("L2", arch_.l2.size_bytes, arch_.l2.assoc);
+  level_latency_.push_back(arch_.l2.hit_latency);
+  if (arch_.l3.present()) {
+    levels_.emplace_back("L3", arch_.l3.size_bytes, arch_.l3.assoc);
+    level_latency_.push_back(arch_.l3.hit_latency);
+  }
+  if (arch_.network_cache.present()) {
+    netcache_ = std::make_unique<SetAssocCache>(
+        "NetC", arch_.network_cache.size_bytes, arch_.network_cache.assoc);
+  }
+  if (arch_.llc_reserved_ways > 0)
+    levels_.back().set_partition(arch_.llc_reserved_ways);
+}
+
+void Hierarchy::mark_network_region(Addr addr, std::size_t bytes) {
+  SEMPERM_ASSERT(bytes > 0);
+  network_ranges_.push_back(
+      NetworkRange{line_of(addr), line_of(addr + bytes - 1)});
+}
+
+bool Hierarchy::is_network_line(Addr line) const {
+  for (const auto& r : network_ranges_)
+    if (line >= r.first_line && line <= r.last_line) return true;
+  return false;
+}
+
+bool Hierarchy::network_resident(Addr addr) const {
+  return netcache_ != nullptr && netcache_->contains(line_of(addr));
+}
+
+Cycles Hierarchy::access(Addr addr, std::size_t bytes, bool write) {
+  SEMPERM_ASSERT(bytes > 0);
+  Cycles total = 0;
+  const Addr first = line_of(addr);
+  const Addr last = line_of(addr + bytes - 1);
+  for (Addr line = first; line <= last; ++line) total += access_line(line, write);
+  ++stats_.accesses;
+  return total;
+}
+
+Cycles Hierarchy::access_line(Addr line, bool write) {
+  (void)write;  // write-allocate, identical timing to reads in this model
+  ++stats_.lines_touched;
+
+  const bool network = !network_ranges_.empty() && is_network_line(line);
+  const LineClass cls = network ? LineClass::kNetwork : LineClass::kNormal;
+
+  // Network lines are served by the dedicated network cache when one is
+  // configured — it sits beside the L1 and ordinary traffic never touches
+  // it (the paper's posited "network specific cache").
+  if (network && netcache_ != nullptr && netcache_->access(line)) {
+    stats_.total_cycles += arch_.network_cache.hit_latency;
+    return arch_.network_cache.hit_latency;
+  }
+
+  AccessObservation obs{line, /*l1_hit=*/false, /*l2_hit=*/false};
+  Cycles cost = 0;
+  unsigned serving_level = level_count();  // == level_count() means DRAM
+  const unsigned first_level = (network && netcache_ != nullptr) ? 1u : 0u;
+  for (unsigned lvl = first_level; lvl < level_count(); ++lvl) {
+    if (levels_[lvl].access(line)) {
+      serving_level = lvl;
+      cost = level_latency_[lvl];
+      break;
+    }
+  }
+  if (serving_level == level_count()) {
+    cost = arch_.dram_latency;
+    ++stats_.dram_fetches;
+  }
+  obs.l1_hit = (serving_level == 0);
+  obs.l2_hit = (serving_level == 1);
+
+  // Fill every level closer to the core than the serving level; network
+  // lines fill the dedicated cache instead of the L1.
+  for (unsigned lvl = first_level; lvl < serving_level && lvl < level_count();
+       ++lvl)
+    levels_[lvl].fill(line, FillReason::kDemand, cls);
+  if (network && netcache_ != nullptr)
+    netcache_->fill(line, FillReason::kDemand, LineClass::kNetwork);
+
+  run_prefetchers(obs);
+  stats_.total_cycles += cost;
+  return cost;
+}
+
+void Hierarchy::run_prefetchers(const AccessObservation& obs) {
+  scratch_requests_.clear();
+  if (arch_.prefetch.l1_next_line) next_line_.observe(obs, scratch_requests_);
+  if (arch_.prefetch.l2_adjacent_pair)
+    adjacent_pair_.observe(obs, scratch_requests_);
+  if (arch_.prefetch.l2_streamer) streamer_.observe(obs, scratch_requests_);
+  for (const auto& req : scratch_requests_) prefetch_fill(req);
+}
+
+void Hierarchy::prefetch_fill(const PrefetchRequest& req) {
+  const LineClass cls = !network_ranges_.empty() && is_network_line(req.line)
+                            ? LineClass::kNetwork
+                            : LineClass::kNormal;
+  const unsigned target = std::min<unsigned>(req.target_level, level_count() - 1);
+  if (levels_[target].contains(req.line)) return;
+  levels_[target].fill(req.line, FillReason::kPrefetch, cls);
+  // L2 prefetches also land in the LLC (the fill passes through it).
+  if (target + 1 < level_count() && !levels_[target + 1].contains(req.line))
+    levels_[target + 1].fill(req.line, FillReason::kPrefetch, cls);
+}
+
+void Hierarchy::flush_all() {
+  for (auto& lvl : levels_) lvl.flush();
+  if (netcache_) netcache_->flush();
+  streamer_.reset();
+}
+
+void Hierarchy::pollute(std::size_t bytes) {
+  // The dedicated network cache is untouched by construction: ordinary
+  // traffic cannot allocate into it.
+  for (unsigned i = 0; i + 1 < level_count(); ++i) levels_[i].flush();
+  levels_.back().pollute(bytes);
+  streamer_.reset();
+}
+
+std::uint64_t Hierarchy::heater_touch(Addr addr, std::size_t bytes) {
+  if (bytes == 0) return 0;
+  SetAssocCache& llc = levels_.back();
+  const Addr first = line_of(addr);
+  const Addr last = line_of(addr + bytes - 1);
+  std::uint64_t cold = 0;
+  for (Addr line = first; line <= last; ++line) {
+    const LineClass cls = !network_ranges_.empty() && is_network_line(line)
+                              ? LineClass::kNetwork
+                              : LineClass::kNormal;
+    if (!llc.contains(line)) ++cold;
+    llc.fill(line, FillReason::kHeater, cls);
+  }
+  return cold;
+}
+
+bool Hierarchy::resident(unsigned level, Addr addr) const {
+  SEMPERM_ASSERT(level < level_count());
+  return levels_[level].contains(line_of(addr));
+}
+
+void Hierarchy::reset_stats() {
+  stats_ = HierarchyStats{};
+  for (auto& lvl : levels_) lvl.reset_stats();
+}
+
+std::string Hierarchy::report() const {
+  std::ostringstream os;
+  os << arch_.name << " hierarchy: " << stats_.lines_touched
+     << " line accesses, " << stats_.dram_fetches << " DRAM fetches, "
+     << stats_.total_cycles << " cycles\n";
+  for (unsigned i = 0; i < level_count(); ++i) {
+    const auto& st = levels_[i].stats();
+    os << "  " << levels_[i].name() << ": hits " << st.demand_hits
+       << ", misses " << st.demand_misses << ", hit-rate "
+       << static_cast<int>(st.hit_rate() * 100.0) << "%, prefetch fills "
+       << st.prefetch_fills << " (used " << st.prefetch_hits
+       << "), heater fills " << st.heater_fills << " (used " << st.heater_hits
+       << ")\n";
+  }
+  if (netcache_) {
+    const auto& st = netcache_->stats();
+    os << "  NetC: hits " << st.demand_hits << ", misses " << st.demand_misses
+       << ", hit-rate " << static_cast<int>(st.hit_rate() * 100.0) << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,112 @@
+// semperm/cachesim/hierarchy.hpp
+//
+// The full memory hierarchy: L1 → L2 → (optional) L3 → DRAM, with the
+// prefetch units of the selected architecture attached. Trace-driven:
+// callers present demand accesses (byte address + size) and receive the
+// modelled cost in core cycles; the hierarchy updates cache state, runs the
+// prefetchers, and keeps per-level statistics.
+//
+// Modelling notes (see DESIGN.md §3):
+//  * Demand accesses are charged the hit latency of the level that serves
+//    them (or DRAM latency); prefetch fills are free at issue time and
+//    convert later demand misses into cheap hits — the same accounting the
+//    paper's §4.2 architectural analysis uses.
+//  * Caches are non-inclusive, non-exclusive (NINE): fills propagate toward
+//    the core, evictions are independent per level.
+//  * The heater touch path fills lines into the last-level cache without
+//    charging the application (the heater runs on another core); its cost
+//    model lives in heater.hpp.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/prefetch.hpp"
+#include "common/types.hpp"
+
+namespace semperm::cachesim {
+
+struct HierarchyStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t lines_touched = 0;
+  std::uint64_t dram_fetches = 0;
+  Cycles total_cycles = 0;
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const ArchProfile& arch);
+
+  /// Demand access covering [addr, addr+bytes). Returns modelled cycles.
+  Cycles access(Addr addr, std::size_t bytes, bool write = false);
+
+  /// Demand access to a single cache line index.
+  Cycles access_line(Addr line, bool write = false);
+
+  /// Clear all cache levels and prefetcher state (emulated compute phase /
+  /// cache clear between iterations, paper §4.1).
+  void flush_all();
+
+  /// Model a compute phase with a working set of `bytes`: private caches
+  /// are wrecked outright; the LLC loses only what the stream displaces.
+  /// On a 45 MiB Broadwell LLC a 24 MiB compute phase leaves recently-used
+  /// match state resident; on a 20 MiB Sandy Bridge LLC it does not.
+  void pollute(std::size_t bytes);
+
+  /// Heater refresh of [addr, addr+bytes): pulls the lines into the shared
+  /// (last-level) cache without charging the consumer. Returns the number
+  /// of lines the heater had to fetch from DRAM (i.e. that had gone cold).
+  std::uint64_t heater_touch(Addr addr, std::size_t bytes);
+
+  /// Is the line holding `addr` resident at `level` (0-based from L1)?
+  bool resident(unsigned level, Addr addr) const;
+
+  // --- §6 hardware-supported locality (see ArchProfile) ----------------
+
+  /// Tag [addr, addr+bytes) as network (match-queue) data: eligible for
+  /// the dedicated network cache and the LLC way partition.
+  void mark_network_region(Addr addr, std::size_t bytes);
+
+  bool is_network_line(Addr line) const;
+
+  /// The dedicated network cache, if the profile configures one.
+  const SetAssocCache* network_cache() const { return netcache_.get(); }
+  bool network_resident(Addr addr) const;
+
+  unsigned level_count() const { return static_cast<unsigned>(levels_.size()); }
+  const SetAssocCache& level(unsigned i) const { return levels_.at(i); }
+  const ArchProfile& arch() const { return arch_; }
+  const HierarchyStats& stats() const { return stats_; }
+
+  void reset_stats();
+
+  /// Multi-line summary of per-level hit rates and prefetch coverage.
+  std::string report() const;
+
+ private:
+  void run_prefetchers(const AccessObservation& obs);
+  void prefetch_fill(const PrefetchRequest& req);
+
+  struct NetworkRange {
+    Addr first_line;
+    Addr last_line;
+  };
+
+  ArchProfile arch_;
+  std::vector<SetAssocCache> levels_;  // [0]=L1, [1]=L2, [2]=L3 (optional)
+  std::vector<Cycles> level_latency_;
+  std::unique_ptr<SetAssocCache> netcache_;
+  std::vector<NetworkRange> network_ranges_;
+  NextLinePrefetcher next_line_;
+  AdjacentPairPrefetcher adjacent_pair_;
+  StreamPrefetcher streamer_;
+  std::vector<PrefetchRequest> scratch_requests_;
+  HierarchyStats stats_;
+};
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,75 @@
+#include "cachesim/prefetch.hpp"
+
+#include <algorithm>
+
+namespace semperm::cachesim {
+
+namespace {
+constexpr Addr kLinesPerPage = 4096 / kCacheLine;  // 64 lines per 4 KiB page
+constexpr Addr page_of_line(Addr line) { return line / kLinesPerPage; }
+}  // namespace
+
+void NextLinePrefetcher::observe(const AccessObservation& obs,
+                                 std::vector<PrefetchRequest>& out) const {
+  // The DCU unit is conservative: it fetches the next line within the same
+  // page. It fires on every access (hit or miss) — sequential hits keep the
+  // line ahead of the consumer.
+  const Addr next = obs.line + 1;
+  if (page_of_line(next) == page_of_line(obs.line))
+    out.push_back(PrefetchRequest{next, /*target_level=*/0});
+}
+
+void AdjacentPairPrefetcher::observe(const AccessObservation& obs,
+                                     std::vector<PrefetchRequest>& out) const {
+  // Fires on L2 misses only: completes the aligned 128-byte pair.
+  if (obs.l1_hit || obs.l2_hit) return;
+  out.push_back(PrefetchRequest{obs.line ^ 1, /*target_level=*/1});
+}
+
+StreamPrefetcher::StreamPrefetcher(unsigned trigger, unsigned degree,
+                                   std::size_t table_size)
+    : trigger_(trigger), degree_(degree), table_(table_size) {}
+
+void StreamPrefetcher::observe(const AccessObservation& obs,
+                               std::vector<PrefetchRequest>& out) {
+  ++tick_;
+  const Addr page = page_of_line(obs.line);
+  Stream* match = nullptr;
+  Stream* victim = &table_[0];
+  for (auto& s : table_) {
+    if (s.page == page) {
+      match = &s;
+      break;
+    }
+    if (s.lru < victim->lru) victim = &s;
+  }
+  if (match == nullptr) {
+    // Allocate a new stream over the LRU entry.
+    *victim = Stream{page, obs.line, 1, tick_};
+    return;
+  }
+  match->lru = tick_;
+  if (obs.line == match->last_line) return;  // same line again: no signal
+  if (obs.line == match->last_line + 1) {
+    match->run += 1;
+  } else if (obs.line > match->last_line && obs.line - match->last_line <= 2) {
+    // Small forward skips keep the stream alive but do not extend the run.
+  } else {
+    match->run = 1;  // direction break: re-arm
+  }
+  match->last_line = obs.line;
+  if (match->run >= trigger_) {
+    for (unsigned d = 1; d <= degree_; ++d) {
+      const Addr ahead = obs.line + d;
+      if (page_of_line(ahead) != page) break;  // streamer stops at page edge
+      out.push_back(PrefetchRequest{ahead, /*target_level=*/1});
+    }
+  }
+}
+
+void StreamPrefetcher::reset() {
+  for (auto& s : table_) s = Stream{};
+  tick_ = 0;
+}
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,76 @@
+// semperm/cachesim/prefetch.hpp
+//
+// Hardware prefetcher models for the units the paper's §4.2 analysis relies
+// on. Intel client/server cores of the studied generations (Nehalem, Sandy
+// Bridge, Broadwell) carry four prefetchers; we model the three that matter
+// for match-list traversal:
+//
+//  * L1 DCU next-line prefetcher  — on an L1 access, fetch line+1 into L1.
+//  * L2 "spatial" adjacent-pair   — on an L2 miss, fetch the other line of
+//    the aligned 128-byte pair into L2. This is the unit the paper credits
+//    for the "8 entries per array" performance knee.
+//  * L2 streamer                  — detects runs of ascending line accesses
+//    within a 4 KiB page and prefetches up to `degree` lines ahead.
+//
+// Prefetchers suggest lines; the Hierarchy performs the fills and tracks
+// coverage statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace semperm::cachesim {
+
+/// A prefetch suggestion: which line, into which level (0 = L1, 1 = L2...).
+struct PrefetchRequest {
+  Addr line;
+  unsigned target_level;
+};
+
+/// Observation handed to prefetch units after each demand line access.
+struct AccessObservation {
+  Addr line;
+  bool l1_hit;
+  bool l2_hit;  // meaningful only when !l1_hit
+};
+
+/// L1 DCU next-line unit.
+class NextLinePrefetcher {
+ public:
+  void observe(const AccessObservation& obs, std::vector<PrefetchRequest>& out) const;
+};
+
+/// L2 adjacent-pair ("spatial") unit: completes the 128-byte aligned pair.
+class AdjacentPairPrefetcher {
+ public:
+  void observe(const AccessObservation& obs, std::vector<PrefetchRequest>& out) const;
+};
+
+/// L2 streamer: per-4KiB-page ascending-run detector.
+class StreamPrefetcher {
+ public:
+  /// `trigger` = run length that arms the stream; `degree` = lines fetched
+  /// ahead once armed; `table_size` = number of concurrent streams tracked.
+  StreamPrefetcher(unsigned trigger, unsigned degree, std::size_t table_size = 16);
+
+  void observe(const AccessObservation& obs, std::vector<PrefetchRequest>& out);
+
+  void reset();
+
+ private:
+  struct Stream {
+    Addr page = ~Addr{0};
+    Addr last_line = 0;
+    unsigned run = 0;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned trigger_;
+  unsigned degree_;
+  std::vector<Stream> table_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace semperm::cachesim

@@ -1,0 +1,42 @@
+#include "common/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace semperm {
+
+int online_cpu_count() {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<int>(n);
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc ? static_cast<int>(hc) : 1;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace semperm

@@ -1,0 +1,23 @@
+// semperm/common/affinity.hpp
+//
+// Thread pinning helpers. The paper pins the heater thread to a core that
+// shares a cache level with the communication process (§3.2, challenge 1);
+// these wrappers expose that capability portably (no-op success on
+// platforms without sched_setaffinity, graceful failure when the requested
+// CPU does not exist).
+#pragma once
+
+#include <string>
+
+namespace semperm {
+
+/// Number of CPUs currently available to this process.
+int online_cpu_count();
+
+/// Pin the calling thread to `cpu`. Returns true on success.
+bool pin_current_thread(int cpu);
+
+/// CPU the calling thread last ran on, or -1 if unknown.
+int current_cpu();
+
+}  // namespace semperm

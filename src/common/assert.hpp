@@ -1,0 +1,41 @@
+// semperm/common/assert.hpp
+//
+// Always-on assertion macros. Experiment code must fail loudly: a silent
+// invariant violation in a simulator produces wrong science, not a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace semperm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "SEMPERM_ASSERT failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace semperm::detail
+
+/// Assert that `expr` holds; throws std::logic_error otherwise (active in
+/// all build types).
+#define SEMPERM_ASSERT(expr)                                                   \
+  do {                                                                         \
+    if (!(expr)) ::semperm::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Assert with a context message (anything streamable).
+#define SEMPERM_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream semperm_os_;                                         \
+      semperm_os_ << msg;                                                     \
+      ::semperm::detail::assert_fail(#expr, __FILE__, __LINE__,               \
+                                     semperm_os_.str());                      \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,115 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, "0", "0"};
+  order_.push_back(name);
+}
+
+void Cli::add_int(const std::string& name, std::int64_t def, const std::string& help) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(def), std::to_string(def)};
+  order_.push_back(name);
+}
+
+void Cli::add_double(const std::string& name, double def, const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  options_[name] = Option{Kind::kDouble, help, os.str(), os.str()};
+  order_.push_back(name);
+}
+
+void Cli::add_string(const std::string& name, std::string def, const std::string& help) {
+  options_[name] = Option{Kind::kString, help, def, def};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(key);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(), key.c_str());
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      opt.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option --%s requires a value\n", program_.c_str(),
+                     key.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  SEMPERM_ASSERT_MSG(it != options_.end(), "option not registered: " << name);
+  SEMPERM_ASSERT_MSG(it->second.kind == kind, "option kind mismatch: " << name);
+  return it->second;
+}
+
+bool Cli::flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value != "0";
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::kFlag) os << " <" << opt.def << ">";
+    os << "\n      " << opt.help << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace semperm

@@ -1,0 +1,57 @@
+// semperm/common/cli.hpp
+//
+// A small, dependency-free command-line parser for the examples and
+// benchmark harnesses. Supports `--flag`, `--key value` and `--key=value`
+// forms plus automatic `--help` text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semperm {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register options. `help` is shown by --help; `def` is the default.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t def, const std::string& help);
+  void add_double(const std::string& name, double def, const std::string& help);
+  void add_string(const std::string& name, std::string def, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) if --help was given
+  /// or an unknown/malformed option was encountered.
+  bool parse(int argc, char** argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // current textual value; flags use "0"/"1"
+    std::string def;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace semperm

@@ -1,0 +1,74 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm {
+
+BucketHistogram::BucketHistogram(std::uint64_t bucket_width)
+    : width_(bucket_width) {
+  SEMPERM_ASSERT(bucket_width > 0);
+}
+
+void BucketHistogram::add(std::uint64_t value, std::uint64_t count) {
+  const std::size_t idx = static_cast<std::size_t>(value / width_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  max_value_ = std::max(max_value_, value);
+  weighted_sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) {
+  SEMPERM_ASSERT(width_ == other.width_);
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  max_value_ = std::max(max_value_, other.max_value_);
+  weighted_sum_ += other.weighted_sum_;
+}
+
+std::string BucketHistogram::bucket_label(std::size_t i) const {
+  std::ostringstream os;
+  os << i * width_ << '-' << (i + 1) * width_ - 1;
+  return os.str();
+}
+
+std::uint64_t BucketHistogram::total() const {
+  std::uint64_t t = 0;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double BucketHistogram::mean() const {
+  const std::uint64_t t = total();
+  return t ? weighted_sum_ / static_cast<double>(t) : 0.0;
+}
+
+std::string BucketHistogram::render(const std::string& title,
+                                    std::size_t bar_width) const {
+  std::ostringstream os;
+  os << title << " (total samples: " << total() << ")\n";
+  double log_max = 0.0;
+  for (auto c : counts_)
+    if (c) log_max = std::max(log_max, std::log10(static_cast<double>(c)));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    std::size_t bars = 0;
+    if (c > 0 && log_max > 0.0) {
+      // log scale with 1 sample => 1 bar, max => full width.
+      bars = 1 + static_cast<std::size_t>(
+                     std::round(std::log10(static_cast<double>(c)) / log_max *
+                                static_cast<double>(bar_width - 1)));
+    } else if (c > 0) {
+      bars = static_cast<std::size_t>(bar_width);
+    }
+    os << "  " << bucket_label(i);
+    for (std::size_t pad = bucket_label(i).size(); pad < 12; ++pad) os << ' ';
+    os << '|' << std::string(bars, '#') << ' ' << c << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace semperm

@@ -1,0 +1,48 @@
+// semperm/common/histogram.hpp
+//
+// Fixed-width bucket histogram matching the presentation of Figure 1 in the
+// paper: match-list length on the x-axis (bucketed, e.g. "0-19", "20-39" for
+// AMR), occurrence count on the (log-scale) y-axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semperm {
+
+/// Histogram over non-negative integer values with fixed-width buckets.
+/// Values beyond the last bucket extend the bucket vector on demand, so the
+/// histogram always covers the full observed range.
+class BucketHistogram {
+ public:
+  /// `bucket_width` values share a bucket: [0,w), [w,2w), ...
+  explicit BucketHistogram(std::uint64_t bucket_width);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Merge another histogram with the same bucket width.
+  void merge(const BucketHistogram& other);
+
+  std::uint64_t bucket_width() const { return width_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  /// Label of bucket i in the paper's style, e.g. "20-39".
+  std::string bucket_label(std::size_t i) const;
+
+  std::uint64_t total() const;
+  std::uint64_t max_value_seen() const { return max_value_; }
+  double mean() const;
+
+  /// Render an ASCII version of the figure: one row per bucket with a
+  /// log-scaled bar, matching Fig. 1's log y-axis visually.
+  std::string render(const std::string& title, std::size_t bar_width = 50) const;
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t max_value_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace semperm

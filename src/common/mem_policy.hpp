@@ -1,0 +1,40 @@
+// semperm/common/mem_policy.hpp
+//
+// The MemoryModel policy concept (DESIGN.md decision 1).
+//
+// Match-queue data structures are templates over a memory model so one
+// implementation serves both execution modes:
+//   * NativeMem — every hook is a no-op that inlines away: the structure
+//     runs at full native speed (used by the real-hardware benchmarks and
+//     the runnable examples).
+//   * cachesim::SimMem — hooks feed the cache-hierarchy simulator and
+//     accumulate modelled cycles (used by the figure-reproduction harness).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace semperm {
+
+template <typename M>
+concept MemoryModel = requires(M m, const void* p, std::size_t n, Cycles c) {
+  m.read(p, n);
+  m.write(p, n);
+  m.work(c);
+  { m.cycles() } -> std::convertible_to<Cycles>;
+};
+
+/// The zero-cost native policy.
+struct NativeMem {
+  static constexpr bool kSimulated = false;
+  void read(const void*, std::size_t) const {}
+  void write(const void*, std::size_t) const {}
+  void work(Cycles) const {}
+  Cycles cycles() const { return 0; }
+};
+
+static_assert(MemoryModel<NativeMem>);
+
+}  // namespace semperm

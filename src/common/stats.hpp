@@ -1,0 +1,63 @@
+// semperm/common/stats.hpp
+//
+// Streaming and batch statistics used throughout the experiment harness.
+// The paper reports micro-benchmark results as mean ± stddev over 10 runs
+// and application results over 3 runs with min/max error bars; these helpers
+// compute exactly those summaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace semperm {
+
+/// Welford online mean/variance accumulator. Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a sample vector: mean, stddev, min, max, percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// Render as "mean ± stddev [min, max]".
+  std::string to_string(int precision = 3) const;
+};
+
+/// Compute a Summary from samples (copies and sorts internally).
+Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile of a *sorted* sample vector, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace semperm

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SEMPERM_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SEMPERM_ASSERT_MSG(cells.size() == headers_.size(),
+                     "row arity " << cells.size() << " != header arity "
+                                  << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << csv_escape(row[c]);
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace semperm

@@ -1,0 +1,43 @@
+// semperm/common/table.hpp
+//
+// Aligned ASCII table and CSV emission. The benchmark harnesses print the
+// same rows/series the paper's tables and figures report; this keeps the
+// formatting consistent across all of them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace semperm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner for bench output, e.g. "== Figure 4a ==".
+std::string banner(const std::string& title);
+
+}  // namespace semperm

@@ -1,0 +1,30 @@
+// semperm/common/timer.hpp
+//
+// Wall-clock timing for the native benchmarking path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace semperm {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(clock::now() - start_).count();
+  }
+  double elapsed_us() const { return elapsed_ns() / 1e3; }
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+  double elapsed_s() const { return elapsed_ns() / 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace semperm

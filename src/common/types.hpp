@@ -1,0 +1,37 @@
+// semperm/common/types.hpp
+//
+// Fundamental type aliases and constants shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace semperm {
+
+/// Size of a cache line on every architecture this study models (bytes).
+/// The paper's data-structure design (Fig. 2) packs match entries into
+/// 64-byte lines; the cache simulator uses the same granularity.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Simulated byte address. The cache simulator operates on these; the
+/// native memory-model policy ignores them entirely.
+using Addr = std::uint64_t;
+
+/// Simulated clock cycles.
+using Cycles = std::uint64_t;
+
+/// Virtual time in nanoseconds (simulated experiments).
+using SimNanos = double;
+
+/// Round `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t round_up(std::uint64_t n, std::uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Index of the cache line containing byte address `a`.
+constexpr Addr line_of(Addr a) { return a / kCacheLine; }
+
+/// First byte address of the cache line containing `a`.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kCacheLine - 1); }
+
+}  // namespace semperm

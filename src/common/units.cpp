@@ -1,0 +1,59 @@
+#include "common/units.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace semperm {
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKi = 1024;
+  constexpr std::uint64_t kMi = kKi * 1024;
+  constexpr std::uint64_t kGi = kMi * 1024;
+  std::ostringstream os;
+  if (bytes >= kGi && bytes % kGi == 0)
+    os << bytes / kGi << "GiB";
+  else if (bytes >= kMi && bytes % kMi == 0)
+    os << bytes / kMi << "MiB";
+  else if (bytes >= kKi && bytes % kKi == 0)
+    os << bytes / kKi << "KiB";
+  else
+    os << bytes;
+  return os.str();
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty size");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0)
+    throw std::invalid_argument("bad size: " + text);
+  std::string suffix(end);
+  // Normalise suffix to lowercase and drop "i"/"b".
+  std::string norm;
+  for (char ch : suffix)
+    if (!std::isspace(static_cast<unsigned char>(ch)))
+      norm += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  double mult = 1.0;
+  if (norm.empty() || norm == "b")
+    mult = 1.0;
+  else if (norm == "k" || norm == "kib" || norm == "kb")
+    mult = 1024.0;
+  else if (norm == "m" || norm == "mib" || norm == "mb")
+    mult = 1024.0 * 1024.0;
+  else if (norm == "g" || norm == "gib" || norm == "gb")
+    mult = 1024.0 * 1024.0 * 1024.0;
+  else
+    throw std::invalid_argument("bad size suffix: " + text);
+  return static_cast<std::uint64_t>(value * mult);
+}
+
+std::string format_mibps(double bytes_per_sec, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << bytes_per_sec / (1024.0 * 1024.0) << " MiBps";
+  return os.str();
+}
+
+}  // namespace semperm

@@ -1,0 +1,23 @@
+// semperm/common/units.hpp
+//
+// Byte-size formatting/parsing in the paper's figure-axis style
+// ("1", "512", "1KiB", "4KiB", "1MiB") plus bandwidth formatting (MiBps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace semperm {
+
+/// Format a byte count: exact powers-of-two multiples render as KiB/MiB/GiB,
+/// anything else as plain bytes.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parse "4KiB", "4K", "4096", "1MiB"... Throws std::invalid_argument on
+/// malformed input.
+std::uint64_t parse_bytes(const std::string& text);
+
+/// Format bytes-per-second as MiBps with the given precision.
+std::string format_mibps(double bytes_per_sec, int precision = 2);
+
+}  // namespace semperm

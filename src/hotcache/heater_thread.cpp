@@ -1,0 +1,99 @@
+#include "hotcache/heater_thread.hpp"
+
+#include <chrono>
+
+#include "common/affinity.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace semperm::hotcache {
+
+HeaterThread::HeaterThread(RegionRegistry& registry, HeaterConfig config)
+    : registry_(registry), config_(config) {}
+
+HeaterThread::~HeaterThread() { stop(); }
+
+void HeaterThread::start() {
+  SEMPERM_ASSERT_MSG(!running(), "heater already running");
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void HeaterThread::stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void HeaterThread::pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void HeaterThread::resume() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    paused_.store(false, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+}
+
+std::uint64_t HeaterThread::touch(const std::byte* base, std::size_t len) {
+  // Read the first 4 bytes of each cache line into a discarded sum — the
+  // paper's exact heating access pattern. `volatile` keeps the loads alive.
+  std::uint64_t sum = 0;
+  const std::byte* end = base + len;
+  for (const std::byte* p = base; p < end; p += kCacheLine) {
+    sum += *reinterpret_cast<const volatile std::uint32_t*>(p);
+  }
+  return sum;
+}
+
+void HeaterThread::run_single_pass() {
+  const std::size_t hw = registry_.slot_high_water();
+  std::size_t budget = config_.max_bytes_per_pass
+                           ? config_.max_bytes_per_pass
+                           : static_cast<std::size_t>(-1);
+  std::uint64_t lines = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < hw && budget > 0; ++i) {
+    RegionView view;
+    if (!registry_.snapshot(i, view)) continue;
+    const std::size_t take = view.len < budget ? view.len : budget;
+    touch(view.base, take);
+    lines += (take + kCacheLine - 1) / kCacheLine;
+    bytes += take;
+    budget -= take;
+  }
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  lines_touched_.fetch_add(lines, std::memory_order_relaxed);
+  bytes_touched_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void HeaterThread::thread_main() {
+  if (config_.pin_cpu >= 0)
+    pinned_.store(pin_current_thread(config_.pin_cpu), std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (!paused_.load(std::memory_order_acquire)) run_single_pass();
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait_for(lock, std::chrono::nanoseconds(config_.period_ns), [this] {
+      return stop_requested_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+HeaterStats HeaterThread::stats() const {
+  HeaterStats s;
+  s.passes = passes_.load(std::memory_order_relaxed);
+  s.lines_touched = lines_touched_.load(std::memory_order_relaxed);
+  s.bytes_touched = bytes_touched_.load(std::memory_order_relaxed);
+  s.pinned = pinned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace semperm::hotcache

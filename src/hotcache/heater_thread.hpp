@@ -1,0 +1,94 @@
+// semperm/hotcache/heater_thread.hpp
+//
+// The real hot-caching heater (paper §3.2, Fig. 3): a thread that
+// periodically walks the registered regions, reading the first four bytes
+// of every cache line into a throwaway sum. Refreshing the lines' recency
+// keeps them resident under (pseudo-)LRU eviction — "semi-permanent cache
+// occupancy".
+//
+// The paper's three implementation challenges, and where they are handled:
+//  1. placement — HeaterConfig::pin_cpu pins the heater to a core sharing
+//     a cache level with the communication thread;
+//  2. synchronisation — RegionRegistry (seqlock slots, tombstone reuse);
+//  3. application interference — pause()/resume() lets a bulk-synchronous
+//     application stop the heater during compute phases and re-arm it
+//     before communication.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "hotcache/region_registry.hpp"
+
+namespace semperm::hotcache {
+
+struct HeaterConfig {
+  /// Sleep between heating passes (the paper's periodicity knob — it
+  /// controls the granularity of the induced temporal locality).
+  std::uint64_t period_ns = 50'000;
+  /// CPU to pin the heater to; -1 = unpinned.
+  int pin_cpu = -1;
+  /// Byte budget per pass; 0 = touch everything registered. Bounding the
+  /// pass models a heater that cannot keep more than a cache's worth hot.
+  std::size_t max_bytes_per_pass = 0;
+};
+
+struct HeaterStats {
+  std::uint64_t passes = 0;
+  std::uint64_t lines_touched = 0;
+  std::uint64_t bytes_touched = 0;
+  bool pinned = false;
+};
+
+class HeaterThread {
+ public:
+  /// The registry must outlive the heater.
+  HeaterThread(RegionRegistry& registry, HeaterConfig config);
+  ~HeaterThread();
+
+  HeaterThread(const HeaterThread&) = delete;
+  HeaterThread& operator=(const HeaterThread&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Cooperative interference mitigation: the application may pause the
+  /// heater during compute phases.
+  void pause();
+  void resume();
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
+  /// Run exactly one heating pass on the *calling* thread (used by tests
+  /// and by callers that drive heating explicitly at phase boundaries).
+  void run_single_pass();
+
+  HeaterStats stats() const;
+
+  /// Touch every cache line of [base, base+len): read the first 4 bytes of
+  /// each line into a discarded sum. Exposed for the heater
+  /// micro-benchmark.
+  static std::uint64_t touch(const std::byte* base, std::size_t len);
+
+ private:
+  void thread_main();
+
+  RegionRegistry& registry_;
+  HeaterConfig config_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> paused_{false};
+  mutable std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> lines_touched_{0};
+  std::atomic<std::uint64_t> bytes_touched_{0};
+  std::atomic<bool> pinned_{false};
+};
+
+}  // namespace semperm::hotcache

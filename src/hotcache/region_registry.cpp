@@ -1,0 +1,103 @@
+#include "hotcache/region_registry.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace semperm::hotcache {
+
+namespace {
+
+/// Minimal scoped spin lock over an atomic_flag. Mutations (register /
+/// unregister / free-slot bookkeeping) are rare relative to heater reads,
+/// which never take this lock.
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // spin; registration paths are short
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+RegionRegistry::RegionRegistry(std::size_t max_regions) : slots_(max_regions) {
+  SEMPERM_ASSERT(max_regions > 0);
+}
+
+void RegionRegistry::write_slot(Slot& s, const void* base, std::size_t len,
+                                bool live) {
+  // Seqlock write: bump to odd, mutate, bump to even.
+  const std::uint32_t v = s.version.load(std::memory_order_relaxed);
+  s.version.store(v + 1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.base = static_cast<const std::byte*>(base);
+  s.len = len;
+  s.live = live;
+  std::atomic_thread_fence(std::memory_order_release);
+  s.version.store(v + 2, std::memory_order_release);
+}
+
+std::size_t RegionRegistry::register_region(const void* base, std::size_t len) {
+  SEMPERM_ASSERT(base != nullptr && len > 0);
+  SpinGuard guard(mutate_lock_);
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = high_water_.load(std::memory_order_relaxed);
+    if (slot >= slots_.size())
+      throw std::runtime_error("RegionRegistry: out of slots");
+    high_water_.store(slot + 1, std::memory_order_release);
+  }
+  write_slot(slots_[slot], base, len, /*live=*/true);
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void RegionRegistry::unregister_region(std::size_t handle) {
+  SpinGuard guard(mutate_lock_);
+  SEMPERM_ASSERT(handle < high_water_.load(std::memory_order_relaxed));
+  Slot& s = slots_[handle];
+  SEMPERM_ASSERT_MSG(s.live, "double unregister of slot " << handle);
+  write_slot(s, s.base, s.len, /*live=*/false);
+  free_slots_.push_back(handle);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool RegionRegistry::snapshot(std::size_t i, RegionView& out) const {
+  const Slot& s = slots_[i];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+    if (v1 & 1u) continue;  // write in progress
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const RegionView view{s.base, s.len};
+    const bool live = s.live;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint32_t v2 = s.version.load(std::memory_order_acquire);
+    if (v1 == v2) {
+      if (!live) return false;
+      out = view;
+      return true;
+    }
+  }
+  return false;  // persistently contended: skip this slot this pass
+}
+
+std::size_t RegionRegistry::live_bytes() const {
+  std::size_t total = 0;
+  const std::size_t hw = slot_high_water();
+  for (std::size_t i = 0; i < hw; ++i) {
+    RegionView v;
+    if (snapshot(i, v)) total += v.len;
+  }
+  return total;
+}
+
+}  // namespace semperm::hotcache

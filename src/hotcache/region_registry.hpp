@@ -1,0 +1,80 @@
+// semperm/hotcache/region_registry.hpp
+//
+// The shared list of memory regions the heater thread keeps hot — the data
+// structure at the centre of the paper's §3.2 "challenge 2": naive mutual
+// exclusion around a long region list is a performance problem, and
+// deallocating a region the heater is mid-read is a crash.
+//
+// Design (following the paper's resolution):
+//  * slots are NEVER removed — unregistering tombstones the slot, and new
+//    registrations reuse tombstoned slots;
+//  * each slot is protected by a seqlock so the heater reads without ever
+//    blocking a registering/unregistering application thread;
+//  * the caller must guarantee registered memory remains *readable* until
+//    the registry is destroyed (pool-backed allocations provide this; see
+//    memlayout::Pool / BlockPool). Reading tombstoned-but-alive memory is
+//    harmless; reading unmapped memory would not be.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace semperm::hotcache {
+
+/// A snapshot of one region, as read by the heater.
+struct RegionView {
+  const std::byte* base = nullptr;
+  std::size_t len = 0;
+};
+
+class RegionRegistry {
+ public:
+  /// Fixed slot capacity: the slot array never reallocates, so the heater
+  /// can scan it without synchronising with growth.
+  explicit RegionRegistry(std::size_t max_regions = 4096);
+
+  RegionRegistry(const RegionRegistry&) = delete;
+  RegionRegistry& operator=(const RegionRegistry&) = delete;
+
+  /// Register [base, base+len). Returns a slot handle.
+  /// Throws std::runtime_error when the registry is full.
+  std::size_t register_region(const void* base, std::size_t len);
+
+  /// Tombstone a slot. The memory must stay readable (see header comment).
+  void unregister_region(std::size_t handle);
+
+  /// Read slot `i` consistently; returns false if the slot is tombstoned
+  /// or was being mutated too persistently to snapshot.
+  bool snapshot(std::size_t i, RegionView& out) const;
+
+  /// Upper bound of slots ever used (heater scan range).
+  std::size_t slot_high_water() const {
+    return high_water_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t live_regions() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  std::size_t live_bytes() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> version{0};  // seqlock: odd = write in progress
+    const std::byte* base = nullptr;
+    std::size_t len = 0;
+    bool live = false;
+  };
+
+  void write_slot(Slot& s, const void* base, std::size_t len, bool live);
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> live_{0};
+  std::vector<std::size_t> free_slots_;  // guarded by mutate_lock_
+  std::atomic_flag mutate_lock_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace semperm::hotcache

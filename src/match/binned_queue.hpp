@@ -1,0 +1,275 @@
+// semperm/match/binned_queue.hpp
+//
+// Binned match queues, covering the two related-work designs the paper's
+// §2.2/§5 discuss as comparison points:
+//
+//  * kBySource — Open MPI style: an array of per-source lists, giving O(1)
+//    access to the short list for a given source at O(N) memory per
+//    communicator (the paper's scalability criticism).
+//  * kByHash — Flajslik et al. style: a fixed number of hash bins keyed by
+//    the full match criteria; constant selection overhead on every
+//    operation.
+//
+// Correct MPI FIFO semantics with wildcards require a total order across
+// bins: every node carries a global sequence number and is threaded on a
+// global arrival list. A posted receive that wildcards a binned field goes
+// to a separate wildcard list; searches consult the candidate bin and the
+// wildcard list and take the earlier sequence number. Wildcard *searches*
+// of the unexpected queue (whose entries are always concrete) walk the
+// global list.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/mem_policy.hpp"
+#include "match/queue_iface.hpp"
+#include "memlayout/block_pool.hpp"
+
+namespace semperm::match {
+
+enum class BinPolicy { kBySource, kByHash };
+
+/// Mix the full match criteria into a bin index (Flajslik-style keying).
+inline std::size_t match_hash(std::int32_t tag, std::int32_t rank,
+                              std::uint16_t ctx) {
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint16_t>(rank)) << 16) ^
+                    ctx;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+
+template <class Entry, MemoryModel Mem>
+class BinnedQueue final : public QueueIface<Entry, Mem> {
+ public:
+  using Key = key_of_t<Entry>;
+
+  struct alignas(kCacheLine) Node {
+    Entry entry;
+    std::uint64_t seq;
+    Node* bin_next;
+    Node* bin_prev;
+    Node* g_next;
+    Node* g_prev;
+  };
+  static_assert(sizeof(Node) == kCacheLine);
+
+  struct List {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  /// `nbins` = communicator size for kBySource, bin count for kByHash.
+  /// The bin array is carved from the pool's arena so the simulated path
+  /// sees its O(N)-memory cost.
+  BinnedQueue(Mem& mem, memlayout::BlockPool& pool, BinPolicy policy,
+              std::size_t nbins)
+      : mem_(&mem),
+        pool_(&pool),
+        policy_(policy),
+        nbins_(nbins),
+        name_(policy == BinPolicy::kBySource ? "ompi-bins" : "hash-bins") {
+    SEMPERM_ASSERT(nbins_ > 0);
+    SEMPERM_ASSERT(pool.block_bytes() >= sizeof(Node));
+    bins_ = pool.arena().template create_array<List>(nbins_);
+  }
+
+  ~BinnedQueue() override {
+    for (Node* n = global_.head; n != nullptr;) {
+      Node* next = n->g_next;
+      pool_->release(n);
+      n = next;
+    }
+  }
+
+  void append(const Entry& entry) override {
+    Node* node = static_cast<Node*>(pool_->acquire());
+    node->entry = entry;
+    node->seq = next_seq_++;
+    node->bin_next = node->bin_prev = nullptr;
+    node->g_next = node->g_prev = nullptr;
+    mem_->write(node, sizeof(Node));
+    List* bin = bin_for_entry(entry);
+    push_back(*bin, node, /*bin_links=*/true);
+    push_back(global_, node, /*bin_links=*/false);
+    ++size_;
+    ++stats_.appends;
+  }
+
+  std::optional<Entry> find_and_remove(const Key& key) override {
+    std::uint64_t inspected = 0;
+    Node* best = nullptr;
+    if (search_is_concrete(key)) {
+      // O(1) bin selection, then a short in-bin walk...
+      List& bin = bins_[bin_index_for_key(key)];
+      mem_->read(&bin, sizeof(List));
+      best = first_match(bin.head, /*bin_links=*/true, key, inspected);
+      // ...plus, for the PRQ, the wildcard list (earlier posting wins).
+      if (wildcard_.head != nullptr) {
+        Node* w = first_match(wildcard_.head, /*bin_links=*/true, key, inspected);
+        if (w != nullptr && (best == nullptr || w->seq < best->seq)) best = w;
+      }
+    } else {
+      // Wildcard search: only the global arrival order is authoritative.
+      best = first_match(global_.head, /*bin_links=*/false, key, inspected);
+    }
+    if (best == nullptr) {
+      stats_.record_search(inspected, inspected, /*hit=*/false);
+      return std::nullopt;
+    }
+    Entry out = best->entry;
+    unlink(best);
+    stats_.record_search(inspected, inspected, /*hit=*/true);
+    ++stats_.removals;
+    return out;
+  }
+
+  std::optional<Entry> peek(const Key& key) override {
+    std::uint64_t inspected = 0;
+    Node* best = nullptr;
+    if (search_is_concrete(key)) {
+      List& bin = bins_[bin_index_for_key(key)];
+      mem_->read(&bin, sizeof(List));
+      best = first_match(bin.head, /*bin_links=*/true, key, inspected);
+      if (wildcard_.head != nullptr) {
+        Node* w = first_match(wildcard_.head, /*bin_links=*/true, key, inspected);
+        if (w != nullptr && (best == nullptr || w->seq < best->seq)) best = w;
+      }
+    } else {
+      best = first_match(global_.head, /*bin_links=*/false, key, inspected);
+    }
+    stats_.record_search(inspected, inspected, best != nullptr);
+    if (best == nullptr) return std::nullopt;
+    return best->entry;
+  }
+
+  bool remove_by_request(const MatchRequest* req) override {
+    for (Node* n = global_.head; n != nullptr; n = n->g_next) {
+      mem_->read(n, sizeof(Entry));
+      if (n->entry.req == req) {
+        unlink(n);
+        ++stats_.removals;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const override { return size_; }
+
+  std::size_t footprint_bytes() const override {
+    return size_ * sizeof(Node) + nbins_ * sizeof(List);
+  }
+
+  const SearchStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = SearchStats{}; }
+
+  const char* name() const override { return name_.c_str(); }
+
+  std::size_t bin_count() const { return nbins_; }
+
+ private:
+  // --- bin selection -------------------------------------------------
+  bool entry_is_wildcard(const PostedEntry& e) const {
+    if (e.rank_mask == 0) return true;
+    return policy_ == BinPolicy::kByHash && e.tag_mask == 0;
+  }
+  bool entry_is_wildcard(const UnexpectedEntry&) const { return false; }
+
+  List* bin_for_entry(const Entry& e) {
+    if (entry_is_wildcard(e)) return &wildcard_;
+    return &bins_[bin_index(e.tag, e.rank, e.ctx)];
+  }
+
+  std::size_t bin_index(std::int32_t tag, std::int16_t rank,
+                        std::uint16_t ctx) const {
+    if (policy_ == BinPolicy::kBySource) {
+      SEMPERM_ASSERT_MSG(rank >= 0 && static_cast<std::size_t>(rank) < nbins_,
+                         "source " << rank << " outside bin array");
+      return static_cast<std::size_t>(rank);
+    }
+    return match_hash(tag, rank, ctx) % nbins_;
+  }
+
+  bool search_is_concrete(const Envelope&) const { return true; }
+  bool search_is_concrete(const Pattern& p) const {
+    if (p.wants_any_source()) return false;
+    return policy_ == BinPolicy::kBySource || !p.wants_any_tag();
+  }
+
+  std::size_t bin_index_for_key(const Envelope& e) const {
+    return bin_index(e.tag, e.rank, e.ctx);
+  }
+  std::size_t bin_index_for_key(const Pattern& p) const {
+    return bin_index(p.tag, p.rank, p.ctx);
+  }
+
+  // --- list plumbing --------------------------------------------------
+  Node* first_match(Node* head, bool bin_links, const Key& key,
+                    std::uint64_t& inspected) {
+    for (Node* n = head; n != nullptr;
+         n = bin_links ? n->bin_next : n->g_next) {
+      mem_->read(n, sizeof(Entry) + sizeof(std::uint64_t));
+      mem_->work(kCompareCycles);
+      ++inspected;
+      if (entry_matches(n->entry, key)) return n;
+      mem_->read(bin_links ? &n->bin_next : &n->g_next, sizeof(Node*));
+    }
+    return nullptr;
+  }
+
+  void push_back(List& l, Node* n, bool bin_links) {
+    Node*& tail_next = l.tail != nullptr
+                           ? (bin_links ? l.tail->bin_next : l.tail->g_next)
+                           : l.head;
+    tail_next = n;
+    if (l.tail != nullptr) {
+      (bin_links ? n->bin_prev : n->g_prev) = l.tail;
+      mem_->write(&tail_next, sizeof(Node*));
+    }
+    l.tail = n;
+  }
+
+  void remove_from(List& l, Node* n, bool bin_links) {
+    Node* prev = bin_links ? n->bin_prev : n->g_prev;
+    Node* next = bin_links ? n->bin_next : n->g_next;
+    if (prev != nullptr)
+      (bin_links ? prev->bin_next : prev->g_next) = next;
+    else
+      l.head = next;
+    if (next != nullptr)
+      (bin_links ? next->bin_prev : next->g_prev) = prev;
+    else
+      l.tail = prev;
+    mem_->work(kLinkCycles);
+  }
+
+  void unlink(Node* n) {
+    List* bin = bin_for_entry(n->entry);
+    remove_from(*bin, n, /*bin_links=*/true);
+    remove_from(global_, n, /*bin_links=*/false);
+    mem_->write(n, sizeof(Node));
+    pool_->release(n);
+    SEMPERM_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  Mem* mem_;
+  memlayout::BlockPool* pool_;
+  BinPolicy policy_;
+  std::size_t nbins_;
+  std::string name_;
+  List* bins_ = nullptr;
+  List wildcard_;
+  List global_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+  SearchStats stats_;
+};
+
+}  // namespace semperm::match

@@ -1,0 +1,113 @@
+// semperm/match/entry.hpp
+//
+// The packed queue-entry formats of the paper's §3.1 / Fig. 2:
+//
+//  * PostedEntry (PRQ) — 24 bytes: 4 B tag, 2 B rank, 2 B context id,
+//    8 B of match bit-masks, 8 B request pointer. Two fit per 64 B cache
+//    line alongside the 16 B of list-element metadata.
+//  * UnexpectedEntry (UMQ) — 16 bytes: no masks (an arrived message is
+//    concrete), so three fit per line.
+//
+// Hole management follows the paper: a deleted slot keeps invalid tag and
+// source with *all mask bits set*, so it can never accept a real envelope.
+#pragma once
+
+#include <cstdint>
+
+#include "match/envelope.hpp"
+
+namespace semperm::match {
+
+class MatchRequest;  // forward; defined in request.hpp
+
+/// 24-byte posted-receive entry.
+struct PostedEntry {
+  std::int32_t tag = kHoleTag;
+  std::int16_t rank = kHoleRank;
+  std::uint16_t ctx = 0;
+  std::uint32_t tag_mask = ~0u;
+  std::uint32_t rank_mask = ~0u;
+  MatchRequest* req = nullptr;
+
+  static PostedEntry from(const Pattern& p, MatchRequest* req) {
+    PostedEntry e;
+    e.tag = p.tag;
+    e.rank = p.rank;
+    e.ctx = p.ctx;
+    e.tag_mask = p.tag_mask;
+    e.rank_mask = p.rank_mask;
+    e.req = req;
+    return e;
+  }
+
+  bool is_hole() const { return req == nullptr; }
+
+  /// Mark the slot deleted, paper-style: invalid identity, full masks.
+  void make_hole() {
+    tag = kHoleTag;
+    rank = kHoleRank;
+    tag_mask = ~0u;
+    rank_mask = ~0u;
+    req = nullptr;
+  }
+
+  /// Does this posted receive accept the incoming envelope?
+  bool accepts(const Envelope& e) const {
+    return ctx == e.ctx &&
+           ((static_cast<std::uint32_t>(tag ^ e.tag) & tag_mask) == 0) &&
+           ((static_cast<std::uint32_t>(
+                 static_cast<std::uint16_t>(rank) ^
+                 static_cast<std::uint16_t>(e.rank)) &
+             rank_mask) == 0);
+  }
+
+  /// Rank this entry is binned under (kAnySource for wildcards).
+  std::int32_t bin_rank() const {
+    return rank_mask == 0 ? kAnySource : static_cast<std::int32_t>(rank);
+  }
+};
+static_assert(sizeof(PostedEntry) == 24, "PRQ entry must pack to 24 bytes (Fig. 2)");
+
+/// 16-byte unexpected-message entry (concrete envelope, no masks).
+struct UnexpectedEntry {
+  std::int32_t tag = kHoleTag;
+  std::int16_t rank = kHoleRank;
+  std::uint16_t ctx = 0;
+  MatchRequest* req = nullptr;
+
+  static UnexpectedEntry from(const Envelope& env, MatchRequest* req) {
+    UnexpectedEntry e;
+    e.tag = env.tag;
+    e.rank = env.rank;
+    e.ctx = env.ctx;
+    e.req = req;
+    return e;
+  }
+
+  bool is_hole() const { return req == nullptr; }
+
+  void make_hole() {
+    tag = kHoleTag;
+    rank = kHoleRank;
+    req = nullptr;
+  }
+
+  Envelope envelope() const { return Envelope{tag, rank, ctx}; }
+
+  /// Is this stored message accepted by the receive pattern?
+  bool accepted_by(const Pattern& p) const { return p.accepts(envelope()); }
+
+  std::int32_t bin_rank() const { return static_cast<std::int32_t>(rank); }
+};
+static_assert(sizeof(UnexpectedEntry) == 16, "UMQ entry must pack to 16 bytes");
+
+/// Generic "does queue entry E satisfy key K" predicates used by the queue
+/// templates: PRQ searches take an Envelope key, UMQ searches a Pattern key.
+inline bool entry_matches(const PostedEntry& e, const Envelope& key) {
+  return e.accepts(key);
+}
+inline bool entry_matches(const UnexpectedEntry& e, const Pattern& key) {
+  return e.accepted_by(key);
+}
+
+}  // namespace semperm::match

@@ -1,0 +1,56 @@
+#include "match/envelope.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm::match {
+
+std::string Envelope::to_string() const {
+  std::ostringstream os;
+  os << "{src=" << rank << ", tag=" << tag << ", ctx=" << ctx << '}';
+  return os.str();
+}
+
+Pattern Pattern::make(std::int32_t source, std::int32_t tag, std::uint16_t ctx) {
+  Pattern p;
+  p.ctx = ctx;
+  if (tag == kAnyTag) {
+    p.tag = 0;
+    p.tag_mask = 0;
+  } else {
+    SEMPERM_ASSERT_MSG(tag >= 0 && tag != kHoleTag, "invalid tag " << tag);
+    p.tag = tag;
+    p.tag_mask = ~0u;
+  }
+  if (source == kAnySource) {
+    p.rank = 0;
+    p.rank_mask = 0;
+  } else {
+    SEMPERM_ASSERT_MSG(source >= 0 &&
+                           source <= std::numeric_limits<std::int16_t>::max(),
+                       "invalid source " << source);
+    p.rank = static_cast<std::int16_t>(source);
+    p.rank_mask = ~0u;
+  }
+  return p;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream os;
+  os << "{src=";
+  if (wants_any_source())
+    os << "ANY";
+  else
+    os << rank;
+  os << ", tag=";
+  if (wants_any_tag())
+    os << "ANY";
+  else
+    os << tag;
+  os << ", ctx=" << ctx << '}';
+  return os.str();
+}
+
+}  // namespace semperm::match

@@ -1,0 +1,65 @@
+// semperm/match/envelope.hpp
+//
+// MPI matching identity: (source rank, tag, communicator context id), plus
+// the wildcard pattern a posted receive carries. Matching follows the MPI
+// rules the paper's §2.1 summarises: a receive may wildcard the source
+// (MPI_ANY_SOURCE) and/or the tag (MPI_ANY_TAG); the context id is never
+// wildcarded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace semperm::match {
+
+/// Rank value meaning "match any source" in a receive pattern.
+inline constexpr std::int32_t kAnySource = -1;
+/// Tag value meaning "match any tag" in a receive pattern.
+inline constexpr std::int32_t kAnyTag = -1;
+
+/// Reserved values marking an invalidated (hole) entry slot. Applications
+/// must not send with this tag/rank; the library asserts on post.
+inline constexpr std::int32_t kHoleTag = 0x7fffffff;
+inline constexpr std::int16_t kHoleRank = -32768;
+
+/// Concrete identity of a message on the wire.
+struct Envelope {
+  std::int32_t tag = 0;
+  std::int16_t rank = 0;   // source rank within the communicator
+  std::uint16_t ctx = 0;   // communicator context id
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+  std::string to_string() const;
+};
+
+/// A receive's match pattern: concrete fields plus wildcard masks. A mask
+/// of all-ones requires equality; all-zeros ignores the field (wildcard) —
+/// exactly the 8 bytes of bit masks the paper's 24-byte PRQ entry carries.
+struct Pattern {
+  std::int32_t tag = 0;
+  std::int16_t rank = 0;
+  std::uint16_t ctx = 0;
+  std::uint32_t tag_mask = ~0u;
+  std::uint32_t rank_mask = ~0u;
+
+  /// Build from user-facing values where kAnySource/kAnyTag denote
+  /// wildcards.
+  static Pattern make(std::int32_t source, std::int32_t tag, std::uint16_t ctx);
+
+  bool wants_any_source() const { return rank_mask == 0; }
+  bool wants_any_tag() const { return tag_mask == 0; }
+
+  /// Does this pattern accept the concrete envelope?
+  bool accepts(const Envelope& e) const {
+    return ctx == e.ctx &&
+           ((static_cast<std::uint32_t>(tag ^ e.tag) & tag_mask) == 0) &&
+           ((static_cast<std::uint32_t>(
+                 static_cast<std::uint16_t>(rank) ^
+                 static_cast<std::uint16_t>(e.rank)) &
+             rank_mask) == 0);
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace semperm::match

@@ -1,0 +1,82 @@
+#include "match/factory.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace semperm::match {
+
+std::string QueueConfig::label() const {
+  switch (kind) {
+    case QueueKind::kBaselineList:
+      return "baseline";
+    case QueueKind::kLla: {
+      if (lla_entries == kLlaLargeEntries) return "LLA-large";
+      std::ostringstream os;
+      os << "LLA-" << lla_entries;
+      return os.str();
+    }
+    case QueueKind::kOmpiBins:
+      return "ompi";
+    case QueueKind::kHashBins: {
+      std::ostringstream os;
+      os << "hash-" << bins;
+      return os.str();
+    }
+    case QueueKind::kFourDim: {
+      std::ostringstream os;
+      os << "4d-" << bins;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+QueueConfig QueueConfig::from_label(const std::string& label) {
+  std::string low;
+  for (char c : label)
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  QueueConfig cfg;
+  auto suffix_num = [&](const std::string& prefix) -> long {
+    std::string rest = low.substr(prefix.size());
+    if (!rest.empty() && (rest[0] == '-' || rest[0] == '_')) rest = rest.substr(1);
+    if (rest.empty()) return -1;
+    return std::strtol(rest.c_str(), nullptr, 10);
+  };
+  if (low == "baseline" || low == "list") {
+    cfg.kind = QueueKind::kBaselineList;
+    return cfg;
+  }
+  if (low.rfind("lla", 0) == 0) {
+    cfg.kind = QueueKind::kLla;
+    if (low == "lla-large" || low == "lla_large" || low == "llalarge") {
+      cfg.lla_entries = kLlaLargeEntries;
+      return cfg;
+    }
+    const long k = suffix_num("lla");
+    cfg.lla_entries = k > 0 ? static_cast<std::size_t>(k) : 8;
+    return cfg;
+  }
+  if (low.rfind("ompi", 0) == 0) {
+    cfg.kind = QueueKind::kOmpiBins;
+    const long b = suffix_num("ompi");
+    if (b > 0) cfg.bins = static_cast<std::size_t>(b);
+    return cfg;
+  }
+  if (low.rfind("hash", 0) == 0) {
+    cfg.kind = QueueKind::kHashBins;
+    const long b = suffix_num("hash");
+    if (b > 0) cfg.bins = static_cast<std::size_t>(b);
+    return cfg;
+  }
+  if (low.rfind("4d", 0) == 0 || low.rfind("fourdim", 0) == 0) {
+    cfg.kind = QueueKind::kFourDim;
+    const long b = suffix_num(low.rfind("4d", 0) == 0 ? "4d" : "fourdim");
+    if (b > 0) cfg.bins = static_cast<std::size_t>(b);
+    return cfg;
+  }
+  throw std::invalid_argument("unknown queue kind: " + label);
+}
+
+}  // namespace semperm::match

@@ -1,0 +1,89 @@
+// semperm/match/stats.hpp
+//
+// Search-depth and list-length accounting — the observables of Table 1 and
+// Figure 1. Every queue implementation records, per search: how many live
+// entries it inspected, how many slots it scanned (holes included), and the
+// list length at operation time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace semperm::match {
+
+struct SearchStats {
+  std::uint64_t searches = 0;
+  std::uint64_t found = 0;
+  std::uint64_t entries_inspected = 0;  // live entries compared
+  std::uint64_t slots_scanned = 0;      // live entries + holes walked
+  std::uint64_t appends = 0;
+  std::uint64_t removals = 0;
+
+  /// Record a completed search.
+  void record_search(std::uint64_t inspected, std::uint64_t scanned, bool hit) {
+    ++searches;
+    if (hit) ++found;
+    entries_inspected += inspected;
+    slots_scanned += scanned;
+  }
+
+  /// Mean number of live entries inspected per search (Table 1's
+  /// "Search depth" column averages this over successful matches).
+  double mean_inspected() const {
+    return searches ? static_cast<double>(entries_inspected) /
+                          static_cast<double>(searches)
+                    : 0.0;
+  }
+
+  void merge(const SearchStats& o) {
+    searches += o.searches;
+    found += o.found;
+    entries_inspected += o.entries_inspected;
+    slots_scanned += o.slots_scanned;
+    appends += o.appends;
+    removals += o.removals;
+  }
+};
+
+/// Time-in-queue accounting in the style of Keller & Graham's unexpected-
+/// message-queue characterisation (paper §5): how many operations an entry
+/// sits in a queue before it is matched. Measured in engine operations
+/// (one post or one arrival = one tick) — a deterministic clock that
+/// captures the *ordering* structure of the workload.
+class DwellStats {
+ public:
+  void record(std::uint64_t enqueued_tick, std::uint64_t matched_tick) {
+    dwell_.add(static_cast<double>(matched_tick - enqueued_tick));
+  }
+
+  const RunningStats& dwell() const { return dwell_; }
+
+ private:
+  RunningStats dwell_;
+};
+
+/// Length sampling in the style of the paper's Fig. 1: sample the list
+/// length at every addition and deletion so the histogram captures the
+/// full evolution of the queue.
+class LengthSampler {
+ public:
+  explicit LengthSampler(std::uint64_t bucket_width = 10)
+      : hist_(bucket_width) {}
+
+  void sample(std::uint64_t length) {
+    hist_.add(length);
+    running_.add(static_cast<double>(length));
+  }
+
+  const BucketHistogram& histogram() const { return hist_; }
+  const RunningStats& running() const { return running_; }
+
+ private:
+  BucketHistogram hist_;
+  RunningStats running_;
+};
+
+}  // namespace semperm::match

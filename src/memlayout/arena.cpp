@@ -1,0 +1,32 @@
+#include "memlayout/arena.hpp"
+
+namespace semperm::memlayout {
+
+Arena::Arena(AddressSpace& space, std::size_t capacity_bytes)
+    : capacity_(round_up(capacity_bytes, kCacheLine)),
+      buffer_(static_cast<char*>(
+          ::operator new[](capacity_, std::align_val_t{kArenaAlign}))),
+      sim_base_(space.reserve(capacity_)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  SEMPERM_ASSERT(align > 0 && (align & (align - 1)) == 0);
+  const std::size_t start = static_cast<std::size_t>(
+      round_up(used_, static_cast<std::uint64_t>(align)));
+  SEMPERM_ASSERT_MSG(start + bytes <= capacity_,
+                     "arena exhausted: need " << bytes << " at offset " << start
+                                              << ", capacity " << capacity_);
+  used_ = start + bytes;
+  return buffer_.get() + start;
+}
+
+bool Arena::contains(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  return c >= buffer_.get() && c < buffer_.get() + capacity_;
+}
+
+Addr Arena::sim_addr(const void* p) const {
+  SEMPERM_ASSERT_MSG(contains(p), "pointer not in arena");
+  return sim_base_ + static_cast<Addr>(static_cast<const char*>(p) - buffer_.get());
+}
+
+}  // namespace semperm::memlayout

@@ -1,0 +1,93 @@
+// semperm/memlayout/block_pool.hpp
+//
+// BlockPool: like Pool<T> but for raw blocks whose size is chosen at run
+// time — the linked-list-of-arrays queue picks its node size from the
+// entries-per-array parameter, which the benchmark harness sweeps.
+// Shares Pool's guarantees: blocks are never returned to the arena, so
+// heater-registered memory stays valid for the pool's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "memlayout/arena.hpp"
+#include "memlayout/pool.hpp"
+
+namespace semperm::memlayout {
+
+class BlockPool {
+ public:
+  /// Blocks of `block_bytes`, each aligned to `align` (power of two; at
+  /// least one cache line so a block never shares a line with another).
+  BlockPool(Arena& arena, std::size_t block_bytes, std::size_t align,
+            AddressPolicy policy, std::size_t chunk_blocks = 64,
+            std::uint64_t shuffle_seed = 0xb10c5eedULL)
+      : arena_(&arena),
+        block_bytes_(round_up(block_bytes, align)),
+        align_(align),
+        policy_(policy),
+        chunk_blocks_(chunk_blocks),
+        rng_(shuffle_seed) {
+    SEMPERM_ASSERT(block_bytes > 0);
+    SEMPERM_ASSERT(align >= kCacheLine && (align & (align - 1)) == 0);
+    SEMPERM_ASSERT(chunk_blocks_ > 0);
+  }
+
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  void* acquire() {
+    if (free_.empty()) carve_chunk();
+    void* p = free_.back();
+    free_.pop_back();
+    ++live_;
+    return p;
+  }
+
+  void release(void* p) {
+    SEMPERM_ASSERT(p != nullptr);
+    SEMPERM_ASSERT_MSG(arena_->contains(p), "releasing foreign pointer");
+    SEMPERM_ASSERT(live_ > 0);
+    --live_;
+    free_.push_back(p);
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+  std::size_t live() const { return live_; }
+  std::size_t carved() const { return carved_; }
+  /// Total bytes ever carved — the stable region a heater can register.
+  std::size_t carved_bytes() const { return carved_ * block_bytes_; }
+  Arena& arena() const { return *arena_; }
+
+ private:
+  void carve_chunk() {
+    char* base = static_cast<char*>(
+        arena_->allocate(block_bytes_ * chunk_blocks_, align_));
+    carved_ += chunk_blocks_;
+    std::vector<void*> slots;
+    slots.reserve(chunk_blocks_);
+    for (std::size_t i = 0; i < chunk_blocks_; ++i)
+      slots.push_back(base + i * block_bytes_);
+    if (policy_ == AddressPolicy::kScattered) {
+      rng_.shuffle(slots);
+    } else {
+      std::vector<void*> rev(slots.rbegin(), slots.rend());
+      slots = std::move(rev);
+    }
+    for (void* s : slots) free_.push_back(s);
+  }
+
+  Arena* arena_;
+  std::size_t block_bytes_;
+  std::size_t align_;
+  AddressPolicy policy_;
+  std::size_t chunk_blocks_;
+  Rng rng_;
+  std::vector<void*> free_;
+  std::size_t live_ = 0;
+  std::size_t carved_ = 0;
+};
+
+}  // namespace semperm::memlayout

@@ -1,0 +1,31 @@
+#include "memlayout/layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm::memlayout {
+
+std::string LayoutSpec::render() const {
+  std::vector<FieldSpec> sorted = fields;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FieldSpec& a, const FieldSpec& b) { return a.offset < b.offset; });
+  std::size_t prev_end = 0;
+  for (const auto& f : sorted) {
+    SEMPERM_ASSERT_MSG(f.offset >= prev_end, "overlapping field " << f.name);
+    SEMPERM_ASSERT_MSG(f.offset + f.size <= size, "field " << f.name << " exceeds size");
+    prev_end = f.offset + f.size;
+  }
+
+  std::ostringstream os;
+  os << name << " (" << size << "B";
+  if (per_cache_line() > 0) os << ", " << per_cache_line() << " per 64B line";
+  os << ")\n";
+  for (const auto& f : sorted)
+    os << "  [" << f.offset << ".." << f.offset + f.size - 1 << "] " << f.name
+       << " (" << f.size << "B)\n";
+  return os.str();
+}
+
+}  // namespace semperm::memlayout

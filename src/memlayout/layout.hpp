@@ -1,0 +1,42 @@
+// semperm/memlayout/layout.hpp
+//
+// Introspection of how data structures pack into cache lines, mirroring
+// Figure 2 of the paper ("Packing data structures into 64 byte cache
+// lines"). Used by the native benchmark to print the layout report and by
+// tests to pin down the byte-level contract.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace semperm::memlayout {
+
+/// One named field in a packed structure.
+struct FieldSpec {
+  std::string name;
+  std::size_t offset;
+  std::size_t size;
+};
+
+/// Describes a packed structure and renders a Fig.-2-style byte map.
+struct LayoutSpec {
+  std::string name;
+  std::size_t size = 0;
+  std::vector<FieldSpec> fields;
+
+  /// Entries of this size that fit in one cache line.
+  std::size_t per_cache_line() const { return size ? kCacheLine / size : 0; }
+
+  /// Render "name (24B, 2 per 64B line): tag@0+4 rank@4+2 ..." plus a byte
+  /// ruler. Throws if fields overlap or exceed `size`.
+  std::string render() const;
+};
+
+/// Helper macro-free field registration.
+#define SEMPERM_FIELD(type, member) \
+  ::semperm::memlayout::FieldSpec { #member, offsetof(type, member), sizeof(type::member) }
+
+}  // namespace semperm::memlayout

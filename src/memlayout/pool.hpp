@@ -1,0 +1,101 @@
+// semperm/memlayout/pool.hpp
+//
+// Typed element pools over an Arena, with a configurable *address policy*.
+//
+// The address policy is one of the study's experimental knobs (DESIGN.md
+// decision 2): the baseline linked list in a long-lived MPI process does not
+// receive consecutive node addresses — it recycles nodes through a general-
+// purpose allocator whose free list is effectively scrambled by unrelated
+// traffic. kScattered models that by carving chunks of slots and handing
+// them out in a seeded-shuffled order; kSequential hands slots out in
+// address order (best case for a hardware stream prefetcher).
+//
+// Pools never return memory to the arena. Released elements go onto the
+// pool's free list and are recycled, which is the element-reuse discipline
+// the paper's hot-caching implementation requires (§3.2: the heater thread
+// may touch any registered region at any moment, so region memory must stay
+// valid for the lifetime of the pool).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "memlayout/arena.hpp"
+
+namespace semperm::memlayout {
+
+enum class AddressPolicy {
+  kSequential,  // slots handed out in ascending address order
+  kScattered,   // slots handed out in seeded-shuffled order
+};
+
+/// Fixed-type object pool. Elements are default-constructed when the slot
+/// chunk is carved and re-initialised by the caller on reuse.
+template <typename T>
+class Pool {
+ public:
+  /// `chunk_slots` slots are carved from the arena at a time.
+  Pool(Arena& arena, AddressPolicy policy, std::size_t chunk_slots = 256,
+       std::uint64_t shuffle_seed = 0xa110cdeadbeefULL)
+      : arena_(&arena),
+        policy_(policy),
+        chunk_slots_(chunk_slots),
+        rng_(shuffle_seed) {
+    SEMPERM_ASSERT(chunk_slots_ > 0);
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Obtain an element (recycled or freshly carved).
+  T* acquire() {
+    if (free_.empty()) carve_chunk();
+    T* p = free_.back();
+    free_.pop_back();
+    ++live_;
+    return p;
+  }
+
+  /// Return an element to the pool. The memory stays valid (never unmapped).
+  void release(T* p) {
+    SEMPERM_ASSERT(p != nullptr);
+    SEMPERM_ASSERT_MSG(arena_->contains(p), "releasing foreign pointer");
+    SEMPERM_ASSERT(live_ > 0);
+    --live_;
+    free_.push_back(p);
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t carved() const { return carved_; }
+  Arena& arena() const { return *arena_; }
+
+ private:
+  void carve_chunk() {
+    T* base = arena_->template create_array<T>(chunk_slots_);
+    carved_ += chunk_slots_;
+    std::vector<T*> slots;
+    slots.reserve(chunk_slots_);
+    for (std::size_t i = 0; i < chunk_slots_; ++i) slots.push_back(base + i);
+    if (policy_ == AddressPolicy::kScattered) {
+      rng_.shuffle(slots);
+    } else {
+      // free_ is popped from the back, so push in descending address order
+      // to hand out ascending addresses.
+      std::vector<T*> rev(slots.rbegin(), slots.rend());
+      slots = std::move(rev);
+    }
+    for (T* s : slots) free_.push_back(s);
+  }
+
+  Arena* arena_;
+  AddressPolicy policy_;
+  std::size_t chunk_slots_;
+  Rng rng_;
+  std::vector<T*> free_;
+  std::size_t live_ = 0;
+  std::size_t carved_ = 0;
+};
+
+}  // namespace semperm::memlayout

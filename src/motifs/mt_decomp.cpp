@@ -1,0 +1,133 @@
+#include "motifs/mt_decomp.hpp"
+
+#include "common/assert.hpp"
+#include <map>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace semperm::motifs {
+
+MtDecompResult run_mt_decomp(const MtDecompParams& params) {
+  const DecompAnalysis analysis =
+      analyze_decomposition(params.grid, params.stencil);
+  MtDecompResult result;
+  result.grid = params.grid;
+  result.stencil = params.stencil;
+  result.tr = analysis.tr;
+  result.ts = analysis.ts;
+  result.length = analysis.length;
+
+  Rng trial_rng(params.seed);
+  RunningStats depth_over_trials;
+  // The sending proxy process is rank 1 from the receiver's point of view.
+  constexpr std::int16_t kProxyRank = 1;
+
+  for (int trial = 0; trial < params.trials; ++trial) {
+    Rng rng = trial_rng.fork();
+    NativeMem mem;
+    memlayout::AddressSpace space;
+    auto bundle = match::make_engine(mem, space, params.queue);
+
+    // Receive side: every edge posts one receive tagged with the id of the
+    // sending thread it expects. Each receiving thread posts its own
+    // receives as a burst (it holds the matching lock while it runs); the
+    // order of the bursts is scheduling-dependent.
+    std::vector<std::vector<int>> by_recv_thread;
+    {
+      std::map<int, std::vector<int>> groups;
+      for (std::size_t i = 0; i < analysis.edges.size(); ++i)
+        groups[analysis.edges[i].recv_cell].push_back(static_cast<int>(i));
+      for (auto& [cell, edges] : groups) by_recv_thread.push_back(std::move(edges));
+    }
+    rng.shuffle(by_recv_thread);
+    std::vector<int> post_order;
+    post_order.reserve(analysis.edges.size());
+    for (const auto& burst : by_recv_thread)
+      post_order.insert(post_order.end(), burst.begin(), burst.end());
+
+    std::vector<match::MatchRequest> requests(analysis.edges.size());
+    for (int idx : post_order) {
+      const ExternalEdge& e = analysis.edges[static_cast<std::size_t>(idx)];
+      requests[static_cast<std::size_t>(idx)] =
+          match::MatchRequest(match::RequestKind::kRecv,
+                              static_cast<std::uint64_t>(idx));
+      match::MatchRequest* matched = bundle->post_recv(
+          match::Pattern::make(kProxyRank, e.sender_id, /*ctx=*/0),
+          &requests[static_cast<std::size_t>(idx)]);
+      SEMPERM_ASSERT_MSG(matched == nullptr, "no messages sent yet");
+    }
+    SEMPERM_ASSERT(bundle->prq().size() ==
+                   static_cast<std::size_t>(analysis.length));
+
+    // Send side: the proxy's sending threads also issue their messages in
+    // scheduling-ordered bursts.
+    std::vector<std::vector<int>> by_send_thread;
+    {
+      std::map<int, std::vector<int>> groups;
+      for (std::size_t i = 0; i < analysis.edges.size(); ++i)
+        groups[analysis.edges[i].sender_id].push_back(static_cast<int>(i));
+      for (auto& [sender, edges] : groups) by_send_thread.push_back(std::move(edges));
+    }
+    rng.shuffle(by_send_thread);
+    std::vector<int> send_order;
+    send_order.reserve(analysis.edges.size());
+    for (const auto& burst : by_send_thread)
+      send_order.insert(send_order.end(), burst.begin(), burst.end());
+    // Lock contention and scheduling displace part of each burst: shuffle
+    // a calibrated fraction of the positions among themselves.
+    if (params.send_interleave > 0.0 && send_order.size() > 1) {
+      std::vector<std::size_t> displaced;
+      for (std::size_t i = 0; i < send_order.size(); ++i)
+        if (rng.chance(params.send_interleave)) displaced.push_back(i);
+      std::vector<int> values;
+      values.reserve(displaced.size());
+      for (std::size_t i : displaced) values.push_back(send_order[i]);
+      rng.shuffle(values);
+      for (std::size_t j = 0; j < displaced.size(); ++j)
+        send_order[displaced[j]] = values[j];
+    }
+    bundle->prq().reset_stats();  // count search depth over matches only
+    std::vector<match::MatchRequest> messages(analysis.edges.size());
+    for (int idx : send_order) {
+      const ExternalEdge& e = analysis.edges[static_cast<std::size_t>(idx)];
+      messages[static_cast<std::size_t>(idx)] = match::MatchRequest(
+          match::RequestKind::kUnexpected, static_cast<std::uint64_t>(idx));
+      match::MatchRequest* recv = bundle->incoming(
+          match::Envelope{e.sender_id, kProxyRank, /*ctx=*/0},
+          &messages[static_cast<std::size_t>(idx)]);
+      SEMPERM_ASSERT_MSG(recv != nullptr, "every message must find a receive");
+    }
+    SEMPERM_ASSERT(bundle->prq().size() == 0);
+    depth_over_trials.add(bundle->prq().stats().mean_inspected());
+  }
+
+  result.mean_search_depth = depth_over_trials.mean();
+  result.stddev_search_depth = depth_over_trials.stddev();
+  return result;
+}
+
+std::vector<MtDecompParams> table1_rows() {
+  std::vector<MtDecompParams> rows;
+  auto add = [&rows](int nx, int ny, int nz, Stencil s) {
+    MtDecompParams p;
+    p.grid = ThreadGrid{nx, ny, nz};
+    p.stencil = s;
+    rows.push_back(p);
+  };
+  // 2-D decompositions.
+  add(32, 32, 1, Stencil::k5pt);
+  add(64, 32, 1, Stencil::k5pt);
+  add(32, 32, 1, Stencil::k9pt);
+  add(64, 32, 1, Stencil::k9pt);
+  // 3-D decompositions.
+  add(8, 8, 4, Stencil::k7pt);
+  add(1, 1, 128, Stencil::k7pt);
+  add(1, 1, 256, Stencil::k7pt);
+  add(8, 8, 4, Stencil::k27pt);
+  add(1, 1, 128, Stencil::k27pt);
+  add(1, 1, 256, Stencil::k27pt);
+  return rows;
+}
+
+}  // namespace semperm::motifs

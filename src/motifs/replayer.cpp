@@ -1,0 +1,73 @@
+#include "motifs/replayer.hpp"
+
+#include "common/assert.hpp"
+
+namespace semperm::motifs {
+
+MotifReplayer::MotifReplayer(const match::QueueConfig& queue,
+                             std::uint64_t prq_bucket, std::uint64_t umq_bucket)
+    : bundle_(match::make_engine(mem_, space_, queue)) {
+  bundle_->enable_sampling(prq_bucket, umq_bucket);
+}
+
+const BucketHistogram& MotifReplayer::posted_histogram() const {
+  return bundle_->prq_sampler()->histogram();
+}
+
+const BucketHistogram& MotifReplayer::unexpected_histogram() const {
+  return bundle_->umq_sampler()->histogram();
+}
+
+void MotifReplayer::replay_phase(const PhaseSpec& phase, Rng& rng) {
+  const std::size_t n = phase.recvs.size();
+  recv_requests_.assign(n, match::MatchRequest{});
+  msg_requests_.assign(n, match::MatchRequest{});
+
+  // Partition messages into early arrivals and in-phase deliveries.
+  std::vector<std::size_t> early;
+  std::vector<std::size_t> in_phase;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(phase.early_prob))
+      early.push_back(i);
+    else
+      in_phase.push_back(i);
+  }
+  if (phase.shuffle_deliveries) rng.shuffle(in_phase);
+
+  auto deliver = [&](std::size_t i) {
+    const Identity& id = phase.recvs[i];
+    msg_requests_[i] = match::MatchRequest(match::RequestKind::kUnexpected,
+                                           static_cast<std::uint64_t>(i));
+    bundle_->incoming(
+        match::Envelope{id.tag, static_cast<std::int16_t>(id.src), 0},
+        &msg_requests_[i]);
+  };
+  auto post = [&](std::size_t i) {
+    const Identity& id = phase.recvs[i];
+    recv_requests_[i] = match::MatchRequest(match::RequestKind::kRecv,
+                                            static_cast<std::uint64_t>(i));
+    bundle_->post_recv(match::Pattern::make(id.src, id.tag, 0),
+                       &recv_requests_[i]);
+  };
+
+  // Early arrivals land on the unexpected queue before any posting.
+  for (std::size_t i : early) deliver(i);
+
+  // Post with the phase's pipeline window: after `lead` posts, each
+  // further post is paired with one delivery.
+  std::size_t delivered = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    post(p);
+    if (p + 1 > phase.lead && delivered < in_phase.size())
+      deliver(in_phase[delivered++]);
+  }
+  while (delivered < in_phase.size()) deliver(in_phase[delivered++]);
+
+  SEMPERM_ASSERT_MSG(bundle_->prq().size() == 0,
+                     "phase left posted receives unmatched");
+  SEMPERM_ASSERT_MSG(bundle_->umq().size() == 0,
+                     "phase left unexpected messages unconsumed");
+  ++phases_;
+}
+
+}  // namespace semperm::motifs

@@ -1,0 +1,74 @@
+// semperm/motifs/replayer.hpp
+//
+// Shared machinery for the Figure-1 motif generators: replays one BSP
+// communication phase of one rank through a real MatchEngine, sampling
+// match-list lengths at every addition and deletion (the paper's sampling
+// discipline: "samples are taken during each communication phase ... such
+// that all list additions and deletions are captured").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "match/factory.hpp"
+
+namespace semperm::motifs {
+
+/// Identity of one expected message within a phase.
+struct Identity {
+  int src = 0;
+  int tag = 0;
+};
+
+/// One rank's communication phase.
+struct PhaseSpec {
+  /// Receive identities in posting order (caller shuffles if the motif's
+  /// arrival order is scheduling-dependent).
+  std::vector<Identity> recvs;
+  /// Receives posted before the first delivery is processed — the pipeline
+  /// window that determines how long the posted queue grows.
+  std::size_t lead = 0;
+  /// Probability a message arrives before its receive is posted (drives
+  /// the unexpected-message queue).
+  double early_prob = 0.0;
+  /// Deliver the non-early messages in shuffled order instead of posting
+  /// order.
+  bool shuffle_deliveries = false;
+};
+
+/// Replays phases through one engine; accumulates Fig.-1-style histograms.
+class MotifReplayer {
+ public:
+  MotifReplayer(const match::QueueConfig& queue, std::uint64_t prq_bucket,
+                std::uint64_t umq_bucket);
+
+  /// Replay one phase. Both queues must drain to empty (asserted).
+  void replay_phase(const PhaseSpec& phase, Rng& rng);
+
+  const BucketHistogram& posted_histogram() const;
+  const BucketHistogram& unexpected_histogram() const;
+  std::uint64_t phases_replayed() const { return phases_; }
+
+ private:
+  NativeMem mem_;
+  memlayout::AddressSpace space_;
+  match::EngineBundle<NativeMem> bundle_;
+  std::vector<match::MatchRequest> recv_requests_;
+  std::vector<match::MatchRequest> msg_requests_;
+  std::uint64_t phases_ = 0;
+};
+
+/// Result of one motif run (one panel of Fig. 1).
+struct MotifSummary {
+  std::string name;
+  std::uint64_t total_ranks = 0;      // pattern scale (e.g. 64 Ki for AMR)
+  std::uint64_t ranks_simulated = 0;  // ranks actually replayed
+  std::uint64_t phases = 0;
+  BucketHistogram posted{10};
+  BucketHistogram unexpected{10};
+};
+
+}  // namespace semperm::motifs

@@ -1,0 +1,100 @@
+#include "motifs/stencil.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace semperm::motifs {
+
+std::string stencil_name(Stencil s) {
+  switch (s) {
+    case Stencil::k5pt:
+      return "5pt";
+    case Stencil::k9pt:
+      return "9pt";
+    case Stencil::k7pt:
+      return "7pt";
+    case Stencil::k27pt:
+      return "27pt";
+  }
+  return "?";
+}
+
+Stencil stencil_by_name(const std::string& name) {
+  if (name == "5pt") return Stencil::k5pt;
+  if (name == "9pt") return Stencil::k9pt;
+  if (name == "7pt") return Stencil::k7pt;
+  if (name == "27pt") return Stencil::k27pt;
+  throw std::invalid_argument("unknown stencil: " + name);
+}
+
+std::vector<std::array<int, 3>> stencil_offsets(Stencil s) {
+  std::vector<std::array<int, 3>> offs;
+  switch (s) {
+    case Stencil::k5pt:
+      offs = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}};
+      break;
+    case Stencil::k9pt:
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          if (dx != 0 || dy != 0) offs.push_back({dx, dy, 0});
+      break;
+    case Stencil::k7pt:
+      offs = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+              {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+      break;
+    case Stencil::k27pt:
+      for (int dx = -1; dx <= 1; ++dx)
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dz = -1; dz <= 1; ++dz)
+            if (dx != 0 || dy != 0 || dz != 0) offs.push_back({dx, dy, dz});
+      break;
+  }
+  return offs;
+}
+
+std::string ThreadGrid::to_string() const {
+  std::ostringstream os;
+  if (nz == 1 && (nx > 1 || ny > 1) && !(nx == 1 && ny == 1))
+    os << nx << 'x' << ny;
+  else
+    os << nx << 'x' << ny << 'x' << nz;
+  return os.str();
+}
+
+DecompAnalysis analyze_decomposition(const ThreadGrid& grid, Stencil stencil) {
+  SEMPERM_ASSERT(grid.nx > 0 && grid.ny > 0 && grid.nz > 0);
+  const auto offs = stencil_offsets(stencil);
+  DecompAnalysis out;
+  // Dense ids for distinct external neighbour cells; map keyed by coords.
+  std::map<std::array<int, 3>, int> external_ids;
+  std::vector<bool> cell_receives(static_cast<std::size_t>(grid.cells()), false);
+  auto cell_index = [&](int x, int y, int z) {
+    return (z * grid.ny + y) * grid.nx + x;
+  };
+  for (int z = 0; z < grid.nz; ++z) {
+    for (int y = 0; y < grid.ny; ++y) {
+      for (int x = 0; x < grid.nx; ++x) {
+        for (const auto& d : offs) {
+          const int nx = x + d[0], ny = y + d[1], nz = z + d[2];
+          const bool outside = nx < 0 || nx >= grid.nx || ny < 0 ||
+                               ny >= grid.ny || nz < 0 || nz >= grid.nz;
+          if (!outside) continue;
+          const std::array<int, 3> coord{nx, ny, nz};
+          auto [it, inserted] =
+              external_ids.emplace(coord, static_cast<int>(external_ids.size()));
+          out.edges.push_back(ExternalEdge{cell_index(x, y, z), it->second});
+          cell_receives[static_cast<std::size_t>(cell_index(x, y, z))] = true;
+        }
+      }
+    }
+  }
+  out.length = static_cast<int>(out.edges.size());
+  out.ts = static_cast<int>(external_ids.size());
+  for (bool b : cell_receives) out.tr += b ? 1 : 0;
+  return out;
+}
+
+}  // namespace semperm::motifs

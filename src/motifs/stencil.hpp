@@ -1,0 +1,54 @@
+// semperm/motifs/stencil.hpp
+//
+// Stencil geometry shared by the Table-1 thread-decomposition benchmark and
+// the Figure-1 motif generators: neighbour offset sets for 5/9-point 2-D
+// and 7/27-point 3-D stencils, and the edge enumeration over a thread grid
+// that determines how many receives a decomposition posts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semperm::motifs {
+
+enum class Stencil { k5pt, k9pt, k7pt, k27pt };
+
+std::string stencil_name(Stencil s);
+Stencil stencil_by_name(const std::string& name);
+
+/// Neighbour offsets for a stencil (excluding the centre).
+std::vector<std::array<int, 3>> stencil_offsets(Stencil s);
+
+/// A thread-grid decomposition of one MPI process (2-D grids use nz == 1).
+struct ThreadGrid {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+
+  int cells() const { return nx * ny * nz; }
+  std::string to_string() const;
+};
+
+/// One receive the decomposition posts: the receiving thread cell and the
+/// external sending-thread id (dense index over distinct external cells).
+struct ExternalEdge {
+  int recv_cell;   // dense index of the receiving thread cell
+  int sender_id;   // dense id of the external (neighbouring-process) thread
+};
+
+/// Full analysis of a (grid, stencil) pair — the quantities of Table 1:
+///  * tr     = threads posting receives (cells with >= 1 external neighbour)
+///  * ts     = sending threads (distinct external neighbour cells)
+///  * length = match-list length (total external edges = receives posted)
+struct DecompAnalysis {
+  int tr = 0;
+  int ts = 0;
+  int length = 0;
+  std::vector<ExternalEdge> edges;
+};
+
+DecompAnalysis analyze_decomposition(const ThreadGrid& grid, Stencil stencil);
+
+}  // namespace semperm::motifs

@@ -1,0 +1,226 @@
+#include "simcluster/simcluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace semperm::simcluster {
+
+namespace {
+
+struct Arrival {
+  double time_ns;
+  std::uint64_t seq;  // global tiebreak preserving per-sender order
+  match::Envelope env;
+  std::size_t bytes;
+
+  bool operator>(const Arrival& other) const {
+    return time_ns != other.time_ns ? time_ns > other.time_ns
+                                    : seq > other.seq;
+  }
+};
+
+struct Rank {
+  explicit Rank(const ClusterConfig& config)
+      : hier(config.arch), mem(hier) {}
+
+  cachesim::Hierarchy hier;
+  cachesim::SimMem mem;
+  memlayout::AddressSpace space;
+  match::EngineBundle<cachesim::SimMem> bundle;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> inbox;
+  std::deque<match::MatchRequest> requests;
+  double clock_ns = 0.0;
+  Cycles charged_cycles = 0;
+  std::size_t pc = 0;  // program counter
+  bool done = false;
+  RankResult result;
+};
+
+}  // namespace
+
+ClusterResult run_cluster(const std::vector<Program>& programs,
+                          const ClusterConfig& config) {
+  const int nranks = static_cast<int>(programs.size());
+  SEMPERM_ASSERT(nranks > 0);
+  auto qcfg = config.queue;
+  if (qcfg.kind == match::QueueKind::kOmpiBins ||
+      qcfg.kind == match::QueueKind::kFourDim)
+    qcfg.bins = static_cast<std::size_t>(nranks);
+
+  std::vector<std::unique_ptr<Rank>> ranks;
+  ranks.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks.push_back(std::make_unique<Rank>(config));
+    ranks.back()->bundle =
+        match::make_engine(ranks.back()->mem, ranks.back()->space, qcfg);
+  }
+
+  std::uint64_t next_seq = 0;
+
+  // Charge a rank's clock with the SimMem cycles accumulated since the
+  // last charge (match traversal costs).
+  auto charge = [&](Rank& rank) {
+    const Cycles now = rank.mem.cycles();
+    const Cycles delta = now - rank.charged_cycles;
+    rank.charged_cycles = now;
+    const double ns = config.arch.cycles_to_ns(delta);
+    rank.clock_ns += ns;
+    rank.result.match_ns += ns;
+  };
+
+  // Feed one arrival through the rank's engine (advancing its clock to
+  // the arrival time if it was idle-waiting).
+  auto absorb = [&](Rank& rank, const Arrival& arrival) {
+    rank.clock_ns = std::max(rank.clock_ns, arrival.time_ns);
+    rank.requests.emplace_back(match::RequestKind::kUnexpected,
+                               rank.requests.size());
+    rank.bundle->incoming(arrival.env, &rank.requests.back());
+    charge(rank);
+    rank.clock_ns += config.arch.sw_overhead_ns;
+  };
+
+  // Try to advance rank r; returns true if any progress was made.
+  auto try_run = [&](int r) {
+    Rank& rank = *ranks[static_cast<std::size_t>(r)];
+    if (rank.done) return false;
+    const Program& prog = programs[static_cast<std::size_t>(r)];
+    bool progressed = false;
+    while (rank.pc < prog.size()) {
+      const Op& op = prog[rank.pc];
+      if (op.kind == Op::Kind::kCompute) {
+        rank.clock_ns += op.compute_ns;
+        if (config.compute_working_set_bytes == 0)
+          rank.hier.flush_all();
+        else
+          rank.hier.pollute(config.compute_working_set_bytes);
+        ++rank.pc;
+        progressed = true;
+      } else if (op.kind == Op::Kind::kSend) {
+        SEMPERM_ASSERT(op.peer >= 0 && op.peer < nranks);
+        rank.clock_ns += config.arch.sw_overhead_ns;
+        Arrival arrival;
+        arrival.time_ns = rank.clock_ns + config.net.transfer_ns(op.bytes);
+        arrival.seq = next_seq++;
+        arrival.env = match::Envelope{op.tag, static_cast<std::int16_t>(r), 0};
+        arrival.bytes = op.bytes;
+        ranks[static_cast<std::size_t>(op.peer)]->inbox.push(arrival);
+        ++rank.result.sends;
+        ++rank.pc;
+        progressed = true;
+      } else {  // kRecv
+        rank.requests.emplace_back(match::RequestKind::kRecv,
+                                   rank.requests.size());
+        match::MatchRequest* recv = &rank.requests.back();
+        rank.bundle->post_recv(
+            match::Pattern::make(op.peer < 0 ? match::kAnySource : op.peer,
+                                 op.tag, 0),
+            recv);
+        charge(rank);
+        // Absorb arrivals until this receive matches.
+        while (!recv->complete()) {
+          if (rank.inbox.empty()) {
+            // Cancel the post so a later pass can retry it cleanly.
+            if (!recv->complete()) {
+              SEMPERM_ASSERT(rank.bundle->cancel_recv(recv));
+              rank.requests.pop_back();
+              return progressed;  // blocked: wait for senders to run
+            }
+            break;
+          }
+          const Arrival arrival = rank.inbox.top();
+          rank.inbox.pop();
+          absorb(rank, arrival);
+        }
+        ++rank.result.recvs;
+        ++rank.pc;
+        progressed = true;
+      }
+    }
+    rank.done = true;
+    rank.result.finish_ns = rank.clock_ns;
+    return true;
+  };
+
+  // Cooperative passes until everyone finishes; no progress => deadlock.
+  for (;;) {
+    bool any_progress = false;
+    bool all_done = true;
+    for (int r = 0; r < nranks; ++r) {
+      if (try_run(r)) any_progress = true;
+      if (!ranks[static_cast<std::size_t>(r)]->done) all_done = false;
+    }
+    if (all_done) break;
+    if (!any_progress)
+      throw std::runtime_error(
+          "simcluster deadlock: a receive can never be satisfied");
+  }
+
+  ClusterResult result;
+  match::SearchStats prq_total;
+  match::SearchStats umq_total;
+  for (int r = 0; r < nranks; ++r) {
+    Rank& rank = *ranks[static_cast<std::size_t>(r)];
+    result.ranks.push_back(rank.result);
+    result.makespan_ns = std::max(result.makespan_ns, rank.result.finish_ns);
+    result.total_match_ns += rank.result.match_ns;
+    prq_total.merge(rank.bundle->prq().stats());
+    umq_total.merge(rank.bundle->umq().stats());
+  }
+  result.mean_prq_search_depth = prq_total.mean_inspected();
+  result.mean_umq_search_depth = umq_total.mean_inspected();
+  return result;
+}
+
+std::vector<Program> ring_halo_programs(int ranks, int iters,
+                                        std::size_t bytes,
+                                        double compute_ns) {
+  SEMPERM_ASSERT(ranks >= 2);
+  std::vector<Program> programs(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Program& p = programs[static_cast<std::size_t>(r)];
+    const int left = (r + ranks - 1) % ranks;
+    const int right = (r + 1) % ranks;
+    for (int it = 0; it < iters; ++it) {
+      p.push_back(Op::compute(compute_ns));
+      p.push_back(Op::send(right, 2 * it, bytes));
+      p.push_back(Op::send(left, 2 * it + 1, bytes));
+      p.push_back(Op::recv(left, 2 * it));
+      p.push_back(Op::recv(right, 2 * it + 1));
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> fan_in_programs(int producers, int msgs,
+                                     std::size_t bytes, double compute_ns,
+                                     std::uint64_t seed) {
+  SEMPERM_ASSERT(producers >= 1 && msgs >= 1);
+  std::vector<Program> programs(static_cast<std::size_t>(producers) + 1);
+  Rng rng(seed);
+  // Rank 0 consumes: receives in (producer, msg) posting order.
+  Program& consumer = programs[0];
+  for (int p = 1; p <= producers; ++p)
+    for (int m = 0; m < msgs; ++m) consumer.push_back(Op::recv(p, m));
+  // Producers send their messages in a shuffled order with compute gaps.
+  for (int p = 1; p <= producers; ++p) {
+    std::vector<int> order(static_cast<std::size_t>(msgs));
+    for (int m = 0; m < msgs; ++m) order[static_cast<std::size_t>(m)] = m;
+    rng.shuffle(order);
+    Program& prog = programs[static_cast<std::size_t>(p)];
+    for (int m : order) {
+      prog.push_back(Op::compute(compute_ns));
+      prog.push_back(Op::send(0, m, bytes));
+    }
+  }
+  return programs;
+}
+
+}  // namespace semperm::simcluster

@@ -1,0 +1,96 @@
+// semperm/simcluster/simcluster.hpp
+//
+// A virtual-time cluster simulation in the spirit of the SST macro
+// simulations the paper instruments (§2.3): P simulated ranks, each with
+// its OWN cache hierarchy, SimMem and matching engine, exchanging messages
+// over the wire model with full causality — a send's arrival event exists
+// only after the sender executes it, receives consume arrivals in
+// time order, and a blocked receive waits (in virtual time) for traffic
+// that has not been produced yet.
+//
+// Each rank runs a Program: a list of compute / send / recv operations.
+// Compute advances the rank's clock and pollutes its caches; sends are
+// eager (non-blocking) and create an arrival at `clock + wire(bytes)`;
+// receives drain pending arrivals through the matching engine (charging
+// modelled match cycles to the rank's clock) until they match.
+//
+// This complements `workloads::run_app_model` (one representative rank,
+// fast, used by the figure harness) with a ground-truth multi-rank
+// simulation for small scales — and the tests cross-check that the two
+// agree on the locality effects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/arch.hpp"
+#include "match/factory.hpp"
+#include "simmpi/network_model.hpp"
+
+namespace semperm::simcluster {
+
+struct Op {
+  enum class Kind : std::uint8_t { kCompute, kSend, kRecv };
+  Kind kind = Kind::kCompute;
+  double compute_ns = 0.0;  // kCompute
+  int peer = -1;            // kSend: destination; kRecv: source (-1 = any)
+  int tag = 0;
+  std::size_t bytes = 0;    // kSend payload size
+
+  static Op compute(double ns) { return Op{Kind::kCompute, ns, -1, 0, 0}; }
+  static Op send(int dest, int tag, std::size_t bytes) {
+    return Op{Kind::kSend, 0.0, dest, tag, bytes};
+  }
+  static Op recv(int source, int tag) {
+    return Op{Kind::kRecv, 0.0, source, tag, 0};
+  }
+};
+
+using Program = std::vector<Op>;
+
+struct ClusterConfig {
+  cachesim::ArchProfile arch = cachesim::sandy_bridge();
+  simmpi::NetworkModel net = simmpi::qdr_infiniband();
+  match::QueueConfig queue;
+  /// Compute ops displace this much LLC content (0 = full flush).
+  std::size_t compute_working_set_bytes = 24ull * 1024 * 1024;
+};
+
+struct RankResult {
+  double finish_ns = 0.0;
+  double match_ns = 0.0;  // modelled matching cycles, in ns
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+};
+
+struct ClusterResult {
+  double makespan_ns = 0.0;
+  double total_match_ns = 0.0;
+  double mean_prq_search_depth = 0.0;  // aggregated over ranks
+  double mean_umq_search_depth = 0.0;  // aggregated over ranks
+  std::vector<RankResult> ranks;
+};
+
+/// Run one program per rank to completion. Throws std::runtime_error on
+/// deadlock (a rank blocked on a receive no pending or future send can
+/// satisfy).
+ClusterResult run_cluster(const std::vector<Program>& programs,
+                          const ClusterConfig& config);
+
+// --- canonical program builders ------------------------------------------
+
+/// Ring halo: every rank alternates compute with an exchange to both ring
+/// neighbours, `iters` times.
+std::vector<Program> ring_halo_programs(int ranks, int iters,
+                                        std::size_t bytes,
+                                        double compute_ns);
+
+/// FDS-flavoured fan-in: `producers` ranks each send `msgs` messages to
+/// rank 0 in a seed-shuffled order; rank 0 pre-issues receives in posting
+/// order, so matches land deep in its posted queue.
+std::vector<Program> fan_in_programs(int producers, int msgs,
+                                     std::size_t bytes, double compute_ns,
+                                     std::uint64_t seed = 0xfa41ULL);
+
+}  // namespace semperm::simcluster

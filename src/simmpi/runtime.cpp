@@ -1,0 +1,568 @@
+#include "simmpi/runtime.hpp"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace semperm::simmpi {
+
+namespace {
+// Collective tag space on the dedicated collective context.
+constexpr std::int32_t kBarrierTagBase = 1000;  // + round index
+constexpr std::int32_t kBcastTag = 2000;
+constexpr std::int32_t kReduceTag = 3000;
+constexpr std::int32_t kDupTag = 4000;
+constexpr std::int32_t kGatherTag = 5000;
+constexpr std::int32_t kScatterTag = 6000;
+constexpr std::int32_t kAlltoallTag = 7000;
+}  // namespace
+
+// --------------------------------------------------------------------
+// Runtime
+// --------------------------------------------------------------------
+
+Runtime::Runtime(int nranks, match::QueueConfig qcfg, RuntimeOptions options)
+    : nranks_(nranks), qcfg_(std::move(qcfg)), options_(options) {
+  SEMPERM_ASSERT(nranks_ > 0 && nranks_ <= 32767);
+  if (qcfg_.kind == match::QueueKind::kOmpiBins ||
+      qcfg_.kind == match::QueueKind::kFourDim)
+    qcfg_.bins = static_cast<std::size_t>(nranks_);
+  ranks_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->bundle = match::make_engine(native_mem_, space_, qcfg_);
+    ranks_.push_back(std::move(st));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Runtime::RankState& Runtime::state(int rank) {
+  SEMPERM_ASSERT(rank >= 0 && rank < nranks_);
+  return *ranks_[static_cast<std::size_t>(rank)];
+}
+
+void Runtime::deliver(int dest, WireMessage msg) {
+  RankState& st = state(dest);
+  {
+    // Mailbox mutexes are leaves in the lock order: delivering is safe
+    // even while the caller holds its own rank's state mutex (control
+    // messages sent from inside a drain).
+    std::lock_guard<std::mutex> lock(st.mailbox_mutex);
+    st.mailbox.push_back(std::move(msg));
+  }
+  st.cv.notify_all();
+}
+
+void Runtime::accept_rendezvous(RankState& st, UnexpectedHolder& holder,
+                                match::MatchRequest* recv) {
+  SEMPERM_ASSERT(holder.is_rdv);
+  // Park the receive until the payload lands, and clear the sender.
+  st.rdv_pending.emplace(holder.rdv_id, recv);
+  WireMessage cts;
+  cts.kind = WireKind::kCts;
+  cts.rdv_id = holder.rdv_id;
+  deliver(holder.origin, std::move(cts));
+}
+
+void Runtime::drain_locked(int rank, RankState& st) {
+  (void)rank;
+  std::deque<WireMessage> batch;
+  {
+    std::lock_guard<std::mutex> lock(st.mailbox_mutex);
+    batch.swap(st.mailbox);
+  }
+  for (WireMessage& msg : batch) {
+    switch (msg.kind) {
+      case WireKind::kCts: {
+        st.cts_received.insert(msg.rdv_id);
+        continue;
+      }
+      case WireKind::kRdvData: {
+        const auto it = st.rdv_pending.find(msg.rdv_id);
+        SEMPERM_ASSERT_MSG(it != st.rdv_pending.end(),
+                           "rendezvous data without a pending receive");
+        match::MatchRequest* recv = it->second;
+        SEMPERM_ASSERT_MSG(msg.payload.size() <= recv->bytes(),
+                           "rendezvous payload overflows receive buffer");
+        if (!msg.payload.empty())
+          std::memcpy(recv->buffer(), msg.payload.data(), msg.payload.size());
+        recv->set_cookie(msg.payload.size());
+        recv->mark_complete();
+        st.rdv_pending.erase(it);
+        continue;
+      }
+      case WireKind::kEager:
+      case WireKind::kRts:
+        break;
+    }
+    auto holder = std::make_unique<UnexpectedHolder>();
+    holder->req = match::MatchRequest(match::RequestKind::kUnexpected,
+                                      st.next_seq++);
+    holder->payload = std::move(msg.payload);
+    holder->env = msg.env;
+    holder->is_rdv = msg.kind == WireKind::kRts;
+    holder->rdv_id = msg.rdv_id;
+    holder->origin = msg.origin;
+    match::MatchRequest* recv =
+        st.bundle->incoming(msg.env, &holder->req);
+    if (recv != nullptr) {
+      if (holder->is_rdv) {
+        // Matching happened on the RTS; the payload follows after CTS.
+        accept_rendezvous(st, *holder, recv);
+        recv->unmark_complete();
+        continue;  // holder dies: the RTS is consumed
+      }
+      // Eager: copy straight into the posted buffer.
+      SEMPERM_ASSERT_MSG(holder->payload.size() <= recv->bytes(),
+                         "message (" << holder->payload.size()
+                                     << " B) overflows receive buffer ("
+                                     << recv->bytes() << " B)");
+      if (!holder->payload.empty())
+        std::memcpy(recv->buffer(), holder->payload.data(),
+                    holder->payload.size());
+      recv->set_cookie(holder->payload.size());
+      // holder dies here; the message is consumed.
+    } else {
+      // Buffered as unexpected (an RTS buffers with no payload — the
+      // reason the 16-byte UMQ entries need no payload storage).
+      st.unexpected.emplace(&holder->req, std::move(holder));
+    }
+  }
+}
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &first_error, &error_mutex] {
+      try {
+        Comm comm(this, r, /*ctx_ptp=*/0, /*ctx_coll=*/1);
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+match::SearchStats Runtime::aggregate_prq_stats() const {
+  match::SearchStats total;
+  for (const auto& st : ranks_) total.merge(st->bundle.engine->prq().stats());
+  return total;
+}
+
+match::SearchStats Runtime::aggregate_umq_stats() const {
+  match::SearchStats total;
+  for (const auto& st : ranks_) total.merge(st->bundle.engine->umq().stats());
+  return total;
+}
+
+// --------------------------------------------------------------------
+// Comm — point to point
+// --------------------------------------------------------------------
+
+int Comm::size() const { return rt_->size(); }
+
+void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
+                    std::uint16_t ctx) {
+  SEMPERM_ASSERT(dest >= 0 && dest < size());
+  SEMPERM_ASSERT(tag >= 0 && tag != match::kHoleTag);
+  const match::Envelope env{tag, static_cast<std::int16_t>(rank_), ctx};
+  if (data.size() <= rt_->options_.eager_threshold) {
+    Runtime::WireMessage msg;
+    msg.env = env;
+    msg.origin = rank_;
+    msg.payload.assign(data.begin(), data.end());
+    rt_->deliver(dest, std::move(msg));
+    return;
+  }
+
+  // Rendezvous: ship the RTS (envelope only), wait for the CTS while
+  // progressing our own mailbox, then move the payload.
+  Runtime::RankState& st = rt_->state(rank_);
+  std::uint64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    id = (static_cast<std::uint64_t>(rank_) << 32) | st.next_rdv++;
+  }
+  Runtime::WireMessage rts;
+  rts.kind = Runtime::WireKind::kRts;
+  rts.env = env;
+  rts.rdv_id = id;
+  rts.origin = rank_;
+  rt_->deliver(dest, std::move(rts));
+  rt_->wait_progress(rank_, st,
+                     [&] { return st.cts_received.count(id) != 0; });
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.cts_received.erase(id);
+  }
+  Runtime::WireMessage payload;
+  payload.kind = Runtime::WireKind::kRdvData;
+  payload.rdv_id = id;
+  payload.origin = rank_;
+  payload.payload.assign(data.begin(), data.end());
+  rt_->deliver(dest, std::move(payload));
+}
+
+void Comm::send(int dest, int tag, std::span<const std::byte> data) {
+  send_ctx(dest, tag, data, ctx_ptp_);
+}
+
+Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
+  // Small payloads are buffered at the receiver immediately; rendezvous
+  // payloads complete the handshake inside this call (progressing our own
+  // mailbox meanwhile), so isend of a large message behaves like MPI_Ssend
+  // — callers should pre-post matching receives, as portable MPI programs
+  // must for symmetric large exchanges anyway.
+  send(dest, tag, data);
+  Request r;
+  r.owner_rank = rank_;  // valid() stays false: nothing to wait for
+  return r;
+}
+
+Status Comm::recv_ctx(int source, int tag, std::span<std::byte> buffer,
+                      std::uint16_t ctx) {
+  Runtime::RankState& st = rt_->state(rank_);
+  std::unique_lock<std::mutex> lock(st.mutex);
+  rt_->drain_locked(rank_, st);
+
+  auto req = std::make_unique<match::MatchRequest>(match::RequestKind::kRecv,
+                                                   st.next_seq++);
+  match::MatchRequest* reqp = req.get();
+  reqp->set_payload(buffer.data(), buffer.size());
+  const match::Pattern pattern =
+      match::Pattern::make(source, tag, ctx);
+  match::MatchRequest* msg = st.bundle->post_recv(pattern, reqp);
+  if (msg != nullptr) {
+    // Matched a buffered unexpected message (eager payload or RTS).
+    auto it = st.unexpected.find(msg);
+    SEMPERM_ASSERT(it != st.unexpected.end());
+    if (it->second->is_rdv) {
+      rt_->accept_rendezvous(st, *it->second, reqp);
+      reqp->unmark_complete();
+      st.unexpected.erase(it);
+    } else {
+      auto& payload = it->second->payload;
+      SEMPERM_ASSERT_MSG(payload.size() <= buffer.size(),
+                         "unexpected message overflows receive buffer");
+      if (!payload.empty())
+        std::memcpy(buffer.data(), payload.data(), payload.size());
+      reqp->set_cookie(payload.size());
+      st.unexpected.erase(it);
+    }
+  }
+  if (!reqp->complete()) {
+    lock.unlock();
+    rt_->wait_progress(rank_, st, [&] { return reqp->complete(); });
+    lock.lock();
+  }
+  Status status;
+  status.source = reqp->matched().rank;
+  status.tag = reqp->matched().tag;
+  status.bytes = static_cast<std::size_t>(reqp->cookie());
+  return status;
+}
+
+Status Comm::recv(int source, int tag, std::span<std::byte> buffer) {
+  return recv_ctx(source, tag, buffer, ctx_ptp_);
+}
+
+Request Comm::irecv(int source, int tag, std::span<std::byte> buffer) {
+  return irecv_ctx(source, tag, buffer, ctx_ptp_);
+}
+
+Request Comm::irecv_ctx(int source, int tag, std::span<std::byte> buffer,
+                        std::uint16_t ctx) {
+  Runtime::RankState& st = rt_->state(rank_);
+  std::unique_lock<std::mutex> lock(st.mutex);
+  rt_->drain_locked(rank_, st);
+
+  auto req = std::make_unique<match::MatchRequest>(match::RequestKind::kRecv,
+                                                   st.next_seq++);
+  match::MatchRequest* reqp = req.get();
+  reqp->set_payload(buffer.data(), buffer.size());
+  match::MatchRequest* msg =
+      st.bundle->post_recv(match::Pattern::make(source, tag, ctx), reqp);
+  if (msg != nullptr) {
+    auto it = st.unexpected.find(msg);
+    SEMPERM_ASSERT(it != st.unexpected.end());
+    if (it->second->is_rdv) {
+      rt_->accept_rendezvous(st, *it->second, reqp);
+      reqp->unmark_complete();
+      st.unexpected.erase(it);
+    } else {
+      auto& payload = it->second->payload;
+      SEMPERM_ASSERT_MSG(payload.size() <= buffer.size(),
+                         "unexpected message overflows receive buffer");
+      if (!payload.empty())
+        std::memcpy(buffer.data(), payload.data(), payload.size());
+      reqp->set_cookie(payload.size());
+      st.unexpected.erase(it);
+    }
+  }
+  st.recv_requests.push_back(std::move(req));
+  Request r;
+  r.req_ = reqp;
+  r.owner_rank = rank_;
+  return r;
+}
+
+Status Comm::wait(Request& request) {
+  Status status;
+  if (!request.valid()) return status;  // completed send or empty request
+  SEMPERM_ASSERT_MSG(request.owner_rank == rank_,
+                     "waiting on another rank's request");
+  Runtime::RankState& st = rt_->state(rank_);
+  match::MatchRequest* reqp = request.req_;
+  rt_->wait_progress(rank_, st, [&] { return reqp->complete(); });
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    status.source = reqp->matched().rank;
+    status.tag = reqp->matched().tag;
+    status.bytes = static_cast<std::size_t>(reqp->cookie());
+    // Retire the request object.
+    for (auto it = st.recv_requests.begin(); it != st.recv_requests.end(); ++it) {
+      if (it->get() == reqp) {
+        st.recv_requests.erase(it);
+        break;
+      }
+    }
+  }
+  request.req_ = nullptr;
+  return status;
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) wait(r);
+}
+
+void Comm::progress() {
+  Runtime::RankState& st = rt_->state(rank_);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  rt_->drain_locked(rank_, st);
+}
+
+std::optional<Status> Comm::iprobe(int source, int tag) {
+  Runtime::RankState& st = rt_->state(rank_);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  rt_->drain_locked(rank_, st);
+  const auto env =
+      st.bundle->probe(match::Pattern::make(source, tag, ctx_ptp_));
+  if (!env.has_value()) return std::nullopt;
+  Status status;
+  status.source = env->rank;
+  status.tag = env->tag;
+  // Byte count: the FIFO-earliest buffered holder with this envelope
+  // (probe is a slow path; the map scan is fine). A pending rendezvous
+  // RTS reports 0 bytes — only the envelope has arrived.
+  const Runtime::UnexpectedHolder* first = nullptr;
+  for (const auto& [req, holder] : st.unexpected) {
+    (void)req;
+    if (holder->env == *env &&
+        (first == nullptr || holder->req.seq() < first->req.seq()))
+      first = holder.get();
+  }
+  if (first != nullptr && !first->is_rdv) status.bytes = first->payload.size();
+  return status;
+}
+
+bool Comm::cancel(Request& request) {
+  if (!request.valid()) return false;
+  SEMPERM_ASSERT_MSG(request.owner_rank == rank_,
+                     "cancelling another rank's request");
+  Runtime::RankState& st = rt_->state(rank_);
+  std::lock_guard<std::mutex> lock(st.mutex);
+  match::MatchRequest* reqp = request.req_;
+  if (reqp->complete()) return false;
+  const bool removed = st.bundle->cancel_recv(reqp);
+  if (!removed) return false;  // matched concurrently; caller must wait()
+  // Retire the request object.
+  for (auto it = st.recv_requests.begin(); it != st.recv_requests.end(); ++it) {
+    if (it->get() == reqp) {
+      st.recv_requests.erase(it);
+      break;
+    }
+  }
+  request.req_ = nullptr;
+  return true;
+}
+
+// --------------------------------------------------------------------
+// Comm — collectives (binomial trees over point-to-point)
+// --------------------------------------------------------------------
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(size) rounds.
+  const int n = size();
+  std::byte token{0};
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k % n + n) % n;
+    send_ctx(to, kBarrierTagBase + round, std::span<const std::byte>(&token, 1),
+             ctx_coll_);
+    std::byte sink{0};
+    recv_ctx(from, kBarrierTagBase + round, std::span<std::byte>(&sink, 1),
+             ctx_coll_);
+  }
+}
+
+void Comm::bcast(int root, std::span<std::byte> data) {
+  const int n = size();
+  SEMPERM_ASSERT(root >= 0 && root < n);
+  const int vr = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int from = ((vr - mask) + root) % n;
+      recv_ctx(from, kBcastTag, data, ctx_coll_);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int to = ((vr + mask) + root) % n;
+      send_ctx(to, kBcastTag, data, ctx_coll_);
+    }
+    mask >>= 1;
+  }
+}
+
+double Comm::reduce_sum(int root, double value) {
+  const int n = size();
+  SEMPERM_ASSERT(root >= 0 && root < n);
+  const int vr = (rank_ - root + n) % n;
+  double acc = value;
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int to = ((vr - mask) + root) % n;
+      send_ctx(to, kReduceTag,
+               std::as_bytes(std::span<const double>(&acc, 1)), ctx_coll_);
+      break;
+    }
+    if (vr + mask < n) {
+      const int from = ((vr + mask) + root) % n;
+      double incoming = 0.0;
+      recv_ctx(from, kReduceTag,
+               std::as_writable_bytes(std::span<double>(&incoming, 1)),
+               ctx_coll_);
+      acc += incoming;
+    }
+    mask <<= 1;
+  }
+  return acc;  // meaningful at root only (MPI semantics)
+}
+
+double Comm::allreduce_sum(double value) {
+  double total = reduce_sum(0, value);
+  bcast(0, std::as_writable_bytes(std::span<double>(&total, 1)));
+  return total;
+}
+
+void Comm::gather(int root, std::span<const std::byte> chunk,
+                  std::span<std::byte> out) {
+  const int n = size();
+  SEMPERM_ASSERT(root >= 0 && root < n);
+  if (rank_ != root) {
+    send_ctx(root, kGatherTag, chunk, ctx_coll_);
+    return;
+  }
+  SEMPERM_ASSERT_MSG(out.size() >= chunk.size() * static_cast<std::size_t>(n),
+                     "gather output buffer too small");
+  for (int r = 0; r < n; ++r) {
+    auto slot = out.subspan(static_cast<std::size_t>(r) * chunk.size(),
+                            chunk.size());
+    if (r == root) {
+      std::copy(chunk.begin(), chunk.end(), slot.begin());
+    } else {
+      recv_ctx(r, kGatherTag, slot, ctx_coll_);
+    }
+  }
+}
+
+void Comm::scatter(int root, std::span<const std::byte> in,
+                   std::span<std::byte> chunk) {
+  const int n = size();
+  SEMPERM_ASSERT(root >= 0 && root < n);
+  if (rank_ == root) {
+    SEMPERM_ASSERT_MSG(in.size() >= chunk.size() * static_cast<std::size_t>(n),
+                       "scatter input buffer too small");
+    for (int r = 0; r < n; ++r) {
+      auto piece = in.subspan(static_cast<std::size_t>(r) * chunk.size(),
+                              chunk.size());
+      if (r == root)
+        std::copy(piece.begin(), piece.end(), chunk.begin());
+      else
+        send_ctx(r, kScatterTag, piece, ctx_coll_);
+    }
+  } else {
+    recv_ctx(root, kScatterTag, chunk, ctx_coll_);
+  }
+}
+
+void Comm::alltoall(std::span<const std::byte> in, std::span<std::byte> out) {
+  const int n = size();
+  SEMPERM_ASSERT(n > 0);
+  SEMPERM_ASSERT_MSG(in.size() == out.size() && in.size() % n == 0,
+                     "alltoall buffers must be size x chunk bytes");
+  const std::size_t chunk = in.size() / static_cast<std::size_t>(n);
+  // Pairwise exchange: in round k, talk to rank ^ ... (linear shift keeps
+  // it simple and deadlock-free with eager/pre-posted receives).
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    reqs.push_back(irecv_ctx(
+        r, kAlltoallTag, out.subspan(static_cast<std::size_t>(r) * chunk, chunk),
+        ctx_coll_));
+  }
+  for (int shift = 1; shift < n; ++shift) {
+    const int dest = (rank_ + shift) % n;
+    send_ctx(dest, kAlltoallTag,
+             in.subspan(static_cast<std::size_t>(dest) * chunk, chunk),
+             ctx_coll_);
+  }
+  auto self_in = in.subspan(static_cast<std::size_t>(rank_) * chunk, chunk);
+  auto self_out = out.subspan(static_cast<std::size_t>(rank_) * chunk, chunk);
+  std::copy(self_in.begin(), self_in.end(), self_out.begin());
+  wait_all(std::span<Request>(reqs));
+}
+
+Comm Comm::dup() const {
+  // Collective: rank 0 allocates a fresh context pair and broadcasts it.
+  std::uint16_t ctx = 0;
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lock(rt_->ctx_mutex_);
+    ctx = rt_->next_ctx_;
+    rt_->next_ctx_ += 2;
+  }
+  const int n = size();
+  if (n > 1) {
+    if (rank_ == 0) {
+      for (int r = 1; r < n; ++r)
+        const_cast<Comm*>(this)->send_ctx(
+            r, kDupTag, std::as_bytes(std::span<const std::uint16_t>(&ctx, 1)),
+            ctx_coll_);
+    } else {
+      const_cast<Comm*>(this)->recv_ctx(
+          0, kDupTag,
+          std::as_writable_bytes(std::span<std::uint16_t>(&ctx, 1)),
+          ctx_coll_);
+    }
+  }
+  return Comm(rt_, rank_, ctx, static_cast<std::uint16_t>(ctx + 1));
+}
+
+}  // namespace semperm::simmpi

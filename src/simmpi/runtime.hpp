@@ -1,0 +1,266 @@
+// semperm/simmpi/runtime.hpp
+//
+// A small in-process MPI-like runtime: ranks are threads, messages move
+// through per-rank mailboxes, and every rank owns a real MatchEngine built
+// from a QueueConfig — so applications written against this API exercise
+// exactly the matching data structures the study is about.
+//
+// Supported surface (deliberately the subset the paper's workloads need):
+//  * blocking send/recv with tags, MPI_ANY_SOURCE / MPI_ANY_TAG wildcards;
+//  * nonblocking isend/irecv + wait/wait_all;
+//  * communicator duplication (separate matching context ids);
+//  * collectives: barrier, broadcast, reduce-sum, allreduce-sum
+//    (binomial-tree implementations over point-to-point).
+//
+// Wire protocol: messages at or below the eager threshold are buffered at
+// the receiver immediately (eager). Larger messages use a rendezvous
+// protocol, as real MPI implementations do: the sender ships a small RTS
+// (ready-to-send) control message that carries only the envelope — it is
+// the RTS that flows through the matching engine, which is exactly why
+// unexpected-queue entries need no payload storage — the receiver answers
+// with a CTS once a receive matches, and only then does the payload move,
+// straight into the posted buffer. Rendezvous sends block until the CTS
+// arrives but keep draining their own mailbox meanwhile, so opposing
+// simultaneous rendezvous sends cannot deadlock.
+//
+// MPI's per-(source, destination, communicator) non-overtaking order holds
+// because mailboxes are FIFO and the matching engine searches in arrival
+// order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mem_policy.hpp"
+#include "match/engine.hpp"
+#include "match/factory.hpp"
+#include "simmpi/network_model.hpp"
+
+namespace semperm::simmpi {
+
+/// Wildcards re-exported for API convenience.
+inline constexpr std::int32_t kAnySource = match::kAnySource;
+inline constexpr std::int32_t kAnyTag = match::kAnyTag;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+class Runtime;
+class Comm;
+
+/// Handle to a pending nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return req_ != nullptr; }
+
+ private:
+  friend class Comm;
+  match::MatchRequest* req_ = nullptr;
+  int owner_rank = -1;
+};
+
+/// Per-rank communicator handle. Obtained inside the rank main function;
+/// do not share across rank threads.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point to point -------------------------------------------------
+  void send(int dest, int tag, std::span<const std::byte> data);
+  Status recv(int source, int tag, std::span<std::byte> buffer);
+
+  Request isend(int dest, int tag, std::span<const std::byte> data);
+  Request irecv(int source, int tag, std::span<std::byte> buffer);
+  Status wait(Request& request);
+  void wait_all(std::span<Request> requests);
+
+  /// Drain any delivered-but-unprocessed messages into the match engine.
+  void progress();
+
+  /// Nonblocking probe (MPI_Iprobe): has a message matching (source, tag)
+  /// arrived and not yet been received? Returns its Status without
+  /// consuming it. Note that with the rendezvous protocol the reported
+  /// byte count of a not-yet-received large message is 0 (only the RTS
+  /// has arrived).
+  std::optional<Status> iprobe(int source, int tag);
+
+  /// Cancel a pending nonblocking receive (MPI_Cancel + MPI_Request_free):
+  /// true if the receive was still queued and was removed; false if it
+  /// already matched (it must then be completed with wait()).
+  bool cancel(Request& request);
+
+  // --- collectives ----------------------------------------------------
+  void barrier();
+  void bcast(int root, std::span<std::byte> data);
+  double reduce_sum(int root, double value);
+  double allreduce_sum(double value);
+  /// Root gathers `chunk` bytes from every rank into `out` (size x chunk
+  /// bytes, rank order). `out` may be empty on non-root ranks.
+  void gather(int root, std::span<const std::byte> chunk,
+              std::span<std::byte> out);
+  /// Root scatters consecutive `chunk`-sized pieces of `in` to the ranks.
+  void scatter(int root, std::span<const std::byte> in,
+               std::span<std::byte> chunk);
+  /// Every rank sends piece i of `in` to rank i and receives piece r from
+  /// every rank r into `out`; both are size x chunk bytes.
+  void alltoall(std::span<const std::byte> in, std::span<std::byte> out);
+
+  /// Duplicate: same group, fresh matching context.
+  Comm dup() const;
+
+  /// Typed convenience overloads.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::as_bytes(std::span<const T>(&v, 1)));
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    T v{};
+    recv(source, tag, std::as_writable_bytes(std::span<T>(&v, 1)));
+    return v;
+  }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* rt, int rank, std::uint16_t ctx_ptp, std::uint16_t ctx_coll)
+      : rt_(rt), rank_(rank), ctx_ptp_(ctx_ptp), ctx_coll_(ctx_coll) {}
+
+  void send_ctx(int dest, int tag, std::span<const std::byte> data,
+                std::uint16_t ctx);
+  Status recv_ctx(int source, int tag, std::span<std::byte> buffer,
+                  std::uint16_t ctx);
+  Request irecv_ctx(int source, int tag, std::span<std::byte> buffer,
+                    std::uint16_t ctx);
+
+  Runtime* rt_ = nullptr;
+  int rank_ = -1;
+  std::uint16_t ctx_ptp_ = 0;
+  std::uint16_t ctx_coll_ = 1;
+};
+
+struct RuntimeOptions {
+  /// Payloads larger than this use the rendezvous protocol.
+  std::size_t eager_threshold = 16 * 1024;
+};
+
+class Runtime {
+ public:
+  /// Build a runtime of `nranks` ranks whose engines use `qcfg`.
+  Runtime(int nranks, match::QueueConfig qcfg, RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launch one thread per rank running `rank_main`, and join them all.
+  /// Exceptions thrown by rank functions are rethrown (first wins).
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  int size() const { return nranks_; }
+
+  /// Aggregate PRQ search stats over all ranks (after run()).
+  match::SearchStats aggregate_prq_stats() const;
+  match::SearchStats aggregate_umq_stats() const;
+
+ private:
+  friend class Comm;
+
+  enum class WireKind : std::uint8_t {
+    kEager,    // envelope + payload, buffered on arrival
+    kRts,      // rendezvous ready-to-send: envelope only
+    kCts,      // rendezvous clear-to-send: back to the sender
+    kRdvData,  // rendezvous payload, addressed by rendezvous id
+  };
+
+  struct WireMessage {
+    WireKind kind = WireKind::kEager;
+    match::Envelope env;
+    std::vector<std::byte> payload;
+    std::uint64_t rdv_id = 0;
+    int origin = -1;  // sending rank (for CTS routing)
+  };
+
+  /// A buffered unexpected message: the request the UMQ entry points at,
+  /// plus the payload (eager) or the rendezvous coordinates (RTS).
+  struct UnexpectedHolder {
+    match::MatchRequest req;
+    std::vector<std::byte> payload;
+    match::Envelope env;
+    bool is_rdv = false;
+    std::uint64_t rdv_id = 0;
+    int origin = -1;
+  };
+
+  struct RankState {
+    // Lock order: `mutex` (engine + rendezvous maps) may be held while
+    // taking any rank's `mailbox_mutex`; mailbox mutexes are leaves, so
+    // control messages can be delivered from inside a drain.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::mutex mailbox_mutex;
+    std::deque<WireMessage> mailbox;
+    match::EngineBundle<NativeMem> bundle;
+    std::deque<std::unique_ptr<match::MatchRequest>> recv_requests;
+    std::unordered_map<match::MatchRequest*, std::unique_ptr<UnexpectedHolder>>
+        unexpected;
+    // Rendezvous state.
+    std::unordered_map<std::uint64_t, match::MatchRequest*> rdv_pending;
+    std::unordered_set<std::uint64_t> cts_received;
+    std::uint64_t next_rdv = 1;
+    std::uint64_t next_seq = 1;
+  };
+
+  RankState& state(int rank);
+  void deliver(int dest, WireMessage msg);
+
+  /// Progress loop: drain + check `done` under the state mutex; sleep on
+  /// the mailbox condition variable only while the mailbox is verifiably
+  /// empty (checked under the mailbox mutex), so a concurrent deliver()
+  /// can never be lost.
+  template <class Pred>
+  void wait_progress(int rank, RankState& st, Pred&& done) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        drain_locked(rank, st);
+        if (done()) return;
+      }
+      std::unique_lock<std::mutex> mlock(st.mailbox_mutex);
+      if (!st.mailbox.empty()) continue;  // more work arrived: go drain it
+      st.cv.wait(mlock);
+    }
+  }
+  /// Pump `rank`'s mailbox into its engine. Caller holds the rank's state
+  /// mutex (`RankState::mutex`).
+  void drain_locked(int rank, RankState& st);
+  /// A receive matched an RTS: answer with CTS and park the receive until
+  /// the payload arrives. Caller holds the rank's state mutex.
+  void accept_rendezvous(RankState& st, UnexpectedHolder& holder,
+                         match::MatchRequest* recv);
+
+  int nranks_;
+  match::QueueConfig qcfg_;
+  RuntimeOptions options_;
+  NativeMem native_mem_;
+  memlayout::AddressSpace space_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::uint16_t next_ctx_ = 2;  // 0/1 reserved for world ptp/coll
+  std::mutex ctx_mutex_;
+};
+
+}  // namespace semperm::simmpi

@@ -1,0 +1,95 @@
+#include "trace/replay.hpp"
+
+#include <deque>
+#include <memory>
+#include <sstream>
+
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "common/assert.hpp"
+
+namespace semperm::trace {
+
+namespace {
+
+template <MemoryModel Mem>
+ReplayResult run(const Trace& trace, const ReplayOptions& options, Mem& mem,
+                 cachesim::Hierarchy* hier) {
+  memlayout::AddressSpace space;
+  auto cfg = options.queue;
+  cfg.arena_bytes = options.arena_bytes;
+  auto bundle = match::make_engine(mem, space, cfg);
+  bundle->enable_sampling(16, 16);
+
+  // Requests live until the replay ends; a deque keeps pointers stable.
+  std::deque<match::MatchRequest> requests;
+  ReplayResult result;
+  std::uint64_t seq = 0;
+  std::size_t since_pollute = 0;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (hier != nullptr && options.pollute_every > 0 &&
+        ++since_pollute >= options.pollute_every) {
+      since_pollute = 0;
+      hier->pollute(options.compute_working_set_bytes);
+    }
+    requests.emplace_back(e.kind == TraceEvent::Kind::kPost
+                              ? match::RequestKind::kRecv
+                              : match::RequestKind::kUnexpected,
+                          seq++);
+    match::MatchRequest* req = &requests.back();
+    if (e.kind == TraceEvent::Kind::kPost) {
+      ++result.posts;
+      if (bundle->post_recv(match::Pattern::make(e.source, e.tag, e.ctx),
+                            req) != nullptr)
+        ++result.umq_matches;
+    } else {
+      ++result.arrivals;
+      if (bundle->incoming(
+              match::Envelope{e.tag, static_cast<std::int16_t>(e.source),
+                              e.ctx},
+              req) != nullptr)
+        ++result.prq_matches;
+    }
+  }
+
+  result.leftover_posted = bundle->prq().size();
+  result.leftover_unexpected = bundle->umq().size();
+  result.mean_prq_search_depth = bundle->prq().stats().mean_inspected();
+  result.mean_umq_search_depth = bundle->umq().stats().mean_inspected();
+  result.max_prq_length = bundle->prq_sampler()->histogram().max_value_seen();
+  result.max_umq_length = bundle->umq_sampler()->histogram().max_value_seen();
+  result.match_cycles = mem.cycles();
+  return result;
+}
+
+}  // namespace
+
+ReplayResult replay(const Trace& trace, const ReplayOptions& options) {
+  if (!options.arch.has_value()) {
+    NativeMem mem;
+    return run(trace, options, mem, nullptr);
+  }
+  cachesim::Hierarchy hier(*options.arch);
+  cachesim::SimMem mem(hier);
+  ReplayResult result = run(trace, options, mem, &hier);
+  result.match_ns = options.arch->cycles_to_ns(result.match_cycles);
+  return result;
+}
+
+std::string ReplayResult::summary() const {
+  std::ostringstream os;
+  os << posts << " posts (" << umq_matches << " matched buffered messages), "
+     << arrivals << " arrivals (" << prq_matches << " matched receives)\n"
+     << "mean search depth: PRQ " << mean_prq_search_depth << ", UMQ "
+     << mean_umq_search_depth << "; max lengths: PRQ " << max_prq_length
+     << ", UMQ " << max_umq_length << '\n'
+     << "leftover: " << leftover_posted << " posted, " << leftover_unexpected
+     << " unexpected";
+  if (match_cycles > 0)
+    os << "\nmodelled match cost: " << match_cycles << " cycles ("
+       << match_ns / 1000.0 << " us)";
+  return os.str();
+}
+
+}  // namespace semperm::trace

@@ -1,0 +1,51 @@
+// semperm/trace/replay.hpp
+//
+// Replay a matching trace against any queue structure, natively or under
+// any simulated architecture, and report the locality-study observables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cachesim/arch.hpp"
+#include "match/factory.hpp"
+#include "trace/trace.hpp"
+
+namespace semperm::trace {
+
+struct ReplayOptions {
+  match::QueueConfig queue;
+  /// Simulate under this architecture; nullopt = native replay (no
+  /// modelled cycles, wall-clock-free).
+  std::optional<cachesim::ArchProfile> arch;
+  /// Emulated compute phase between every `pollute_every` events
+  /// (simulated replays only); 0 = never.
+  std::size_t pollute_every = 0;
+  std::size_t compute_working_set_bytes = 24ull * 1024 * 1024;
+  std::size_t arena_bytes = 32ull * 1024 * 1024;
+};
+
+struct ReplayResult {
+  std::uint64_t posts = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t prq_matches = 0;   // arrivals that found a posted receive
+  std::uint64_t umq_matches = 0;   // posts satisfied from buffered messages
+  std::size_t leftover_posted = 0;
+  std::size_t leftover_unexpected = 0;
+  double mean_prq_search_depth = 0.0;
+  double mean_umq_search_depth = 0.0;
+  std::uint64_t max_prq_length = 0;
+  std::uint64_t max_umq_length = 0;
+  /// Simulated replays only: total modelled match cycles and ns.
+  Cycles match_cycles = 0;
+  double match_ns = 0.0;
+
+  std::string summary() const;
+};
+
+/// Replay `trace` under `options`. Throws on a trace that uses reserved
+/// identities.
+ReplayResult replay(const Trace& trace, const ReplayOptions& options);
+
+}  // namespace semperm::trace

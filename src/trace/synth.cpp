@@ -1,0 +1,78 @@
+#include "trace/synth.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace semperm::trace {
+
+Trace synth_halo_trace(int neighbours, int vars, int phases,
+                       std::uint64_t seed) {
+  SEMPERM_ASSERT(neighbours > 0 && vars > 0 && phases > 0);
+  Rng rng(seed);
+  Trace trace;
+  for (int phase = 0; phase < phases; ++phase) {
+    // Small scheduling skew: a few receives lead the arrivals.
+    const auto lead = 1 + rng.below(3);
+    std::vector<std::pair<int, int>> ids;
+    for (int nb = 0; nb < neighbours; ++nb)
+      for (int v = 0; v < vars; ++v) ids.emplace_back(nb, v);
+    std::size_t delivered = 0;
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      trace.post(ids[p].first, ids[p].second);
+      if (p + 1 > lead && delivered < ids.size()) {
+        trace.arrive(ids[delivered].first, ids[delivered].second);
+        ++delivered;
+      }
+    }
+    while (delivered < ids.size()) {
+      trace.arrive(ids[delivered].first, ids[delivered].second);
+      ++delivered;
+    }
+  }
+  return trace;
+}
+
+Trace synth_fds_trace(int standing, int messages_per_phase, int phases,
+                      std::uint64_t seed) {
+  SEMPERM_ASSERT(standing >= 0 && messages_per_phase > 0 && phases > 0);
+  Rng rng(seed);
+  Trace trace;
+  // Standing receives for other mesh interfaces: sources/tags that no
+  // message of this trace carries.
+  constexpr int kStandingSource = 99;
+  for (int i = 0; i < standing; ++i) trace.post(kStandingSource, 100000 + i);
+  for (int phase = 0; phase < phases; ++phase) {
+    std::vector<int> tags;
+    for (int m = 0; m < messages_per_phase; ++m) {
+      tags.push_back(phase * messages_per_phase + m);
+      trace.post(1, tags.back());
+    }
+    rng.shuffle(tags);  // matches land anywhere in the posted window
+    for (int tag : tags) trace.arrive(1, tag);
+  }
+  return trace;
+}
+
+Trace synth_unexpected_trace(int messages, double early_prob,
+                             std::uint64_t seed) {
+  SEMPERM_ASSERT(messages > 0 && early_prob >= 0.0 && early_prob <= 1.0);
+  Rng rng(seed);
+  Trace trace;
+  std::vector<int> late;
+  for (int m = 0; m < messages; ++m) {
+    if (rng.chance(early_prob)) {
+      trace.arrive(2, m);  // beats its receive: lands on the UMQ
+      trace.post(2, m);    // immediately satisfied from the UMQ
+    } else {
+      late.push_back(m);
+      trace.post(2, m);
+    }
+  }
+  rng.shuffle(late);
+  for (int m : late) trace.arrive(2, m);
+  return trace;
+}
+
+}  // namespace semperm::trace

@@ -1,0 +1,30 @@
+// semperm/trace/synth.hpp
+//
+// Synthetic trace generators for the communication characters the paper
+// studies — useful seeds for replay experiments and regression baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace semperm::trace {
+
+/// Well-synchronised BSP halo exchange: per phase, `neighbours x vars`
+/// receives posted then matched nearly in order (short effective
+/// searches). The Halo3D character of Fig. 1c.
+Trace synth_halo_trace(int neighbours, int vars, int phases,
+                       std::uint64_t seed = 0x7a10ULL);
+
+/// FDS-style unsynchronised traffic: a standing list of `standing` posted
+/// receives that never match during the trace, plus per-phase messages
+/// that match in random order deep in the list (§4.5's character).
+Trace synth_fds_trace(int standing, int messages_per_phase, int phases,
+                      std::uint64_t seed = 0xfd5ULL);
+
+/// Unexpected-heavy traffic: messages arrive before their receives with
+/// probability `early_prob`, exercising the UMQ path.
+Trace synth_unexpected_trace(int messages, double early_prob,
+                             std::uint64_t seed = 0x0e1ULL);
+
+}  // namespace semperm::trace

@@ -1,0 +1,94 @@
+#include "trace/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace semperm::trace {
+
+namespace {
+
+std::string field(std::int32_t value, bool allow_any) {
+  if (allow_any && value == match::kAnySource) return "*";
+  return std::to_string(value);
+}
+
+std::int32_t parse_field(const std::string& token, bool allow_any,
+                         std::size_t line_no) {
+  if (token == "*") {
+    if (!allow_any)
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": wildcard not allowed in arrivals");
+    return match::kAnySource;  // == kAnyTag == -1
+  }
+  try {
+    return std::stoi(token);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                ": bad field '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void Trace::save(std::ostream& out) const {
+  out << "# semperm matching trace: " << events_.size() << " events\n";
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceEvent::Kind::kPost) {
+      out << "post " << field(e.source, true) << ' ' << field(e.tag, true)
+          << ' ' << e.ctx << '\n';
+    } else {
+      out << "arrive " << e.source << ' ' << e.tag << ' ' << e.ctx << '\n';
+    }
+  }
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+Trace Trace::load(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank line
+    std::string src_tok, tag_tok;
+    unsigned ctx = 0;
+    if (!(ls >> src_tok >> tag_tok >> ctx))
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": expected '<verb> <src> <tag> <ctx>'");
+    std::string extra;
+    if (ls >> extra)
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": trailing junk '" + extra + "'");
+    const bool is_post = verb == "post";
+    if (!is_post && verb != "arrive")
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": unknown verb '" + verb + "'");
+    const std::int32_t src = parse_field(src_tok, is_post, line_no);
+    const std::int32_t tag = parse_field(tag_tok, is_post, line_no);
+    TraceEvent e;
+    e.kind = is_post ? TraceEvent::Kind::kPost : TraceEvent::Kind::kArrive;
+    e.source = src;
+    e.tag = tag;
+    e.ctx = static_cast<std::uint16_t>(ctx);
+    trace.add(e);
+  }
+  return trace;
+}
+
+Trace Trace::from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace semperm::trace

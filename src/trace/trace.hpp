@@ -1,0 +1,77 @@
+// semperm/trace/trace.hpp
+//
+// Matching-trace capture and replay. A trace is the sequence of matching
+// operations one rank performs — receive postings (patterns, wildcards
+// included) and message arrivals (concrete envelopes). Traces decouple
+// workload capture from evaluation: record once (from an application run,
+// a motif generator, or by hand), then replay against any queue structure,
+// on the native path or under any simulated architecture — the methodology
+// of trace-based matching studies (cf. Ferreira et al., EuroMPI'17, cited
+// by the paper).
+//
+// Text format (one event per line, '#' comments):
+//   post <source|*> <tag|*> <ctx>
+//   arrive <source> <tag> <ctx>
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "match/envelope.hpp"
+
+namespace semperm::trace {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kPost, kArrive };
+  Kind kind = Kind::kPost;
+  // For kPost: a receive pattern (kAnySource / kAnyTag allowed).
+  // For kArrive: a concrete envelope.
+  std::int32_t source = 0;
+  std::int32_t tag = 0;
+  std::uint16_t ctx = 0;
+
+  static TraceEvent post(std::int32_t source, std::int32_t tag,
+                         std::uint16_t ctx = 0) {
+    return TraceEvent{Kind::kPost, source, tag, ctx};
+  }
+  static TraceEvent arrive(std::int32_t source, std::int32_t tag,
+                           std::uint16_t ctx = 0) {
+    return TraceEvent{Kind::kArrive, source, tag, ctx};
+  }
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class Trace {
+ public:
+  void add(TraceEvent event) { events_.push_back(event); }
+  void post(std::int32_t source, std::int32_t tag, std::uint16_t ctx = 0) {
+    add(TraceEvent::post(source, tag, ctx));
+  }
+  void arrive(std::int32_t source, std::int32_t tag, std::uint16_t ctx = 0) {
+    add(TraceEvent::arrive(source, tag, ctx));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Serialize to the text format.
+  void save(std::ostream& out) const;
+  std::string to_string() const;
+
+  /// Parse the text format; throws std::invalid_argument with a line
+  /// number on malformed input.
+  static Trace load(std::istream& in);
+  static Trace from_string(const std::string& text);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace semperm::trace

@@ -1,0 +1,145 @@
+#include "workloads/app_model.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cachesim/heater.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace semperm::workloads {
+
+namespace {
+constexpr std::int32_t kStandingTagBase = 1'000'000;
+constexpr std::int16_t kPeerRank = 1;
+constexpr std::int16_t kNobodyRank = 2;
+}  // namespace
+
+AppModelResult run_app_model(const AppModelParams& params) {
+  SEMPERM_ASSERT(params.phases > 0 && params.messages_per_phase > 0);
+  SEMPERM_ASSERT(params.match_disorder >= 0.0 && params.match_disorder <= 1.0);
+
+  cachesim::Hierarchy hier(params.arch);
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+  auto bundle = match::make_engine(mem, space, params.queue);
+  Rng rng(params.seed);
+
+  // Standing depth: unmatched receives that sit ahead of phase traffic.
+  std::vector<match::MatchRequest> standing(params.standing_depth);
+  for (std::size_t i = 0; i < params.standing_depth; ++i) {
+    standing[i] = match::MatchRequest(match::RequestKind::kRecv, i);
+    match::MatchRequest* hit = bundle->post_recv(
+        match::Pattern::make(kNobodyRank,
+                             kStandingTagBase + static_cast<std::int32_t>(i), 0),
+        &standing[i]);
+    SEMPERM_ASSERT(hit == nullptr);
+  }
+
+  std::unique_ptr<cachesim::SimHeater> heater;
+  if (params.heater != HeaterMode::kOff) {
+    cachesim::SimHeaterConfig hc;
+    hc.race_with_pollution = params.cold_cache_per_message;
+    hc.scan_cost_per_region = params.heater_scan_cost;
+    heater = std::make_unique<cachesim::SimHeater>(hier, hc);
+    heater->register_region(bundle.arena->sim_base(),
+                            std::max<std::size_t>(bundle.arena->used(), 1));
+    if (params.heater == HeaterMode::kPerElement) {
+      // Model the per-element registry: one region slot per standing entry
+      // so the mutation cost reflects the registry's length.
+      const std::size_t node = 4 * kCacheLine;
+      for (std::size_t i = 0; i + 1 < params.standing_depth; ++i)
+        heater->register_region(
+            bundle.arena->sim_base() + i * node, node);
+    }
+  }
+
+  std::vector<match::MatchRequest> recvs(params.messages_per_phase);
+  std::vector<match::MatchRequest> msgs(params.messages_per_phase);
+  double total_match_ns = 0.0;
+
+  for (std::size_t phase = 0; phase < params.phases; ++phase) {
+    // The compute phase displaces matching state from the caches; the
+    // heater (if any) restores it before communication starts.
+    if (params.compute_working_set_bytes == 0)
+      hier.flush_all();
+    else
+      hier.pollute(params.compute_working_set_bytes);
+    if (heater) heater->refresh();
+
+    const Cycles mark = mem.cycles();
+    for (std::size_t m = 0; m < params.messages_per_phase; ++m) {
+      recvs[m] = match::MatchRequest(match::RequestKind::kRecv, m);
+      match::MatchRequest* hit = bundle->post_recv(
+          match::Pattern::make(kPeerRank, static_cast<std::int32_t>(m), 0),
+          &recvs[m]);
+      SEMPERM_ASSERT(hit == nullptr);
+      if (params.heater == HeaterMode::kPerElement)
+        mem.work(heater->mutation_cost());
+    }
+    // Arrival order: a prefix in posting order, a suffix shuffled across
+    // the disordered window.
+    std::vector<std::size_t> order(params.messages_per_phase);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto disordered = static_cast<std::size_t>(
+        params.match_disorder * static_cast<double>(order.size()));
+    if (disordered > 1) {
+      std::vector<std::size_t> window(order.end() - static_cast<std::ptrdiff_t>(disordered),
+                                      order.end());
+      rng.shuffle(window);
+      std::copy(window.begin(), window.end(),
+                order.end() - static_cast<std::ptrdiff_t>(disordered));
+    }
+    for (std::size_t idx : order) {
+      if (params.cold_cache_per_message) {
+        // Pause match-time accounting around the emulated compute slice.
+        const Cycles before = mem.cycles();
+        if (params.compute_working_set_bytes == 0)
+          hier.flush_all();
+        else
+          hier.pollute(params.compute_working_set_bytes);
+        if (heater) heater->refresh();
+        SEMPERM_ASSERT(mem.cycles() == before);
+      }
+      msgs[idx] = match::MatchRequest(match::RequestKind::kUnexpected, idx);
+      match::MatchRequest* recv = bundle->incoming(
+          match::Envelope{static_cast<std::int32_t>(idx), kPeerRank, 0},
+          &msgs[idx]);
+      SEMPERM_ASSERT(recv != nullptr);
+      if (params.heater == HeaterMode::kPerElement)
+        mem.work(heater->mutation_cost());
+    }
+    total_match_ns += params.arch.cycles_to_ns(mem.cycles() - mark);
+  }
+
+  const double msgs_total = static_cast<double>(params.phases) *
+                            static_cast<double>(params.messages_per_phase);
+  const double sw_ns = msgs_total * params.arch.sw_overhead_ns;
+  const double wire_ns =
+      msgs_total * params.net.transfer_ns(params.msg_bytes) *
+      (1.0 - params.comm_overlap);
+
+  AppModelResult result;
+  double match_total_ns = total_match_ns;
+  double compute_total_ns =
+      static_cast<double>(params.phases) * params.compute_ns_per_phase;
+  if (heater && params.cold_cache_per_message) {
+    // The heater streams concurrently with compute and with the matching
+    // path's memory traffic (paper §3.2 challenge 3, application
+    // interference): a saturated heater slows both.
+    const double duty = heater->duty();
+    compute_total_ns *= 1.0 + duty * params.heater_interference;
+    match_total_ns *= 1.0 + duty * params.heater_interference * 0.5;
+  }
+  result.match_s = match_total_ns * 1e-9;
+  result.comm_s = (match_total_ns + sw_ns + wire_ns) * 1e-9;
+  result.compute_s = compute_total_ns * 1e-9;
+  result.runtime_s = result.compute_s + result.comm_s;
+  result.mean_search_depth = bundle->prq().stats().mean_inspected();
+  return result;
+}
+
+}  // namespace semperm::workloads

@@ -1,0 +1,82 @@
+// semperm/workloads/app_model.hpp
+//
+// The bulk-synchronous proxy-application skeleton behind the paper's
+// application studies (§4.4, §4.5). An application is characterised by the
+// matching workload its communication phases generate:
+//
+//   * messages per phase and their size;
+//   * a *standing* match-list depth — receives that stay unmatched ahead of
+//     the phase's traffic (pre-posted future work, other mesh interfaces);
+//   * whether arrivals match in posting order (well-tuned halo exchange)
+//     or land anywhere in the posted window (FDS-style unsynchronised
+//     traffic: "builds up large match lists and does not typically match
+//     the first element in the list");
+//   * the compute time per phase, which determines how much a matching
+//     speedup can move total runtime (Amdahl).
+//
+// One run simulates a representative rank's receive side; total runtime is
+// phases x (compute + communication), communication being software
+// overhead + wire time + modelled match time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cachesim/arch.hpp"
+#include "match/factory.hpp"
+#include "simmpi/network_model.hpp"
+#include "workloads/osu.hpp"
+
+namespace semperm::workloads {
+
+struct AppModelParams {
+  std::string name = "app";
+  cachesim::ArchProfile arch = cachesim::broadwell();
+  simmpi::NetworkModel net = simmpi::omnipath();
+  match::QueueConfig queue;
+  HeaterMode heater = HeaterMode::kOff;
+
+  std::size_t phases = 40;
+  std::size_t messages_per_phase = 26;
+  std::size_t msg_bytes = 8192;
+  std::size_t standing_depth = 128;  // unmatched entries ahead of traffic
+  /// Fraction of the phase's posted receives an arrival may land behind:
+  /// 0 = arrivals match in posting order (head after the standing depth);
+  /// 1 = arrivals land uniformly across the whole posted window.
+  double match_disorder = 0.0;
+  double compute_ns_per_phase = 2.0e6;
+  /// Wire time that overlaps compute (non-blocking progress), fraction.
+  double comm_overlap = 0.0;
+  /// FDS-style unsynchronised traffic: messages arrive spread through the
+  /// compute phase, so every search starts from a compute-polluted cache
+  /// (and the heater gets a chance to re-heat before each arrival). When
+  /// false (BSP apps), only the phase boundary clears the cache.
+  bool cold_cache_per_message = false;
+  /// Working set of each compute slice (drives LLC displacement; see
+  /// Hierarchy::pollute). 0 = full flush.
+  std::size_t compute_working_set_bytes = 24ull * 1024 * 1024;
+  /// With the heater running *during* compute (unsynchronised apps), a
+  /// busy heater steals memory bandwidth and cache from the application:
+  /// compute is slowed by duty x this factor, and matching by duty x half
+  /// of it.
+  double heater_interference = 0.08;
+  /// Registry-walk cost per slot for per-element hot caching. Application
+  /// studies use a higher value than the micro-benchmarks: their
+  /// registries are long-lived, cold, and walked under contention
+  /// ("lock contention as we must remove elements from the hot caching
+  /// list before MPI can deallocate them", §4.5).
+  Cycles heater_scan_cost = 8;
+  std::uint64_t seed = 0xa99ULL;
+};
+
+struct AppModelResult {
+  double runtime_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double match_s = 0.0;  // matching component of comm_s
+  double mean_search_depth = 0.0;
+};
+
+AppModelResult run_app_model(const AppModelParams& params);
+
+}  // namespace semperm::workloads

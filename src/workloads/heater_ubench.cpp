@@ -1,0 +1,47 @@
+#include "workloads/heater_ubench.hpp"
+
+#include "cachesim/heater.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace semperm::workloads {
+
+namespace {
+
+double measure(const HeaterUbenchParams& params, bool heated) {
+  cachesim::Hierarchy hier(params.arch);
+  cachesim::SimHeater heater(hier, cachesim::SimHeaterConfig{});
+  const Addr base = 0x4000'0000;
+  heater.register_region(base, params.region_bytes);
+  const std::size_t lines = params.region_bytes / kCacheLine;
+
+  Rng rng(params.seed);
+  RunningStats per_access_ns;
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    // Emulated compute phase between iterations (LLC displacement).
+    hier.pollute(24ull * 1024 * 1024);
+    if (heated) heater.refresh();
+    Cycles cycles = 0;
+    for (std::size_t a = 0; a < params.accesses_per_iteration; ++a) {
+      const Addr addr = base + rng.below(lines) * kCacheLine;
+      cycles += hier.access(addr, 4, /*write=*/false);
+    }
+    per_access_ns.add(params.arch.cycles_to_ns(cycles) /
+                          static_cast<double>(params.accesses_per_iteration) +
+                      params.loop_overhead_ns);
+  }
+  return per_access_ns.mean();
+}
+
+}  // namespace
+
+HeaterUbenchResult run_heater_ubench(const HeaterUbenchParams& params) {
+  HeaterUbenchResult r;
+  r.cold_ns_per_access = measure(params, /*heated=*/false);
+  r.heated_ns_per_access = measure(params, /*heated=*/true);
+  return r;
+}
+
+}  // namespace semperm::workloads

@@ -1,0 +1,232 @@
+#include "workloads/osu.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cachesim/heater.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace semperm::workloads {
+
+std::string heater_mode_name(HeaterMode mode) {
+  switch (mode) {
+    case HeaterMode::kOff:
+      return "off";
+    case HeaterMode::kPerElement:
+      return "HC";
+    case HeaterMode::kPooled:
+      return "HC+pool";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Tags are partitioned so pre-populated entries can never match traffic.
+constexpr std::int32_t kUnmatchedTagBase = 1'000'000;
+constexpr std::int16_t kSenderRank = 1;
+constexpr std::int16_t kNobodyRank = 2;
+
+/// Everything one OSU run needs, wired together.
+struct Bench {
+  cachesim::Hierarchy hier;
+  cachesim::SimMem mem;
+  memlayout::AddressSpace space;
+  match::EngineBundle<cachesim::SimMem> bundle;
+  std::unique_ptr<cachesim::SimHeater> heater;
+  std::vector<match::MatchRequest> depth_requests;
+  const OsuParams& params;
+
+  explicit Bench(const OsuParams& p)
+      : hier(p.arch), mem(hier), bundle(make_bundle(p)), params(p) {
+    // Hardware-supported locality (§6 extension): when the profile
+    // configures a network cache or an LLC partition, tag the matching
+    // engine's storage as network data.
+    if (p.arch.network_cache.present() || p.arch.llc_reserved_ways > 0)
+      hier.mark_network_region(bundle.arena->sim_base(),
+                               bundle.arena->capacity());
+
+    // Pre-populate the PRQ with unmatched receives (§4.1 modification 4).
+    depth_requests.resize(p.queue_depth);
+    for (std::size_t i = 0; i < p.queue_depth; ++i) {
+      depth_requests[i] =
+          match::MatchRequest(match::RequestKind::kRecv, i);
+      match::MatchRequest* m = bundle->post_recv(
+          match::Pattern::make(kNobodyRank,
+                               kUnmatchedTagBase + static_cast<std::int32_t>(i),
+                               /*ctx=*/0),
+          &depth_requests[i]);
+      SEMPERM_ASSERT(m == nullptr);
+    }
+
+    if (p.heater != HeaterMode::kOff) {
+      cachesim::SimHeaterConfig hc;
+      hc.capacity_bytes = p.heater_capacity_bytes;
+      heater = std::make_unique<cachesim::SimHeater>(hier, hc);
+      if (p.heater == HeaterMode::kPooled) {
+        // The dedicated element pool is registered once: one region
+        // covering the arena's carved storage.
+        heater->register_region(bundle.arena->sim_base(),
+                                std::max<std::size_t>(bundle.arena->used(), 1));
+      } else {
+        // Per-element hot caching: every queue element is its own region,
+        // and steady-state traffic keeps mutating the registry.
+        const std::size_t node = 4 * kCacheLine;  // baseline node granularity
+        const std::size_t used = bundle.arena->used();
+        for (std::size_t off = 0; off < used; off += node)
+          heater->register_region(bundle.arena->sim_base() + off,
+                                  std::min(node, used - off));
+      }
+    }
+  }
+
+  match::EngineBundle<cachesim::SimMem> make_bundle(const OsuParams& p) {
+    return match::make_engine(mem, space, p.queue);
+  }
+
+  /// Application-side heater overhead for one queue mutation.
+  void charge_heater_mutation() {
+    if (params.heater == HeaterMode::kPerElement)
+      mem.work(heater->mutation_cost());
+  }
+
+  void begin_iteration() {
+    if (params.clear_cache_between_iterations) {
+      if (params.compute_working_set_bytes == 0)
+        hier.flush_all();
+      else
+        hier.pollute(params.compute_working_set_bytes);
+    }
+    // The heater ran during the emulated compute phase: by the time the
+    // communication phase starts, registered regions are LLC-resident
+    // again (up to the heater's capacity budget).
+    if (heater) heater->refresh();
+  }
+};
+
+OsuResult finish(const Bench& bench, const RunningStats& iter_time_ns,
+                 const RunningStats& match_ns, std::size_t msgs_per_iter,
+                 std::size_t bytes_per_iter) {
+  OsuResult r;
+  const double mean_iter_ns = iter_time_ns.mean();
+  r.bandwidth_mibps = static_cast<double>(bytes_per_iter) /
+                      (mean_iter_ns * 1e-9) / (1024.0 * 1024.0);
+  r.msg_time_ns = mean_iter_ns / static_cast<double>(msgs_per_iter);
+  r.match_ns_per_msg = match_ns.mean();
+  const auto& prq_stats = bench.bundle->prq().stats();
+  r.mean_search_depth = prq_stats.mean_inspected();
+  const auto& hs = bench.hier.stats();
+  r.dram_fetches_per_msg =
+      static_cast<double>(hs.dram_fetches) /
+      std::max<double>(1.0, static_cast<double>(prq_stats.searches));
+  const auto& llc = bench.hier.level(bench.hier.level_count() - 1).stats();
+  r.llc_hit_rate = llc.hit_rate();
+  return r;
+}
+
+}  // namespace
+
+OsuResult run_osu_bw(const OsuParams& params) {
+  SEMPERM_ASSERT(params.window > 0 && params.iterations > 0);
+  Bench bench(params);
+
+  RunningStats iter_time_ns;
+  RunningStats match_ns_per_msg;
+  std::vector<match::MatchRequest> recvs(params.window);
+  std::vector<match::MatchRequest> msgs(params.window);
+
+  const std::size_t total_iters = params.warmup_iterations + params.iterations;
+  for (std::size_t it = 0; it < total_iters; ++it) {
+    const bool measured = it >= params.warmup_iterations;
+    if (measured && it == params.warmup_iterations) {
+      bench.hier.reset_stats();
+      bench.bundle->prq().reset_stats();
+    }
+    bench.begin_iteration();
+
+    const Cycles mark = bench.mem.cycles();
+    // Pre-post the window's receives (barrier semantics), then process the
+    // window's arrivals in order.
+    for (std::size_t m = 0; m < params.window; ++m) {
+      recvs[m] = match::MatchRequest(match::RequestKind::kRecv, m);
+      match::MatchRequest* hit = bench.bundle->post_recv(
+          match::Pattern::make(kSenderRank, static_cast<std::int32_t>(m), 0),
+          &recvs[m]);
+      SEMPERM_ASSERT(hit == nullptr);
+      bench.charge_heater_mutation();
+    }
+    for (std::size_t m = 0; m < params.window; ++m) {
+      msgs[m] = match::MatchRequest(match::RequestKind::kUnexpected, m);
+      match::MatchRequest* recv = bench.bundle->incoming(
+          match::Envelope{static_cast<std::int32_t>(m), kSenderRank, 0},
+          &msgs[m]);
+      SEMPERM_ASSERT_MSG(recv != nullptr, "pre-posted receive must match");
+      bench.charge_heater_mutation();
+    }
+    const Cycles match_cycles = bench.mem.cycles() - mark;
+
+    const double cpu_ns =
+        params.arch.cycles_to_ns(match_cycles) +
+        static_cast<double>(params.window) * params.arch.sw_overhead_ns;
+    const double wire_ns =
+        static_cast<double>(params.window) *
+        static_cast<double>(params.msg_bytes) / params.net.bandwidth_bytes_per_ns;
+    const double iter_ns = params.net.latency_ns + std::max(cpu_ns, wire_ns);
+    if (measured) {
+      iter_time_ns.add(iter_ns);
+      match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles) /
+                           static_cast<double>(params.window));
+    }
+  }
+
+  return finish(bench, iter_time_ns, match_ns_per_msg, params.window,
+                params.window * params.msg_bytes);
+}
+
+OsuResult run_osu_latency(const OsuParams& params) {
+  SEMPERM_ASSERT(params.iterations > 0);
+  Bench bench(params);
+
+  RunningStats iter_time_ns;
+  RunningStats match_ns_per_msg;
+
+  const std::size_t total_iters = params.warmup_iterations + params.iterations;
+  for (std::size_t it = 0; it < total_iters; ++it) {
+    const bool measured = it >= params.warmup_iterations;
+    if (measured && it == params.warmup_iterations) {
+      bench.hier.reset_stats();
+      bench.bundle->prq().reset_stats();
+    }
+    bench.begin_iteration();
+
+    const Cycles mark = bench.mem.cycles();
+    match::MatchRequest recv(match::RequestKind::kRecv, it);
+    match::MatchRequest* hit = bench.bundle->post_recv(
+        match::Pattern::make(kSenderRank, 0, 0), &recv);
+    SEMPERM_ASSERT(hit == nullptr);
+    bench.charge_heater_mutation();
+    match::MatchRequest msg(match::RequestKind::kUnexpected, it);
+    match::MatchRequest* done =
+        bench.bundle->incoming(match::Envelope{0, kSenderRank, 0}, &msg);
+    SEMPERM_ASSERT(done != nullptr);
+    bench.charge_heater_mutation();
+    const Cycles match_cycles = bench.mem.cycles() - mark;
+
+    // One-way time: wire + software overhead + matching.
+    const double one_way_ns = params.net.transfer_ns(params.msg_bytes) +
+                              params.arch.sw_overhead_ns +
+                              params.arch.cycles_to_ns(match_cycles);
+    if (measured) {
+      iter_time_ns.add(one_way_ns);
+      match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles));
+    }
+  }
+
+  return finish(bench, iter_time_ns, match_ns_per_msg, 1, params.msg_bytes);
+}
+
+}  // namespace semperm::workloads

@@ -1,0 +1,41 @@
+// tests/match_reference.hpp
+//
+// A deliberately naive reference implementation of the match-queue
+// contract: a flat vector searched linearly in append order. Every real
+// queue structure must agree with it operation-for-operation — the oracle
+// for the property tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "match/entry.hpp"
+#include "match/queue_iface.hpp"
+
+namespace semperm::match::testing {
+
+template <class Entry>
+class ReferenceQueue {
+ public:
+  using Key = key_of_t<Entry>;
+
+  void append(const Entry& e) { entries_.push_back(e); }
+
+  std::optional<Entry> find_and_remove(const Key& key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entry_matches(entries_[i], key)) {
+        Entry out = entries_[i];
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace semperm::match::testing

@@ -1,0 +1,66 @@
+#include "cachesim/arch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::cachesim {
+namespace {
+
+TEST(Arch, PresetsMatchTestbeds) {
+  const auto snb = sandy_bridge();
+  EXPECT_EQ(snb.name, "SandyBridge");
+  EXPECT_DOUBLE_EQ(snb.ghz, 2.6);
+  EXPECT_EQ(snb.cores_per_socket, 8u);
+
+  const auto bdw = broadwell();
+  EXPECT_DOUBLE_EQ(bdw.ghz, 2.1);
+  EXPECT_EQ(bdw.cores_per_socket, 18u);
+
+  const auto nhm = nehalem();
+  EXPECT_DOUBLE_EQ(nhm.ghz, 2.53);
+  EXPECT_EQ(nhm.cores_per_socket, 4u);
+}
+
+TEST(Arch, BroadwellL3SlowerButBigger) {
+  // The paper's §4.3 architectural contrast: Broadwell's decoupled L3 has
+  // higher latency; its capacity is much larger.
+  const auto snb = sandy_bridge();
+  const auto bdw = broadwell();
+  EXPECT_GT(bdw.l3.hit_latency, snb.l3.hit_latency);
+  EXPECT_GT(bdw.l3.size_bytes, snb.l3.size_bytes);
+  EXPECT_GT(bdw.lock_transfer, snb.lock_transfer);
+}
+
+TEST(Arch, KnlHasNoSharedL3) {
+  EXPECT_FALSE(knl().l3.present());
+  EXPECT_TRUE(knl().l2.present());
+}
+
+TEST(Arch, LookupByNameAndAliases) {
+  EXPECT_EQ(arch_by_name("sandybridge").name, "SandyBridge");
+  EXPECT_EQ(arch_by_name("SNB").name, "SandyBridge");
+  EXPECT_EQ(arch_by_name("Broadwell").name, "Broadwell");
+  EXPECT_EQ(arch_by_name("bdw").name, "Broadwell");
+  EXPECT_EQ(arch_by_name("nehalem").name, "Nehalem");
+  EXPECT_EQ(arch_by_name("knl").name, "KNL");
+}
+
+TEST(Arch, UnknownNameThrows) {
+  EXPECT_THROW(arch_by_name("skylake"), std::invalid_argument);
+}
+
+TEST(Arch, CycleTimeConversions) {
+  const auto snb = sandy_bridge();
+  EXPECT_DOUBLE_EQ(snb.cycles_to_ns(26), 10.0);
+  EXPECT_EQ(snb.ns_to_cycles(10.0), 26u);
+}
+
+TEST(Arch, LatenciesAreOrdered) {
+  for (const auto& a : {sandy_bridge(), broadwell(), nehalem()}) {
+    EXPECT_LT(a.l1.hit_latency, a.l2.hit_latency);
+    EXPECT_LT(a.l2.hit_latency, a.l3.hit_latency);
+    EXPECT_LT(a.l3.hit_latency, a.dram_latency);
+  }
+}
+
+}  // namespace
+}  // namespace semperm::cachesim

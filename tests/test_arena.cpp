@@ -1,0 +1,109 @@
+#include "memlayout/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace semperm::memlayout {
+namespace {
+
+TEST(AddressSpace, DisjointRegions) {
+  AddressSpace space;
+  const Addr a = space.reserve(1000);
+  const Addr b = space.reserve(1000);
+  EXPECT_GE(b, a + 1000);
+  EXPECT_EQ(a % kCacheLine, 0u);
+  EXPECT_EQ(b % kCacheLine, 0u);
+}
+
+TEST(AddressSpace, AlignmentHonoured) {
+  AddressSpace space;
+  space.reserve(1);
+  const Addr a = space.reserve(64, 4096);
+  EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(Arena, AllocationsAreAligned) {
+  AddressSpace space;
+  Arena arena(space, 4096);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, BufferIsCacheLineAligned) {
+  AddressSpace space;
+  Arena arena(space, 128);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.buffer_base()) % kCacheLine,
+            0u);
+}
+
+TEST(Arena, SimAddrTracksOffsets) {
+  AddressSpace space;
+  Arena arena(space, 4096);
+  char* a = static_cast<char*>(arena.allocate(64, 64));
+  char* b = static_cast<char*>(arena.allocate(64, 64));
+  EXPECT_EQ(arena.sim_addr(a), arena.sim_base());
+  EXPECT_EQ(arena.sim_addr(b) - arena.sim_addr(a),
+            static_cast<Addr>(b - a));
+}
+
+TEST(Arena, ContainsDetectsOwnership) {
+  AddressSpace space;
+  Arena arena(space, 4096);
+  void* p = arena.allocate(16);
+  EXPECT_TRUE(arena.contains(p));
+  int local = 0;
+  EXPECT_FALSE(arena.contains(&local));
+}
+
+TEST(Arena, SimAddrOfForeignPointerThrows) {
+  AddressSpace space;
+  Arena arena(space, 4096);
+  int local = 0;
+  EXPECT_THROW(arena.sim_addr(&local), std::logic_error);
+}
+
+TEST(Arena, ExhaustionThrows) {
+  AddressSpace space;
+  Arena arena(space, 128);
+  arena.allocate(100);
+  EXPECT_THROW(arena.allocate(100), std::logic_error);
+}
+
+TEST(Arena, UsedAndRemainingAccounting) {
+  AddressSpace space;
+  Arena arena(space, 1024);
+  EXPECT_EQ(arena.used(), 0u);
+  arena.allocate(100, 1);
+  EXPECT_EQ(arena.used(), 100u);
+  EXPECT_EQ(arena.remaining(), 924u);
+}
+
+TEST(Arena, ResetReclaimsEverything) {
+  AddressSpace space;
+  Arena arena(space, 256);
+  arena.allocate(200);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_NO_THROW(arena.allocate(200));
+}
+
+TEST(Arena, CreateArrayDefaultConstructs) {
+  AddressSpace space;
+  Arena arena(space, 4096);
+  int* xs = arena.create_array<int>(16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(xs[i], 0);
+}
+
+TEST(Arena, TwoArenasFromOneSpaceDontOverlapSimAddrs) {
+  AddressSpace space;
+  Arena a(space, 4096);
+  Arena b(space, 4096);
+  EXPECT_GE(b.sim_base(), a.sim_base() + 4096);
+}
+
+}  // namespace
+}  // namespace semperm::memlayout

@@ -1,0 +1,172 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::cachesim {
+namespace {
+
+// A tiny cache for precise behaviour checks: 4 sets x 2 ways.
+SetAssocCache tiny() { return SetAssocCache("t", 4 * 2 * kCacheLine, 2); }
+
+TEST(Cache, GeometryDerivedFromSizeAndAssoc) {
+  SetAssocCache c("c", 32 * 1024, 8);
+  EXPECT_EQ(c.set_count(), 64u);
+  EXPECT_EQ(c.associativity(), 8u);
+  EXPECT_EQ(c.size_bytes(), 32u * 1024);
+}
+
+TEST(Cache, NonPowerOfTwoSetCountAllowed) {
+  // 18-slice Broadwell-style LLC: 45 MiB / 20-way.
+  SetAssocCache c("llc", 45ull * 1024 * 1024, 20);
+  EXPECT_EQ(c.set_count(), 36864u);
+  c.fill(12345, FillReason::kDemand);
+  EXPECT_TRUE(c.contains(12345));
+}
+
+TEST(Cache, MissThenHit) {
+  auto c = tiny();
+  EXPECT_FALSE(c.access(100));
+  c.fill(100, FillReason::kDemand);
+  EXPECT_TRUE(c.access(100));
+  EXPECT_EQ(c.stats().demand_misses, 1u);
+  EXPECT_EQ(c.stats().demand_hits, 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  auto c = tiny();
+  // Lines 0, 4, 8 all map to set 0 (set = line % 4). Two ways.
+  c.fill(0, FillReason::kDemand);
+  c.fill(4, FillReason::kDemand);
+  c.access(0);  // 0 becomes MRU, 4 is LRU
+  const auto evicted = c.fill(8, FillReason::kDemand);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 4u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(8));
+  EXPECT_FALSE(c.contains(4));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, RefillingResidentLineDoesNotEvict) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.fill(4, FillReason::kDemand);
+  EXPECT_FALSE(c.fill(0, FillReason::kDemand).has_value());
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(Cache, ContainsDoesNotPerturbLruOrStats) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.fill(4, FillReason::kDemand);  // 4 is MRU
+  EXPECT_TRUE(c.contains(0));      // must not touch LRU order
+  c.fill(8, FillReason::kDemand);
+  EXPECT_FALSE(c.contains(0));  // 0 was still LRU
+  EXPECT_EQ(c.stats().demand_hits, 0u);
+  EXPECT_EQ(c.stats().demand_misses, 0u);
+}
+
+TEST(Cache, PrefetchCoverageCountedOnce) {
+  auto c = tiny();
+  c.fill(3, FillReason::kPrefetch);
+  EXPECT_EQ(c.stats().prefetch_fills, 1u);
+  EXPECT_TRUE(c.access(3));
+  EXPECT_EQ(c.stats().prefetch_hits, 1u);
+  EXPECT_TRUE(c.access(3));  // second hit is a plain demand hit
+  EXPECT_EQ(c.stats().prefetch_hits, 1u);
+}
+
+TEST(Cache, HeaterCoverageCounted) {
+  auto c = tiny();
+  c.fill(5, FillReason::kHeater);
+  EXPECT_EQ(c.stats().heater_fills, 1u);
+  EXPECT_TRUE(c.access(5));
+  EXPECT_EQ(c.stats().heater_hits, 1u);
+}
+
+TEST(Cache, HeaterTouchRefreshesLruAndReason) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.fill(4, FillReason::kDemand);  // order: 4 MRU, 0 LRU
+  c.fill(0, FillReason::kHeater);  // re-touch 0: now MRU, heater-marked
+  c.fill(8, FillReason::kDemand);  // evicts 4
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(Cache, FlushIsTotalAndCheap) {
+  auto c = tiny();
+  for (Addr line = 0; line < 8; ++line) c.fill(line, FillReason::kDemand);
+  c.flush();
+  for (Addr line = 0; line < 8; ++line) EXPECT_FALSE(c.contains(line));
+  EXPECT_EQ(c.resident_lines(), 0u);
+}
+
+TEST(Cache, FillAfterFlushWorks) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.flush();
+  c.fill(0, FillReason::kDemand);
+  EXPECT_TRUE(c.access(0));
+}
+
+TEST(Cache, Invalidate) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.invalidate(0);
+  EXPECT_FALSE(c.contains(0));
+  c.invalidate(0);  // idempotent
+}
+
+TEST(Cache, PolluteKeepsMruWhenStreamFits) {
+  // 2-way sets: a stream of 1 line per set evicts only the LRU way of
+  // full sets.
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.fill(4, FillReason::kDemand);  // set 0 full; 0 is LRU
+  c.fill(1, FillReason::kDemand);  // set 1 half-full
+  c.pollute(4 * kCacheLine);       // 1 line per set
+  EXPECT_FALSE(c.contains(0));     // displaced
+  EXPECT_TRUE(c.contains(4));      // MRU survives
+  EXPECT_TRUE(c.contains(1));      // half-full set keeps its line
+}
+
+TEST(Cache, PolluteDegeneratesToFlushForHugeStreams) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.fill(1, FillReason::kDemand);
+  c.pollute(64 * kCacheLine);  // 16 lines per set >= assoc
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, ResidentLines) {
+  auto c = tiny();
+  EXPECT_EQ(c.resident_lines(), 0u);
+  c.fill(0, FillReason::kDemand);
+  c.fill(1, FillReason::kDemand);
+  EXPECT_EQ(c.resident_lines(), 2u);
+}
+
+TEST(Cache, ResetStats) {
+  auto c = tiny();
+  c.access(0);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().demand_misses, 0u);
+}
+
+TEST(Cache, HitRate) {
+  auto c = tiny();
+  c.fill(0, FillReason::kDemand);
+  c.access(0);
+  c.access(1);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(Cache, InvalidGeometryRejected) {
+  EXPECT_THROW(SetAssocCache("bad", 100, 2), std::logic_error);   // not multiple
+  EXPECT_THROW(SetAssocCache("bad", 1024, 0), std::logic_error);  // zero ways
+}
+
+}  // namespace
+}  // namespace semperm::cachesim

@@ -1,0 +1,124 @@
+// Property test: the set-associative cache against an executable
+// specification (a map of per-set LRU lists), over randomized access/fill/
+// flush/pollute sequences — the central substrate of the study must agree
+// with its spec exactly, including eviction choices.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "common/rng.hpp"
+
+namespace semperm::cachesim {
+namespace {
+
+/// Executable specification of SetAssocCache (no partition): per set, an
+/// LRU-ordered list of lines (front = MRU).
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t sets, unsigned assoc) : sets_(sets), assoc_(assoc) {}
+
+  bool access(Addr line) {
+    auto& set = set_for(line);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == line) {
+        set.erase(it);
+        set.push_front(line);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(Addr line) const {
+    const auto it = sets_map_.find(line % sets_);
+    if (it == sets_map_.end()) return false;
+    for (Addr l : it->second)
+      if (l == line) return true;
+    return false;
+  }
+
+  std::optional<Addr> fill(Addr line) {
+    auto& set = set_for(line);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == line) {
+        set.erase(it);
+        set.push_front(line);
+        return std::nullopt;
+      }
+    }
+    std::optional<Addr> evicted;
+    if (set.size() >= assoc_) {
+      evicted = set.back();
+      set.pop_back();
+    }
+    set.push_front(line);
+    return evicted;
+  }
+
+  void flush() { sets_map_.clear(); }
+
+  void pollute(std::size_t bytes) {
+    const std::size_t per_set = (bytes / kCacheLine + sets_ - 1) / sets_;
+    for (auto& [idx, set] : sets_map_) {
+      (void)idx;
+      if (set.size() + per_set <= assoc_) continue;
+      std::size_t drop = set.size() + per_set - assoc_;
+      while (drop-- > 0 && !set.empty()) set.pop_back();
+    }
+  }
+
+ private:
+  std::list<Addr>& set_for(Addr line) { return sets_map_[line % sets_]; }
+
+  std::size_t sets_;
+  unsigned assoc_;
+  std::map<Addr, std::list<Addr>> sets_map_;
+};
+
+class CachePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CachePropertyTest, AgreesWithReferenceModel) {
+  constexpr std::size_t kSets = 8;
+  constexpr unsigned kAssoc = 4;
+  SetAssocCache cache("p", kSets * kAssoc * kCacheLine, kAssoc);
+  ReferenceCache ref(kSets, kAssoc);
+  Rng rng(GetParam());
+
+  // A line universe of 4x capacity forces constant eviction traffic.
+  const std::uint64_t kLines = kSets * kAssoc * 4;
+
+  for (int op = 0; op < 20'000; ++op) {
+    const Addr line = rng.below(kLines);
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      ASSERT_EQ(cache.access(line), ref.access(line)) << "op " << op;
+    } else if (dice < 0.90) {
+      const auto got = cache.fill(line, FillReason::kDemand);
+      const auto want = ref.fill(line);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+      if (got) ASSERT_EQ(*got, *want) << "op " << op;
+    } else if (dice < 0.97) {
+      ASSERT_EQ(cache.contains(line), ref.contains(line)) << "op " << op;
+    } else if (dice < 0.995) {
+      const std::size_t bytes = rng.below(3 * kSets) * kCacheLine;
+      cache.pollute(bytes);
+      ref.pollute(bytes);
+    } else {
+      cache.flush();
+      ref.flush();
+    }
+  }
+  // Final state agreement over the whole universe.
+  for (Addr line = 0; line < kLines; ++line)
+    ASSERT_EQ(cache.contains(line), ref.contains(line)) << "line " << line;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace semperm::cachesim

@@ -1,0 +1,103 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace semperm {
+namespace {
+
+/// Helper: parse from a string list.
+bool parse(Cli& cli, std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("t", "test");
+  cli.add_int("depth", 1024, "depth");
+  cli.add_double("frac", 0.5, "fraction");
+  cli.add_string("queue", "baseline", "queue");
+  cli.add_flag("quick", "quick");
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_int("depth"), 1024);
+  EXPECT_DOUBLE_EQ(cli.get_double("frac"), 0.5);
+  EXPECT_EQ(cli.get_string("queue"), "baseline");
+  EXPECT_FALSE(cli.flag("quick"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli("t", "test");
+  cli.add_int("depth", 0, "depth");
+  ASSERT_TRUE(parse(cli, {"--depth", "77"}));
+  EXPECT_EQ(cli.get_int("depth"), 77);
+}
+
+TEST(Cli, EqualsValues) {
+  Cli cli("t", "test");
+  cli.add_string("queue", "", "queue");
+  cli.add_int("n", 0, "n");
+  ASSERT_TRUE(parse(cli, {"--queue=lla-8", "--n=3"}));
+  EXPECT_EQ(cli.get_string("queue"), "lla-8");
+  EXPECT_EQ(cli.get_int("n"), 3);
+}
+
+TEST(Cli, FlagsToggle) {
+  Cli cli("t", "test");
+  cli.add_flag("quick", "quick");
+  ASSERT_TRUE(parse(cli, {"--quick"}));
+  EXPECT_TRUE(cli.flag("quick"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  Cli cli("t", "test");
+  EXPECT_FALSE(parse(cli, {"--nope"}));
+}
+
+TEST(Cli, MissingValueFails) {
+  Cli cli("t", "test");
+  cli.add_int("depth", 0, "depth");
+  EXPECT_FALSE(parse(cli, {"--depth"}));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("t", "test");
+  EXPECT_FALSE(parse(cli, {"--help"}));
+}
+
+TEST(Cli, PositionalCollected) {
+  Cli cli("t", "test");
+  cli.add_flag("quick", "quick");
+  ASSERT_TRUE(parse(cli, {"alpha", "--quick", "beta"}));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "alpha");
+  EXPECT_EQ(cli.positional()[1], "beta");
+}
+
+TEST(Cli, UsageListsOptions) {
+  Cli cli("t", "my description");
+  cli.add_int("depth", 8, "queue depth");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("my description"), std::string::npos);
+  EXPECT_NE(usage.find("--depth"), std::string::npos);
+  EXPECT_NE(usage.find("queue depth"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredLookupThrows) {
+  Cli cli("t", "test");
+  EXPECT_THROW(cli.get_int("missing"), std::logic_error);
+}
+
+TEST(Cli, KindMismatchThrows) {
+  Cli cli("t", "test");
+  cli.add_int("depth", 1, "depth");
+  EXPECT_THROW(cli.get_string("depth"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace semperm

@@ -1,0 +1,124 @@
+// gather / scatter / alltoall collectives over the matching runtime.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace semperm::simmpi {
+namespace {
+
+match::QueueConfig qc(const std::string& label) {
+  return match::QueueConfig::from_label(label);
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  constexpr int kRanks = 5;
+  Runtime rt(kRanks, qc("baseline"));
+  rt.run([&](Comm& c) {
+    const std::int32_t mine = 100 + c.rank();
+    std::vector<std::int32_t> all(kRanks, -1);
+    c.gather(2, std::as_bytes(std::span<const std::int32_t>(&mine, 1)),
+             std::as_writable_bytes(std::span<std::int32_t>(all)));
+    if (c.rank() == 2) {
+      for (int r = 0; r < kRanks; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], 100 + r);
+    }
+  });
+}
+
+TEST(Collectives, GatherNonRootNeedsNoBuffer) {
+  Runtime rt(3, qc("lla-8"));
+  rt.run([](Comm& c) {
+    const double mine = static_cast<double>(c.rank());
+    std::vector<double> all;
+    if (c.rank() == 0) all.resize(3);
+    c.gather(0, std::as_bytes(std::span<const double>(&mine, 1)),
+             std::as_writable_bytes(std::span<double>(all)));
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(all[0], 0.0);
+      EXPECT_DOUBLE_EQ(all[2], 2.0);
+    }
+  });
+}
+
+TEST(Collectives, ScatterDistributesPieces) {
+  constexpr int kRanks = 4;
+  Runtime rt(kRanks, qc("ompi"));
+  rt.run([&](Comm& c) {
+    std::vector<std::int32_t> all;
+    if (c.rank() == 1) {
+      all.resize(kRanks);
+      std::iota(all.begin(), all.end(), 50);
+    }
+    std::int32_t mine = -1;
+    c.scatter(1, std::as_bytes(std::span<const std::int32_t>(all)),
+              std::as_writable_bytes(std::span<std::int32_t>(&mine, 1)));
+    EXPECT_EQ(mine, 50 + c.rank());
+  });
+}
+
+TEST(Collectives, AlltoallTransposes) {
+  constexpr int kRanks = 4;
+  Runtime rt(kRanks, qc("hash-16"));
+  rt.run([&](Comm& c) {
+    // in[i] = rank * 10 + i; after alltoall, out[r] must be r * 10 + rank.
+    std::vector<std::int32_t> in(kRanks), out(kRanks, -1);
+    for (int i = 0; i < kRanks; ++i)
+      in[static_cast<std::size_t>(i)] = c.rank() * 10 + i;
+    c.alltoall(std::as_bytes(std::span<const std::int32_t>(in)),
+               std::as_writable_bytes(std::span<std::int32_t>(out)));
+    for (int r = 0; r < kRanks; ++r)
+      EXPECT_EQ(out[static_cast<std::size_t>(r)], r * 10 + c.rank());
+  });
+}
+
+TEST(Collectives, AlltoallSingleRankIsCopy) {
+  Runtime rt(1, qc("baseline"));
+  rt.run([](Comm& c) {
+    const std::int32_t in = 7;
+    std::int32_t out = 0;
+    c.alltoall(std::as_bytes(std::span<const std::int32_t>(&in, 1)),
+               std::as_writable_bytes(std::span<std::int32_t>(&out, 1)));
+    EXPECT_EQ(out, 7);
+  });
+}
+
+TEST(Collectives, RepeatedAlltoallsStayConsistent) {
+  constexpr int kRanks = 3;
+  Runtime rt(kRanks, qc("lla-2"));
+  rt.run([&](Comm& c) {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::int32_t> in(kRanks), out(kRanks, -1);
+      for (int i = 0; i < kRanks; ++i)
+        in[static_cast<std::size_t>(i)] = round * 100 + c.rank() * 10 + i;
+      c.alltoall(std::as_bytes(std::span<const std::int32_t>(in)),
+                 std::as_writable_bytes(std::span<std::int32_t>(out)));
+      for (int r = 0; r < kRanks; ++r)
+        EXPECT_EQ(out[static_cast<std::size_t>(r)],
+                  round * 100 + r * 10 + c.rank());
+    }
+  });
+}
+
+TEST(Collectives, GatherOfLargeChunksUsesRendezvous) {
+  RuntimeOptions opt;
+  opt.eager_threshold = 128;
+  Runtime rt(3, qc("baseline"), opt);
+  rt.run([](Comm& c) {
+    std::vector<double> mine(64, static_cast<double>(c.rank()));  // 512 B
+    std::vector<double> all;
+    if (c.rank() == 0) all.resize(3 * 64);
+    c.gather(0, std::as_bytes(std::span<const double>(mine)),
+             std::as_writable_bytes(std::span<double>(all)));
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(all[0], 0.0);
+      EXPECT_DOUBLE_EQ(all[64], 1.0);
+      EXPECT_DOUBLE_EQ(all[191], 2.0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace semperm::simmpi

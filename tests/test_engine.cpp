@@ -1,0 +1,126 @@
+// The matching protocol: UMQ-first on post, PRQ-first on arrival,
+// completion bookkeeping, reserved-identity policing, and Fig.-1-style
+// sampling.
+
+#include "match/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "match/factory.hpp"
+
+namespace semperm::match {
+namespace {
+
+class EngineTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  EngineTest()
+      : bundle_(make_engine(mem_, space_,
+                            QueueConfig::from_label(GetParam()))) {}
+
+  NativeMem mem_;
+  memlayout::AddressSpace space_;
+  EngineBundle<NativeMem> bundle_;
+};
+
+TEST_P(EngineTest, PrePostedReceiveMatchesArrival) {
+  MatchRequest recv(RequestKind::kRecv, 1);
+  EXPECT_EQ(bundle_->post_recv(Pattern::make(3, 9, 0), &recv), nullptr);
+  EXPECT_EQ(bundle_->prq().size(), 1u);
+
+  MatchRequest msg(RequestKind::kUnexpected, 2);
+  MatchRequest* done = bundle_->incoming(Envelope{9, 3, 0}, &msg);
+  EXPECT_EQ(done, &recv);
+  EXPECT_TRUE(recv.complete());
+  EXPECT_EQ(recv.matched(), (Envelope{9, 3, 0}));
+  EXPECT_EQ(bundle_->prq().size(), 0u);
+  EXPECT_EQ(bundle_->umq().size(), 0u);
+}
+
+TEST_P(EngineTest, UnexpectedMessageBuffersThenMatchesLaterReceive) {
+  MatchRequest msg(RequestKind::kUnexpected, 1);
+  EXPECT_EQ(bundle_->incoming(Envelope{4, 2, 0}, &msg), nullptr);
+  EXPECT_EQ(bundle_->umq().size(), 1u);
+
+  MatchRequest recv(RequestKind::kRecv, 2);
+  MatchRequest* buffered = bundle_->post_recv(Pattern::make(2, 4, 0), &recv);
+  EXPECT_EQ(buffered, &msg);
+  EXPECT_TRUE(recv.complete());
+  EXPECT_EQ(recv.matched(), (Envelope{4, 2, 0}));
+  EXPECT_EQ(bundle_->umq().size(), 0u);
+}
+
+TEST_P(EngineTest, UmqSearchedBeforePosting) {
+  // Two buffered messages; a wildcard receive must take the earlier one
+  // and never land on the PRQ.
+  MatchRequest m1(RequestKind::kUnexpected, 1), m2(RequestKind::kUnexpected, 2);
+  bundle_->incoming(Envelope{7, 1, 0}, &m1);
+  bundle_->incoming(Envelope{8, 2, 0}, &m2);
+  MatchRequest recv(RequestKind::kRecv, 3);
+  EXPECT_EQ(bundle_->post_recv(Pattern::make(kAnySource, kAnyTag, 0), &recv),
+            &m1);
+  EXPECT_EQ(bundle_->prq().size(), 0u);
+  EXPECT_EQ(bundle_->umq().size(), 1u);
+}
+
+TEST_P(EngineTest, CrossTrafficKeepsQueuesConsistent) {
+  // Interleave posts and arrivals with partial overlap.
+  std::vector<MatchRequest> recvs(8), msgs(8);
+  for (int i = 0; i < 8; ++i)
+    recvs[static_cast<std::size_t>(i)] =
+        MatchRequest(RequestKind::kRecv, static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 8; ++i)
+    msgs[static_cast<std::size_t>(i)] = MatchRequest(
+        RequestKind::kUnexpected, static_cast<std::uint64_t>(100 + i));
+  // Post receives for tags 0..3, deliver messages for tags 2..7.
+  for (int i = 0; i < 4; ++i)
+    bundle_->post_recv(Pattern::make(1, i, 0),
+                       &recvs[static_cast<std::size_t>(i)]);
+  int matched = 0;
+  for (int i = 2; i < 8; ++i)
+    if (bundle_->incoming(Envelope{i, 1, 0},
+                          &msgs[static_cast<std::size_t>(i)]) != nullptr)
+      ++matched;
+  EXPECT_EQ(matched, 2);                    // tags 2 and 3
+  EXPECT_EQ(bundle_->prq().size(), 2u);     // tags 0 and 1 still posted
+  EXPECT_EQ(bundle_->umq().size(), 4u);     // tags 4..7 buffered
+}
+
+TEST_P(EngineTest, ReservedWireIdentityRejected) {
+  MatchRequest msg(RequestKind::kUnexpected, 1);
+  EXPECT_THROW(bundle_->incoming(Envelope{kHoleTag, 1, 0}, &msg),
+               std::logic_error);
+  EXPECT_THROW(bundle_->incoming(Envelope{1, kHoleRank, 0}, &msg),
+               std::logic_error);
+}
+
+TEST_P(EngineTest, SamplingRecordsEveryMutation) {
+  bundle_->enable_sampling(10, 10);
+  MatchRequest recv(RequestKind::kRecv, 1);
+  bundle_->post_recv(Pattern::make(1, 5, 0), &recv);  // PRQ length 1 sampled
+  MatchRequest msg(RequestKind::kUnexpected, 2);
+  bundle_->incoming(Envelope{5, 1, 0}, &msg);  // PRQ length 0 sampled
+  MatchRequest stray(RequestKind::kUnexpected, 3);
+  bundle_->incoming(Envelope{6, 1, 0}, &stray);  // UMQ length 1 sampled
+  ASSERT_NE(bundle_->prq_sampler(), nullptr);
+  EXPECT_EQ(bundle_->prq_sampler()->histogram().total(), 2u);
+  EXPECT_EQ(bundle_->umq_sampler()->histogram().total(), 1u);
+  EXPECT_DOUBLE_EQ(bundle_->prq_sampler()->running().max(), 1.0);
+}
+
+TEST_P(EngineTest, SamplingOffByDefault) {
+  EXPECT_EQ(bundle_->prq_sampler(), nullptr);
+  EXPECT_EQ(bundle_->umq_sampler(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EngineTest,
+                         ::testing::Values("baseline", "lla-8", "ompi",
+                                           "hash-16"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,161 @@
+// Property test of the full matching PROTOCOL (not just one queue): the
+// engine over every structure must agree with a reference engine (two
+// naive reference queues + the UMQ-first/PRQ-first rules) on every
+// decision of a randomized bidirectional workload — who matches whom,
+// in which order, with wildcards, duplicates and cross-context traffic.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "match/factory.hpp"
+#include "tests/match_reference.hpp"
+
+namespace semperm::match {
+namespace {
+
+/// Reference implementation of MatchEngine's protocol.
+class ReferenceEngine {
+ public:
+  MatchRequest* post_recv(const Pattern& pattern, MatchRequest* recv) {
+    if (auto hit = umq_.find_and_remove(pattern)) return hit->req;
+    prq_.append(PostedEntry::from(pattern, recv));
+    return nullptr;
+  }
+
+  MatchRequest* incoming(const Envelope& env, MatchRequest* msg) {
+    if (auto hit = prq_.find_and_remove(env)) return hit->req;
+    umq_.append(UnexpectedEntry::from(env, msg));
+    return nullptr;
+  }
+
+  std::size_t prq_size() const { return prq_.size(); }
+  std::size_t umq_size() const { return umq_.size(); }
+
+ private:
+  testing::ReferenceQueue<PostedEntry> prq_;
+  testing::ReferenceQueue<UnexpectedEntry> umq_;
+};
+
+using Param = std::tuple<std::string, std::uint64_t>;
+
+class EngineProtocolTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EngineProtocolTest, AgreesWithReferenceEngine) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto cfg = QueueConfig::from_label(std::get<0>(GetParam()));
+  if (cfg.kind == QueueKind::kOmpiBins || cfg.kind == QueueKind::kFourDim)
+    cfg.bins = 8;
+  auto bundle = make_engine(mem, space, cfg);
+  ReferenceEngine reference;
+  Rng rng(std::get<1>(GetParam()));
+
+  // Requests must be stable and distinct per operation.
+  std::deque<MatchRequest> requests;
+  auto fresh = [&](RequestKind kind) {
+    requests.emplace_back(kind, requests.size());
+    return &requests.back();
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    if (rng.chance(0.5)) {
+      const std::int32_t src =
+          rng.chance(0.2) ? kAnySource : static_cast<std::int32_t>(rng.below(4));
+      const std::int32_t tag =
+          rng.chance(0.2) ? kAnyTag : static_cast<std::int32_t>(rng.below(5));
+      const auto ctx = static_cast<std::uint16_t>(rng.below(2));
+      const Pattern pattern = Pattern::make(src, tag, ctx);
+      MatchRequest* recv = fresh(RequestKind::kRecv);
+      MatchRequest* got = bundle->post_recv(pattern, recv);
+      MatchRequest* want = reference.post_recv(pattern, recv);
+      ASSERT_EQ(got, want) << "post op " << op;
+      if (got == nullptr) {
+        ASSERT_FALSE(recv->complete());
+      } else {
+        ASSERT_TRUE(recv->complete());
+      }
+    } else {
+      const Envelope env{static_cast<std::int32_t>(rng.below(5)),
+                         static_cast<std::int16_t>(rng.below(4)),
+                         static_cast<std::uint16_t>(rng.below(2))};
+      MatchRequest* msg = fresh(RequestKind::kUnexpected);
+      MatchRequest* got = bundle->incoming(env, msg);
+      MatchRequest* want = reference.incoming(env, msg);
+      ASSERT_EQ(got, want) << "incoming op " << op << " env "
+                           << env.to_string();
+      if (got != nullptr) {
+        ASSERT_TRUE(got->complete());
+        ASSERT_EQ(got->matched(), env);
+      }
+    }
+    ASSERT_EQ(bundle->prq().size(), reference.prq_size()) << "op " << op;
+    ASSERT_EQ(bundle->umq().size(), reference.umq_size()) << "op " << op;
+  }
+}
+
+TEST_P(EngineProtocolTest, CancelInterleavedWithTrafficStaysConsistent) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto cfg = QueueConfig::from_label(std::get<0>(GetParam()));
+  if (cfg.kind == QueueKind::kOmpiBins || cfg.kind == QueueKind::kFourDim)
+    cfg.bins = 8;
+  auto bundle = make_engine(mem, space, cfg);
+  Rng rng(std::get<1>(GetParam()) ^ 0xcafeULL);
+
+  std::deque<MatchRequest> requests;
+  std::vector<MatchRequest*> open_recvs;
+  std::size_t expected_prq = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      requests.emplace_back(RequestKind::kRecv, requests.size());
+      MatchRequest* recv = &requests.back();
+      if (bundle->post_recv(
+              Pattern::make(static_cast<std::int32_t>(rng.below(3)),
+                            static_cast<std::int32_t>(rng.below(4)), 0),
+              recv) == nullptr) {
+        open_recvs.push_back(recv);
+        ++expected_prq;
+      }
+    } else if (dice < 0.8) {
+      requests.emplace_back(RequestKind::kUnexpected, requests.size());
+      if (bundle->incoming(
+              Envelope{static_cast<std::int32_t>(rng.below(4)),
+                       static_cast<std::int16_t>(rng.below(3)), 0},
+              &requests.back()) != nullptr)
+        --expected_prq;
+    } else if (!open_recvs.empty()) {
+      const std::size_t pick = rng.below(open_recvs.size());
+      MatchRequest* victim = open_recvs[pick];
+      open_recvs.erase(open_recvs.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (!victim->complete()) {
+        ASSERT_TRUE(bundle->cancel_recv(victim));
+        --expected_prq;
+      }
+    }
+    // Matched receives leave open_recvs lazily; prune them.
+    std::erase_if(open_recvs,
+                  [](const MatchRequest* r) { return r->complete(); });
+    ASSERT_EQ(bundle->prq().size(), expected_prq) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsBySeeds, EngineProtocolTest,
+    ::testing::Combine(::testing::Values("baseline", "lla-2", "lla-8", "ompi",
+                                         "hash-4", "4d"),
+                       ::testing::Values(7ull, 8ull)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,120 @@
+#include "match/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "match/entry.hpp"
+#include "match/request.hpp"
+
+namespace semperm::match {
+namespace {
+
+TEST(Pattern, ExactMatchRequiresAllFields) {
+  const Pattern p = Pattern::make(3, 42, 7);
+  EXPECT_TRUE(p.accepts(Envelope{42, 3, 7}));
+  EXPECT_FALSE(p.accepts(Envelope{42, 4, 7}));   // wrong source
+  EXPECT_FALSE(p.accepts(Envelope{43, 3, 7}));   // wrong tag
+  EXPECT_FALSE(p.accepts(Envelope{42, 3, 8}));   // wrong context
+}
+
+TEST(Pattern, AnySourceIgnoresRank) {
+  const Pattern p = Pattern::make(kAnySource, 42, 0);
+  EXPECT_TRUE(p.wants_any_source());
+  EXPECT_TRUE(p.accepts(Envelope{42, 0, 0}));
+  EXPECT_TRUE(p.accepts(Envelope{42, 1000, 0}));
+  EXPECT_FALSE(p.accepts(Envelope{41, 0, 0}));
+}
+
+TEST(Pattern, AnyTagIgnoresTag) {
+  const Pattern p = Pattern::make(5, kAnyTag, 0);
+  EXPECT_TRUE(p.wants_any_tag());
+  EXPECT_TRUE(p.accepts(Envelope{0, 5, 0}));
+  EXPECT_TRUE(p.accepts(Envelope{999, 5, 0}));
+  EXPECT_FALSE(p.accepts(Envelope{0, 6, 0}));
+}
+
+TEST(Pattern, FullWildcardStillChecksContext) {
+  const Pattern p = Pattern::make(kAnySource, kAnyTag, 3);
+  EXPECT_TRUE(p.accepts(Envelope{1, 2, 3}));
+  EXPECT_FALSE(p.accepts(Envelope{1, 2, 4}));
+}
+
+TEST(Pattern, RejectsReservedAndOutOfRangeIdentity) {
+  EXPECT_THROW(Pattern::make(3, kHoleTag, 0), std::logic_error);
+  EXPECT_THROW(Pattern::make(3, -5, 0), std::logic_error);
+  EXPECT_THROW(Pattern::make(40000, 1, 0), std::logic_error);
+  EXPECT_THROW(Pattern::make(-3, 1, 0), std::logic_error);
+}
+
+TEST(Envelope, EqualityAndToString) {
+  EXPECT_EQ((Envelope{1, 2, 3}), (Envelope{1, 2, 3}));
+  EXPECT_NE((Envelope{1, 2, 3}), (Envelope{1, 2, 4}));
+  const std::string s = Envelope{42, 3, 7}.to_string();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(Pattern, ToStringShowsWildcards) {
+  EXPECT_NE(Pattern::make(kAnySource, 1, 0).to_string().find("ANY"),
+            std::string::npos);
+  EXPECT_NE(Pattern::make(1, kAnyTag, 0).to_string().find("ANY"),
+            std::string::npos);
+}
+
+// --- entry packing: the byte-level contract of Fig. 2 -------------------
+
+TEST(Entry, PostedEntryPacksTo24Bytes) {
+  EXPECT_EQ(sizeof(PostedEntry), 24u);
+  EXPECT_EQ(offsetof(PostedEntry, tag), 0u);
+  EXPECT_EQ(offsetof(PostedEntry, rank), 4u);
+  EXPECT_EQ(offsetof(PostedEntry, ctx), 6u);
+  EXPECT_EQ(offsetof(PostedEntry, tag_mask), 8u);
+  EXPECT_EQ(offsetof(PostedEntry, rank_mask), 12u);
+  EXPECT_EQ(offsetof(PostedEntry, req), 16u);
+}
+
+TEST(Entry, UnexpectedEntryPacksTo16Bytes) {
+  EXPECT_EQ(sizeof(UnexpectedEntry), 16u);
+  EXPECT_EQ(offsetof(UnexpectedEntry, req), 8u);
+}
+
+TEST(Entry, PostedEntryMatchesLikeItsPattern) {
+  MatchRequest req;
+  const Pattern p = Pattern::make(kAnySource, 9, 1);
+  const PostedEntry e = PostedEntry::from(p, &req);
+  EXPECT_TRUE(e.accepts(Envelope{9, 123, 1}));
+  EXPECT_FALSE(e.accepts(Envelope{8, 123, 1}));
+  EXPECT_EQ(e.req, &req);
+  EXPECT_EQ(e.bin_rank(), kAnySource);
+}
+
+TEST(Entry, HoleNeverMatches) {
+  PostedEntry e;
+  MatchRequest req;
+  e = PostedEntry::from(Pattern::make(1, 2, 0), &req);
+  e.make_hole();
+  EXPECT_TRUE(e.is_hole());
+  EXPECT_FALSE(e.accepts(Envelope{2, 1, 0}));
+  // Paper's hole discipline: all mask bits set, identity invalid.
+  EXPECT_EQ(e.tag_mask, ~0u);
+  EXPECT_EQ(e.rank_mask, ~0u);
+  EXPECT_EQ(e.tag, kHoleTag);
+  EXPECT_EQ(e.rank, kHoleRank);
+}
+
+TEST(Entry, UnexpectedEntryRoundTripsEnvelope) {
+  MatchRequest req;
+  const Envelope env{7, 5, 2};
+  const UnexpectedEntry e = UnexpectedEntry::from(env, &req);
+  EXPECT_EQ(e.envelope(), env);
+  EXPECT_TRUE(e.accepted_by(Pattern::make(5, 7, 2)));
+  EXPECT_FALSE(e.accepted_by(Pattern::make(5, 7, 3)));
+  EXPECT_EQ(e.bin_rank(), 5);
+}
+
+TEST(Entry, DefaultConstructedIsHole) {
+  EXPECT_TRUE(PostedEntry{}.is_hole());
+  EXPECT_TRUE(UnexpectedEntry{}.is_hole());
+}
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,84 @@
+#include "match/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+
+namespace semperm::match {
+namespace {
+
+TEST(QueueConfig, LabelsRoundTrip) {
+  for (const char* label :
+       {"baseline", "LLA-2", "LLA-8", "LLA-32", "LLA-large", "ompi",
+        "hash-256"}) {
+    const auto cfg = QueueConfig::from_label(label);
+    EXPECT_EQ(cfg.label(), label);
+  }
+}
+
+TEST(QueueConfig, ParsingVariants) {
+  EXPECT_EQ(QueueConfig::from_label("list").kind, QueueKind::kBaselineList);
+  EXPECT_EQ(QueueConfig::from_label("lla").lla_entries, 8u);
+  EXPECT_EQ(QueueConfig::from_label("lla_4").lla_entries, 4u);
+  EXPECT_EQ(QueueConfig::from_label("LLA-16").lla_entries, 16u);
+  EXPECT_EQ(QueueConfig::from_label("lla-large").lla_entries,
+            kLlaLargeEntries);
+  EXPECT_EQ(QueueConfig::from_label("ompi-128").bins, 128u);
+  EXPECT_EQ(QueueConfig::from_label("hash").kind, QueueKind::kHashBins);
+  EXPECT_EQ(QueueConfig::from_label("hash-64").bins, 64u);
+}
+
+TEST(QueueConfig, UnknownLabelThrows) {
+  EXPECT_THROW(QueueConfig::from_label("btree"), std::invalid_argument);
+  EXPECT_THROW(QueueConfig::from_label(""), std::invalid_argument);
+}
+
+TEST(Factory, BuildsEveryKindNative) {
+  NativeMem mem;
+  for (const char* label : {"baseline", "lla-2", "lla-large", "ompi", "hash-8"}) {
+    memlayout::AddressSpace space;
+    auto bundle = make_engine(mem, space, QueueConfig::from_label(label));
+    ASSERT_NE(bundle.engine, nullptr) << label;
+    ASSERT_NE(bundle.arena, nullptr) << label;
+    EXPECT_FALSE(bundle.pools.empty()) << label;
+    // Round-trip one message to prove the pair of queues is wired.
+    MatchRequest recv(RequestKind::kRecv, 1);
+    bundle->post_recv(Pattern::make(1, 2, 3), &recv);
+    MatchRequest msg(RequestKind::kUnexpected, 2);
+    EXPECT_EQ(bundle->incoming(Envelope{2, 1, 3}, &msg), &recv) << label;
+  }
+}
+
+TEST(Factory, SimulatedEngineArenaIsMappedAutomatically) {
+  cachesim::Hierarchy hier(cachesim::sandy_bridge());
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+  auto bundle = make_engine(mem, space, QueueConfig::from_label("lla-8"));
+  MatchRequest recv(RequestKind::kRecv, 1);
+  // Without map_arena this would throw on translation.
+  EXPECT_NO_THROW(bundle->post_recv(Pattern::make(1, 2, 0), &recv));
+  EXPECT_GT(mem.cycles(), 0u);
+}
+
+TEST(Factory, DistinctEnginesUseDistinctSimRegions) {
+  cachesim::Hierarchy hier(cachesim::sandy_bridge());
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+  auto a = make_engine(mem, space, QueueConfig::from_label("baseline"));
+  auto b = make_engine(mem, space, QueueConfig::from_label("baseline"));
+  EXPECT_NE(a.arena->sim_base(), b.arena->sim_base());
+}
+
+TEST(Factory, ArenaSizeRespectsConfig) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  QueueConfig cfg = QueueConfig::from_label("baseline");
+  cfg.arena_bytes = 1 << 16;
+  auto bundle = make_engine(mem, space, cfg);
+  EXPECT_EQ(bundle.arena->capacity(), std::size_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,133 @@
+#include "cachesim/heater.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/hierarchy.hpp"
+
+namespace semperm::cachesim {
+namespace {
+
+TEST(SimHeater, DefaultCapacityIsHalfLlc) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  EXPECT_EQ(heater.capacity_bytes(), sandy_bridge().l3.size_bytes / 2);
+}
+
+TEST(SimHeater, RefreshPullsRegionsIntoLlc) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  heater.register_region(0x10000, 4 * kCacheLine);
+  EXPECT_EQ(heater.refresh(), 4u);
+  EXPECT_TRUE(h.resident(2, 0x10000));
+  EXPECT_TRUE(h.resident(2, 0x10000 + 3 * kCacheLine));
+  // Warm refresh fetches nothing new.
+  EXPECT_EQ(heater.refresh(), 0u);
+  EXPECT_EQ(heater.total_refreshed_lines(), 4u);
+}
+
+TEST(SimHeater, TombstoneSlotsAreReused) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  const auto a = heater.register_region(0x1000, 64);
+  heater.unregister_region(a);
+  EXPECT_EQ(heater.live_regions(), 0u);
+  const auto b = heater.register_region(0x2000, 64);
+  EXPECT_EQ(a, b);  // slot recycled, never erased
+  EXPECT_EQ(heater.slot_count(), 1u);
+}
+
+TEST(SimHeater, DoubleUnregisterThrows) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  const auto a = heater.register_region(0x1000, 64);
+  heater.unregister_region(a);
+  EXPECT_THROW(heater.unregister_region(a), std::logic_error);
+}
+
+TEST(SimHeater, RegisteredBytesTracked) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  const auto a = heater.register_region(0x1000, 100);
+  heater.register_region(0x2000, 200);
+  EXPECT_EQ(heater.registered_bytes(), 300u);
+  heater.unregister_region(a);
+  EXPECT_EQ(heater.registered_bytes(), 200u);
+}
+
+TEST(SimHeater, CapacityBoundsRefresh) {
+  Hierarchy h(sandy_bridge());
+  SimHeaterConfig cfg;
+  cfg.capacity_bytes = 2 * kCacheLine;
+  SimHeater heater(h, cfg);
+  heater.register_region(0x10000, 10 * kCacheLine);
+  EXPECT_EQ(heater.refresh(), 2u);  // only the budget's worth
+  EXPECT_TRUE(h.resident(2, 0x10000));
+  EXPECT_FALSE(h.resident(2, 0x10000 + 5 * kCacheLine));
+}
+
+TEST(SimHeater, PassCyclesScaleWithRegisteredLines) {
+  Hierarchy h(sandy_bridge());
+  SimHeater heater(h);
+  heater.register_region(0x10000, 64 * kCacheLine);
+  const Cycles small = heater.pass_cycles();
+  heater.register_region(0x20000, 1024 * kCacheLine);
+  EXPECT_GT(heater.pass_cycles(), small);
+}
+
+TEST(SimHeater, DutySaturatesAtOne) {
+  Hierarchy h(sandy_bridge());
+  SimHeaterConfig cfg;
+  cfg.period_ns = 1000.0;  // absurdly short period
+  SimHeater heater(h, cfg);
+  heater.register_region(0x10000, 1024 * 1024);
+  EXPECT_DOUBLE_EQ(heater.duty(), 1.0);
+}
+
+TEST(SimHeater, BoundaryCoverageUsesRefreshWindow) {
+  Hierarchy h(sandy_bridge());
+  SimHeaterConfig cfg;
+  cfg.refresh_window_ns = 1000.0;
+  SimHeater heater(h, cfg);
+  heater.register_region(0x10000, 16 * kCacheLine);  // short pass
+  EXPECT_DOUBLE_EQ(heater.coverage(), 1.0);
+  heater.register_region(0x20000, 8 * 1024 * 1024);  // huge pass
+  EXPECT_LT(heater.coverage(), 0.1);
+  EXPECT_GT(heater.coverage(), 0.0);
+}
+
+TEST(SimHeater, RacingCoverageCollapsesToZero) {
+  Hierarchy h(sandy_bridge());
+  SimHeaterConfig cfg;
+  cfg.race_with_pollution = true;
+  cfg.period_ns = 10'000.0;
+  SimHeater heater(h, cfg);
+  heater.register_region(0x10000, 8 * kCacheLine);
+  EXPECT_GT(heater.coverage(), 0.9);  // tiny pass: nearly full coverage
+  heater.register_region(0x20000, 8 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(heater.coverage(), 0.0);  // pass >> period: loses the race
+}
+
+TEST(SimHeater, MutationCostGrowsWithRegistry) {
+  Hierarchy h(broadwell());
+  SimHeater heater(h);
+  heater.register_region(0x1000, 64);
+  const Cycles small = heater.mutation_cost();
+  EXPECT_GE(small, broadwell().lock_transfer);
+  for (int i = 0; i < 1000; ++i)
+    heater.register_region(0x2000 + static_cast<Addr>(i) * 64, 64);
+  EXPECT_GT(heater.mutation_cost(), small);
+}
+
+TEST(SimHeater, RefreshRespectsRacingCoverage) {
+  Hierarchy h(sandy_bridge());
+  SimHeaterConfig cfg;
+  cfg.race_with_pollution = true;
+  cfg.period_ns = 100.0;  // pass cannot fit: coverage 0
+  SimHeater heater(h, cfg);
+  heater.register_region(0x10000, 1024 * kCacheLine);
+  EXPECT_EQ(heater.refresh(), 0u);
+}
+
+}  // namespace
+}  // namespace semperm::cachesim

@@ -1,0 +1,92 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm {
+namespace {
+
+TEST(BucketHistogram, BucketsByWidth) {
+  BucketHistogram h(10);
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(19);
+  h.add(25);
+  ASSERT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(BucketHistogram, GrowsOnDemand) {
+  BucketHistogram h(5);
+  h.add(0);
+  EXPECT_EQ(h.bucket_count(), 1u);
+  h.add(437);
+  EXPECT_EQ(h.bucket_count(), 88u);
+  EXPECT_EQ(h.max_value_seen(), 437u);
+}
+
+TEST(BucketHistogram, WeightedAdd) {
+  BucketHistogram h(10);
+  h.add(3, 100);
+  EXPECT_EQ(h.bucket(0), 100u);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(BucketHistogram, LabelsMatchPaperStyle) {
+  BucketHistogram h(20);
+  h.add(0);
+  EXPECT_EQ(h.bucket_label(0), "0-19");
+  EXPECT_EQ(h.bucket_label(1), "20-39");
+  EXPECT_EQ(h.bucket_label(21), "420-439");
+}
+
+TEST(BucketHistogram, Mean) {
+  BucketHistogram h(10);
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(BucketHistogram, MergeRequiresSameWidthAndSums) {
+  BucketHistogram a(10), b(10);
+  a.add(5);
+  b.add(5);
+  b.add(25);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  BucketHistogram c(20);
+  EXPECT_THROW(a.merge(c), std::logic_error);
+}
+
+TEST(BucketHistogram, RenderIncludesCountsAndLabels) {
+  BucketHistogram h(10);
+  h.add(5, 1000);
+  h.add(15, 10);
+  const std::string out = h.render("test");
+  EXPECT_NE(out.find("test"), std::string::npos);
+  EXPECT_NE(out.find("0-9"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  // Log scaling: the 1000-count bar must be longer than the 10-count bar.
+  const auto bar_len = [&](const std::string& label) {
+    const auto pos = out.find(label);
+    const auto bar_start = out.find('|', pos);
+    std::size_t n = 0;
+    for (std::size_t i = bar_start + 1; out[i] == '#'; ++i) ++n;
+    return n;
+  };
+  EXPECT_GT(bar_len("0-9"), bar_len("10-19"));
+}
+
+TEST(BucketHistogram, ZeroWidthRejected) {
+  EXPECT_THROW(BucketHistogram h(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace semperm

@@ -1,0 +1,54 @@
+#include "memlayout/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::memlayout {
+namespace {
+
+struct Packed {
+  std::uint32_t a;
+  std::uint16_t b;
+  std::uint16_t c;
+  std::uint64_t d;
+};
+
+LayoutSpec packed_spec() {
+  LayoutSpec spec{"Packed", sizeof(Packed), {}};
+  spec.fields = {
+      SEMPERM_FIELD(Packed, a),
+      SEMPERM_FIELD(Packed, b),
+      SEMPERM_FIELD(Packed, c),
+      SEMPERM_FIELD(Packed, d),
+  };
+  return spec;
+}
+
+TEST(Layout, RenderListsFieldsInOffsetOrder) {
+  const std::string out = packed_spec().render();
+  EXPECT_NE(out.find("Packed (16B"), std::string::npos);
+  EXPECT_NE(out.find("[0..3] a"), std::string::npos);
+  EXPECT_NE(out.find("[4..5] b"), std::string::npos);
+  EXPECT_NE(out.find("[8..15] d"), std::string::npos);
+  EXPECT_LT(out.find("a (4B)"), out.find("d (8B)"));
+}
+
+TEST(Layout, PerCacheLine) {
+  EXPECT_EQ(packed_spec().per_cache_line(), 4u);
+  LayoutSpec big{"big", 24, {}};
+  EXPECT_EQ(big.per_cache_line(), 2u);  // the paper's 24 B PRQ entry
+}
+
+TEST(Layout, OverlapDetected) {
+  LayoutSpec spec{"bad", 16, {}};
+  spec.fields = {{"x", 0, 8}, {"y", 4, 8}};
+  EXPECT_THROW(spec.render(), std::logic_error);
+}
+
+TEST(Layout, FieldBeyondSizeDetected) {
+  LayoutSpec spec{"bad", 8, {}};
+  spec.fields = {{"x", 4, 8}};
+  EXPECT_THROW(spec.render(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace semperm::memlayout

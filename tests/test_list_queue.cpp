@@ -1,0 +1,121 @@
+// Baseline-list specifics: the deliberately MPICH-like node layout and the
+// unlink paths.
+
+#include "match/list_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "match/factory.hpp"
+
+namespace semperm::match {
+namespace {
+
+using ListQ = ListQueue<PostedEntry, NativeMem>;
+
+TEST(ListQueueLayout, NodeSpansFourLinesWithSplitHotFields) {
+  // The request-descriptor-style node: entry on line 0, links on line 3.
+  EXPECT_EQ(sizeof(ListQ::Node), 4 * kCacheLine);
+  EXPECT_EQ(offsetof(ListQ::Node, entry), 0u);
+  EXPECT_EQ(offsetof(ListQ::Node, next), 3 * kCacheLine);
+  EXPECT_GE(ListQ::node_bytes(), 4 * kCacheLine);
+}
+
+class ListFixture : public ::testing::Test {
+ protected:
+  ListFixture()
+      : arena_(space_, 1 << 16),
+        pool_(arena_, ListQ::node_bytes(), 4 * kCacheLine,
+              memlayout::AddressPolicy::kSequential),
+        queue_(mem_, pool_) {}
+
+  void post(std::int32_t tag, MatchRequest* req) {
+    queue_.append(PostedEntry::from(Pattern::make(1, tag, 0), req));
+  }
+  bool remove(std::int32_t tag) {
+    return queue_.find_and_remove(Envelope{tag, 1, 0}).has_value();
+  }
+
+  NativeMem mem_;
+  memlayout::AddressSpace space_;
+  memlayout::Arena arena_;
+  memlayout::BlockPool pool_;
+  ListQ queue_;
+  MatchRequest reqs_[16];
+};
+
+TEST_F(ListFixture, RemoveHead) {
+  for (int i = 0; i < 3; ++i) post(i, &reqs_[i]);
+  EXPECT_TRUE(remove(0));
+  EXPECT_TRUE(remove(1));
+  EXPECT_TRUE(remove(2));
+  EXPECT_EQ(queue_.size(), 0u);
+  EXPECT_EQ(pool_.live(), 0u);
+}
+
+TEST_F(ListFixture, RemoveTail) {
+  for (int i = 0; i < 3; ++i) post(i, &reqs_[i]);
+  EXPECT_TRUE(remove(2));
+  // Appending after tail removal re-links correctly.
+  post(9, &reqs_[9]);
+  EXPECT_TRUE(remove(9));
+  EXPECT_TRUE(remove(0));
+  EXPECT_TRUE(remove(1));
+}
+
+TEST_F(ListFixture, RemoveMiddle) {
+  for (int i = 0; i < 5; ++i) post(i, &reqs_[i]);
+  EXPECT_TRUE(remove(2));
+  EXPECT_EQ(queue_.size(), 4u);
+  for (int tag : {0, 1, 3, 4}) EXPECT_TRUE(remove(tag));
+}
+
+TEST_F(ListFixture, RemoveSoleElement) {
+  post(7, &reqs_[0]);
+  EXPECT_TRUE(remove(7));
+  EXPECT_EQ(queue_.size(), 0u);
+  post(8, &reqs_[1]);
+  EXPECT_TRUE(remove(8));
+}
+
+TEST_F(ListFixture, NodesReleasedToPool) {
+  for (int i = 0; i < 10; ++i) post(i, &reqs_[i]);
+  EXPECT_EQ(pool_.live(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(remove(i));
+  EXPECT_EQ(pool_.live(), 0u);
+}
+
+TEST_F(ListFixture, FootprintIsNodeSized) {
+  for (int i = 0; i < 4; ++i) post(i, &reqs_[i]);
+  EXPECT_EQ(queue_.footprint_bytes(), 4 * sizeof(ListQ::Node));
+}
+
+TEST(ListQueueSimulated, TraversalTouchesTwoNonAdjacentLinesPerNode) {
+  // The baseline's cost signature: entry line + (distant) link line.
+  auto arch = cachesim::sandy_bridge();
+  arch.prefetch.l1_next_line = false;
+  arch.prefetch.l2_adjacent_pair = false;
+  arch.prefetch.l2_streamer = false;
+  cachesim::Hierarchy hier(arch);
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+  auto cfg = QueueConfig::from_label("baseline");
+  auto bundle = make_engine(mem, space, cfg);
+  std::vector<MatchRequest> reqs(16);
+  for (int i = 0; i < 16; ++i) {
+    reqs[static_cast<std::size_t>(i)] =
+        MatchRequest(RequestKind::kRecv, static_cast<std::uint64_t>(i));
+    bundle->prq().append(PostedEntry::from(
+        Pattern::make(1, 100 + i, 0), &reqs[static_cast<std::size_t>(i)]));
+  }
+  hier.flush_all();
+  hier.reset_stats();
+  bundle->prq().find_and_remove(Envelope{1, 1, 0});  // miss: full walk
+  // 16 nodes x 2 touched lines, all cold, no prefetch help.
+  EXPECT_EQ(hier.stats().dram_fetches, 32u);
+}
+
+}  // namespace
+}  // namespace semperm::match

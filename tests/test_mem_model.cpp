@@ -1,0 +1,106 @@
+#include "cachesim/mem_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/arch.hpp"
+
+namespace semperm::cachesim {
+namespace {
+
+ArchProfile quiet() {
+  auto a = sandy_bridge();
+  a.prefetch = PrefetchConfig{false, false, false, 2, 4};
+  return a;
+}
+
+TEST(SimMem, TranslatesArenaPointersDeterministically) {
+  auto arch = quiet();
+  Hierarchy h(arch);
+  SimMem mem(h);
+  memlayout::AddressSpace space;
+  memlayout::Arena arena(space, 4096);
+  mem.map_arena(arena);
+  char* p = static_cast<char*>(arena.allocate(128, 64));
+  EXPECT_EQ(mem.translate(p), arena.sim_addr(p));
+}
+
+TEST(SimMem, ReadChargesHierarchyCycles) {
+  auto arch = quiet();
+  Hierarchy h(arch);
+  SimMem mem(h);
+  memlayout::AddressSpace space;
+  memlayout::Arena arena(space, 4096);
+  mem.map_arena(arena);
+  char* p = static_cast<char*>(arena.allocate(64, 64));
+  mem.read(p, 4);
+  EXPECT_EQ(mem.cycles(), arch.dram_latency);
+  mem.read(p, 4);  // now L1-resident
+  EXPECT_EQ(mem.cycles(), arch.dram_latency + arch.l1.hit_latency);
+}
+
+TEST(SimMem, WriteAllocatesLikeRead) {
+  auto arch = quiet();
+  Hierarchy h(arch);
+  SimMem mem(h);
+  memlayout::AddressSpace space;
+  memlayout::Arena arena(space, 4096);
+  mem.map_arena(arena);
+  char* p = static_cast<char*>(arena.allocate(64, 64));
+  mem.write(p, 8);
+  EXPECT_EQ(mem.cycles(), arch.dram_latency);
+  EXPECT_TRUE(h.resident(0, arena.sim_addr(p)));
+}
+
+TEST(SimMem, WorkAccumulatesComputeCycles) {
+  Hierarchy h(quiet());
+  SimMem mem(h);
+  mem.work(10);
+  mem.work(5);
+  EXPECT_EQ(mem.cycles(), 15u);
+}
+
+TEST(SimMem, SinceAndReset) {
+  Hierarchy h(quiet());
+  SimMem mem(h);
+  mem.work(10);
+  const Cycles mark = mem.cycles();
+  mem.work(7);
+  EXPECT_EQ(mem.since(mark), 7u);
+  mem.reset_cycles();
+  EXPECT_EQ(mem.cycles(), 0u);
+}
+
+TEST(SimMem, MultipleArenasResolve) {
+  Hierarchy h(quiet());
+  SimMem mem(h);
+  memlayout::AddressSpace space;
+  memlayout::Arena a(space, 4096), b(space, 4096);
+  mem.map_arena(a);
+  mem.map_arena(b);
+  char* pa = static_cast<char*>(a.allocate(16));
+  char* pb = static_cast<char*>(b.allocate(16));
+  EXPECT_EQ(mem.translate(pa), a.sim_addr(pa));
+  EXPECT_EQ(mem.translate(pb), b.sim_addr(pb));
+  EXPECT_NE(mem.translate(pa), mem.translate(pb));
+}
+
+TEST(SimMem, UnmappedPointerThrows) {
+  Hierarchy h(quiet());
+  SimMem mem(h);
+  int local = 0;
+  EXPECT_THROW(mem.translate(&local), std::logic_error);
+}
+
+TEST(NativeMemPolicy, IsFreeAndSatisfiesConcept) {
+  static_assert(MemoryModel<NativeMem>);
+  static_assert(MemoryModel<SimMem>);
+  NativeMem mem;
+  int x = 0;
+  mem.read(&x, 4);
+  mem.write(&x, 4);
+  mem.work(1000);
+  EXPECT_EQ(mem.cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace semperm::cachesim

@@ -1,0 +1,143 @@
+// Motif generators (Fig. 1) and the phase replayer.
+
+#include "motifs/motif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "motifs/replayer.hpp"
+
+namespace semperm::motifs {
+namespace {
+
+// --- replayer mechanics ------------------------------------------------
+
+TEST(Replayer, LeadBoundsPostedQueueLength) {
+  MotifReplayer replayer(match::QueueConfig{}, 5, 5);
+  Rng rng(1);
+  PhaseSpec spec;
+  for (int i = 0; i < 40; ++i) spec.recvs.push_back(Identity{0, i});
+  spec.lead = 7;
+  replayer.replay_phase(spec, rng);
+  // In-order delivery with lead 7: the posted histogram's max sample is
+  // close to the lead (within one batch).
+  EXPECT_LE(replayer.posted_histogram().max_value_seen(), 8u);
+  EXPECT_GE(replayer.posted_histogram().max_value_seen(), 7u);
+}
+
+TEST(Replayer, FullPrepostSweepsWholeRange) {
+  MotifReplayer replayer(match::QueueConfig{}, 10, 10);
+  Rng rng(2);
+  PhaseSpec spec;
+  for (int i = 0; i < 60; ++i) spec.recvs.push_back(Identity{0, i});
+  spec.lead = spec.recvs.size();
+  replayer.replay_phase(spec, rng);
+  EXPECT_EQ(replayer.posted_histogram().max_value_seen(), 60u);
+}
+
+TEST(Replayer, EarlyArrivalsPopulateUnexpectedQueue) {
+  MotifReplayer replayer(match::QueueConfig{}, 5, 5);
+  Rng rng(3);
+  PhaseSpec spec;
+  for (int i = 0; i < 50; ++i) spec.recvs.push_back(Identity{0, i});
+  spec.lead = 0;
+  spec.early_prob = 1.0;  // everything beats its receive
+  replayer.replay_phase(spec, rng);
+  EXPECT_EQ(replayer.unexpected_histogram().max_value_seen(), 50u);
+  EXPECT_EQ(replayer.posted_histogram().max_value_seen(), 0u);
+}
+
+TEST(Replayer, PhasesDrainCompletely) {
+  MotifReplayer replayer(match::QueueConfig{}, 5, 5);
+  Rng rng(4);
+  for (int phase = 0; phase < 10; ++phase) {
+    PhaseSpec spec;
+    for (int i = 0; i < 20; ++i) spec.recvs.push_back(Identity{i % 3, i});
+    spec.lead = static_cast<std::size_t>(phase);
+    spec.early_prob = 0.2;
+    spec.shuffle_deliveries = true;
+    // replay_phase asserts both queues empty at the end.
+    EXPECT_NO_THROW(replayer.replay_phase(spec, rng));
+  }
+  EXPECT_EQ(replayer.phases_replayed(), 10u);
+}
+
+// --- the three motifs, at reduced scale ---------------------------------
+
+template <typename Params, typename Fn>
+MotifSummary run_small(Fn fn, Params params) {
+  return fn(params);
+}
+
+TEST(Motifs, AmrShapeMatchesFig1a) {
+  AmrParams p;
+  p.grid = 12;
+  p.sample_stride = 16;
+  p.phases = 6;
+  const auto s = run_amr(p);
+  EXPECT_EQ(s.name, "AMR");
+  EXPECT_EQ(s.total_ranks, 12ull * 12 * 12);
+  EXPECT_GT(s.ranks_simulated, 0u);
+  EXPECT_GT(s.posted.total(), 0u);
+  EXPECT_EQ(s.posted.bucket_width(), 20u);
+  // Heavy-tailed: extremes reach past 150 (refined faces) but the modal
+  // mass sits in the low buckets.
+  EXPECT_GT(s.posted.max_value_seen(), 150u);
+  EXPECT_LT(s.posted.max_value_seen(), 460u);
+  EXPECT_GT(s.posted.bucket(0) + s.posted.bucket(1) + s.posted.bucket(2),
+            s.posted.total() / 10);
+  EXPECT_GT(s.unexpected.total(), 0u);  // early arrivals exist
+}
+
+TEST(Motifs, Sweep3dReachesLowHundreds) {
+  Sweep3dParams p;
+  p.px = 64;
+  p.py = 32;
+  p.sample_stride = 32;
+  p.sweeps = 1;
+  const auto s = run_sweep3d(p);
+  EXPECT_EQ(s.posted.bucket_width(), 10u);
+  EXPECT_GT(s.posted.total(), 0u);
+  EXPECT_GT(s.posted.max_value_seen(), 40u);
+  EXPECT_LT(s.posted.max_value_seen(), 250u);
+}
+
+TEST(Motifs, Halo3dIsDominatedByTinyQueues) {
+  Halo3dParams p;
+  p.nx = p.ny = p.nz = 8;
+  p.sample_stride = 4;
+  p.phases = 8;
+  const auto s = run_halo3d(p);
+  EXPECT_EQ(s.posted.bucket_width(), 5u);
+  // The 0-4 bucket dominates (the paper's "many very small queue length
+  // operations").
+  ASSERT_GT(s.posted.bucket_count(), 1u);
+  EXPECT_GT(s.posted.bucket(0), s.posted.total() / 2);
+}
+
+TEST(Motifs, DeterministicForSeed) {
+  Halo3dParams p;
+  p.nx = p.ny = p.nz = 6;
+  p.sample_stride = 8;
+  p.phases = 3;
+  const auto a = run_halo3d(p);
+  const auto b = run_halo3d(p);
+  ASSERT_EQ(a.posted.bucket_count(), b.posted.bucket_count());
+  for (std::size_t i = 0; i < a.posted.bucket_count(); ++i)
+    EXPECT_EQ(a.posted.bucket(i), b.posted.bucket(i));
+}
+
+TEST(Motifs, StrideScalesCountsNotShape) {
+  AmrParams p;
+  p.grid = 10;
+  p.phases = 4;
+  p.sample_stride = 8;
+  const auto coarse = run_amr(p);
+  p.sample_stride = 4;
+  const auto fine = run_amr(p);
+  EXPECT_GT(fine.ranks_simulated, coarse.ranks_simulated);
+  EXPECT_GT(fine.posted.total(), coarse.posted.total());
+}
+
+}  // namespace
+}  // namespace semperm::motifs

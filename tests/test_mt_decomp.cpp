@@ -1,0 +1,86 @@
+#include "motifs/mt_decomp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::motifs {
+namespace {
+
+MtDecompParams small(Stencil s, int nx, int ny, int nz) {
+  MtDecompParams p;
+  p.grid = ThreadGrid{nx, ny, nz};
+  p.stencil = s;
+  p.trials = 5;
+  return p;
+}
+
+TEST(MtDecomp, UniqueIdentitySearchDepthIsNearQuarterLength) {
+  // With one message per sending thread (5pt/7pt patterns), identities are
+  // unique and random posting/arrival orders give an expected mean search
+  // depth of ~L/4 + O(1) — the regime of Table 1's 5pt rows (e.g. 128 ->
+  // 32.51).
+  auto p = small(Stencil::k5pt, 16, 16, 1);
+  const auto r = run_mt_decomp(p);
+  EXPECT_EQ(r.length, 64);
+  EXPECT_EQ(r.ts, 64);  // unique senders
+  EXPECT_NEAR(r.mean_search_depth, 64.0 / 4.0 + 0.75, 3.0);
+}
+
+TEST(MtDecomp, DuplicateIdentitiesReduceSearchDepth) {
+  // 27pt decompositions have many edges per sending thread (L >> ts);
+  // interchangeable receives shorten searches below the unique-identity
+  // expectation — the effect visible in the paper's 27pt rows.
+  auto p = small(Stencil::k27pt, 6, 6, 3);
+  const auto r = run_mt_decomp(p);
+  ASSERT_GT(r.length, r.ts);
+  EXPECT_LT(r.mean_search_depth, static_cast<double>(r.length) / 4.0);
+  EXPECT_GT(r.mean_search_depth, 0.0);
+}
+
+TEST(MtDecomp, DeterministicForSeed) {
+  auto p = small(Stencil::k9pt, 8, 8, 1);
+  const auto a = run_mt_decomp(p);
+  const auto b = run_mt_decomp(p);
+  EXPECT_DOUBLE_EQ(a.mean_search_depth, b.mean_search_depth);
+  EXPECT_DOUBLE_EQ(a.stddev_search_depth, b.stddev_search_depth);
+}
+
+TEST(MtDecomp, SeedChangesTrialsButNotGeometry) {
+  auto p = small(Stencil::k9pt, 8, 8, 1);
+  const auto a = run_mt_decomp(p);
+  p.seed ^= 0x123;
+  const auto b = run_mt_decomp(p);
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.ts, b.ts);
+  EXPECT_NE(a.mean_search_depth, b.mean_search_depth);
+}
+
+TEST(MtDecomp, WorksAcrossQueueKinds) {
+  // Search depth (entries inspected) is a property of the workload, not
+  // the structure; LLA must report the same statistics.
+  auto p = small(Stencil::k5pt, 12, 12, 1);
+  const auto base = run_mt_decomp(p);
+  p.queue = match::QueueConfig::from_label("lla-8");
+  const auto lla = run_mt_decomp(p);
+  EXPECT_EQ(base.length, lla.length);
+  EXPECT_NEAR(base.mean_search_depth, lla.mean_search_depth, 0.01);
+}
+
+TEST(MtDecomp, Table1RowsCoverPaperDecompositions) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0].grid.to_string(), "32x32");
+  EXPECT_EQ(rows[9].grid.to_string(), "1x1x256");
+  EXPECT_EQ(rows[9].stencil, Stencil::k27pt);
+  for (const auto& row : rows) EXPECT_EQ(row.trials, 10);
+}
+
+TEST(MtDecomp, StddevReflectsTrialVariation) {
+  auto p = small(Stencil::k5pt, 16, 16, 1);
+  p.trials = 8;
+  const auto r = run_mt_decomp(p);
+  EXPECT_GT(r.stddev_search_depth, 0.0);
+  EXPECT_LT(r.stddev_search_depth, r.mean_search_depth);
+}
+
+}  // namespace
+}  // namespace semperm::motifs

@@ -1,0 +1,137 @@
+// The simulated OSU drivers: sanity of the bandwidth model and the
+// paper-shape directional checks that Figures 4-7 rely on.
+
+#include "workloads/osu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::workloads {
+namespace {
+
+OsuParams quick(const std::string& queue, std::size_t bytes,
+                std::size_t depth) {
+  OsuParams p;
+  p.queue = match::QueueConfig::from_label(queue);
+  p.msg_bytes = bytes;
+  p.queue_depth = depth;
+  p.iterations = 3;
+  p.warmup_iterations = 1;
+  return p;
+}
+
+TEST(OsuBw, DeterministicAcrossRuns) {
+  const auto a = run_osu_bw(quick("lla-8", 1, 128));
+  const auto b = run_osu_bw(quick("lla-8", 1, 128));
+  EXPECT_DOUBLE_EQ(a.bandwidth_mibps, b.bandwidth_mibps);
+  EXPECT_DOUBLE_EQ(a.match_ns_per_msg, b.match_ns_per_msg);
+}
+
+TEST(OsuBw, SearchDepthTracksQueueDepth) {
+  const auto r = run_osu_bw(quick("baseline", 1, 256));
+  // Every message walks the 256 pre-populated entries first.
+  EXPECT_NEAR(r.mean_search_depth, 257.0, 2.0);
+}
+
+TEST(OsuBw, BandwidthFallsWithDepth) {
+  const auto shallow = run_osu_bw(quick("baseline", 1, 1));
+  const auto deep = run_osu_bw(quick("baseline", 1, 2048));
+  EXPECT_GT(shallow.bandwidth_mibps, 2.0 * deep.bandwidth_mibps);
+}
+
+TEST(OsuBw, LargeMessagesAreWireBound) {
+  auto p = quick("baseline", 1 << 20, 1024);
+  const auto base = run_osu_bw(p);
+  p.queue = match::QueueConfig::from_label("lla-8");
+  const auto lla = run_osu_bw(p);
+  const double wire = p.net.bandwidth_mibps();
+  EXPECT_NEAR(base.bandwidth_mibps, wire, wire * 0.05);
+  EXPECT_NEAR(lla.bandwidth_mibps, base.bandwidth_mibps,
+              base.bandwidth_mibps * 0.02);
+}
+
+TEST(OsuBw, SpatialLocalityWinsAtDepth) {
+  // The Fig. 4 headline: LLA beats the baseline clearly at depth 1024 for
+  // small messages.
+  const auto base = run_osu_bw(quick("baseline", 1, 1024));
+  const auto lla8 = run_osu_bw(quick("lla-8", 1, 1024));
+  EXPECT_GT(lla8.bandwidth_mibps, 1.8 * base.bandwidth_mibps);
+  EXPECT_LT(lla8.dram_fetches_per_msg, base.dram_fetches_per_msg);
+}
+
+TEST(OsuBw, LlaKneeAtEight) {
+  // Gains grow through LLA-8 and largely stop there (Fig. 4b analysis).
+  const auto lla2 = run_osu_bw(quick("lla-2", 1, 1024));
+  const auto lla8 = run_osu_bw(quick("lla-8", 1, 1024));
+  const auto lla32 = run_osu_bw(quick("lla-32", 1, 1024));
+  EXPECT_GT(lla8.bandwidth_mibps, lla2.bandwidth_mibps);
+  EXPECT_LT(lla32.bandwidth_mibps, 1.25 * lla8.bandwidth_mibps);
+}
+
+TEST(OsuBw, HotCachingHelpsOnSandyBridge) {
+  auto p = quick("baseline", 1, 1024);
+  const auto cold = run_osu_bw(p);
+  p.heater = HeaterMode::kPerElement;
+  const auto heated = run_osu_bw(p);
+  EXPECT_GT(heated.bandwidth_mibps, 1.1 * cold.bandwidth_mibps);
+  EXPECT_GT(heated.llc_hit_rate, cold.llc_hit_rate);
+}
+
+TEST(OsuBw, HotCachingHurtsOnBroadwell) {
+  // The Fig. 7 result: Broadwell's big LLC already retains the list across
+  // compute phases, so the heater adds only overhead.
+  auto p = quick("baseline", 1, 1024);
+  p.arch = cachesim::broadwell();
+  p.net = simmpi::omnipath();
+  const auto off = run_osu_bw(p);
+  p.heater = HeaterMode::kPerElement;
+  const auto on = run_osu_bw(p);
+  EXPECT_LT(on.bandwidth_mibps, off.bandwidth_mibps);
+}
+
+TEST(OsuBw, PooledHeaterBeatsPerElement) {
+  auto p = quick("lla-2", 1, 1024);
+  p.heater = HeaterMode::kPooled;
+  const auto pooled = run_osu_bw(p);
+  auto q = quick("baseline", 1, 1024);
+  q.heater = HeaterMode::kPerElement;
+  const auto per_element = run_osu_bw(q);
+  EXPECT_GT(pooled.bandwidth_mibps, per_element.bandwidth_mibps);
+}
+
+TEST(OsuBw, CacheClearingMatters) {
+  auto p = quick("baseline", 1, 1024);
+  p.clear_cache_between_iterations = false;
+  const auto warm = run_osu_bw(p);
+  p.clear_cache_between_iterations = true;
+  const auto cleared = run_osu_bw(p);
+  EXPECT_GE(warm.bandwidth_mibps, cleared.bandwidth_mibps);
+}
+
+TEST(OsuBw, FullFlushHarsherThanPollution) {
+  auto p = quick("baseline", 1, 1024);
+  p.arch = cachesim::broadwell();  // large LLC retains under pollution
+  const auto polluted = run_osu_bw(p);
+  p.compute_working_set_bytes = 0;  // full flush
+  const auto flushed = run_osu_bw(p);
+  EXPECT_GT(polluted.bandwidth_mibps, flushed.bandwidth_mibps);
+}
+
+TEST(OsuLatency, ScalesWithMessageSizeAndDepth) {
+  auto p = quick("baseline", 1, 1);
+  const auto tiny = run_osu_latency(p);
+  p.msg_bytes = 1 << 16;
+  const auto big = run_osu_latency(p);
+  EXPECT_GT(big.msg_time_ns, tiny.msg_time_ns);
+  auto q = quick("baseline", 1, 2048);
+  const auto deep = run_osu_latency(q);
+  EXPECT_GT(deep.msg_time_ns, tiny.msg_time_ns);
+}
+
+TEST(HeaterModeNames, Stable) {
+  EXPECT_EQ(heater_mode_name(HeaterMode::kOff), "off");
+  EXPECT_EQ(heater_mode_name(HeaterMode::kPerElement), "HC");
+  EXPECT_EQ(heater_mode_name(HeaterMode::kPooled), "HC+pool");
+}
+
+}  // namespace
+}  // namespace semperm::workloads

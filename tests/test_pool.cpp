@@ -1,0 +1,134 @@
+#include "memlayout/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "memlayout/block_pool.hpp"
+
+namespace semperm::memlayout {
+namespace {
+
+struct Item {
+  std::uint64_t payload[8];
+};
+
+TEST(Pool, SequentialPolicyHandsOutAscendingAddresses) {
+  AddressSpace space;
+  Arena arena(space, 1 << 16);
+  Pool<Item> pool(arena, AddressPolicy::kSequential, /*chunk_slots=*/32);
+  Item* prev = pool.acquire();
+  for (int i = 0; i < 31; ++i) {
+    Item* next = pool.acquire();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(Pool, ScatteredPolicyShufflesAddresses) {
+  AddressSpace space;
+  Arena arena(space, 1 << 16);
+  Pool<Item> pool(arena, AddressPolicy::kScattered, /*chunk_slots=*/64);
+  std::vector<Item*> ptrs;
+  for (int i = 0; i < 64; ++i) ptrs.push_back(pool.acquire());
+  EXPECT_FALSE(std::is_sorted(ptrs.begin(), ptrs.end()));
+  // Still 64 distinct slots.
+  std::set<Item*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(Pool, ReleaseRecyclesMemory) {
+  AddressSpace space;
+  Arena arena(space, 1 << 12);
+  Pool<Item> pool(arena, AddressPolicy::kSequential, /*chunk_slots=*/4);
+  Item* a = pool.acquire();
+  pool.release(a);
+  Item* b = pool.acquire();
+  EXPECT_EQ(a, b);  // LIFO reuse
+  EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(Pool, LiveAndCarvedAccounting) {
+  AddressSpace space;
+  Arena arena(space, 1 << 14);
+  Pool<Item> pool(arena, AddressPolicy::kSequential, /*chunk_slots=*/8);
+  std::vector<Item*> held;
+  for (int i = 0; i < 10; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.live(), 10u);
+  EXPECT_EQ(pool.carved(), 16u);  // two chunks of 8
+  for (auto* p : held) pool.release(p);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.carved(), 16u);  // never returned to the arena
+}
+
+TEST(Pool, ForeignReleaseThrows) {
+  AddressSpace space;
+  Arena arena(space, 1 << 12);
+  Pool<Item> pool(arena, AddressPolicy::kSequential);
+  Item foreign;
+  EXPECT_THROW(pool.release(&foreign), std::logic_error);
+}
+
+TEST(Pool, DeterministicScatterPerSeed) {
+  AddressSpace s1, s2;
+  Arena a1(s1, 1 << 14), a2(s2, 1 << 14);
+  Pool<Item> p1(a1, AddressPolicy::kScattered, 32, 99);
+  Pool<Item> p2(a2, AddressPolicy::kScattered, 32, 99);
+  for (int i = 0; i < 32; ++i) {
+    const auto off1 = reinterpret_cast<char*>(p1.acquire()) -
+                      static_cast<const char*>(a1.buffer_base());
+    const auto off2 = reinterpret_cast<char*>(p2.acquire()) -
+                      static_cast<const char*>(a2.buffer_base());
+    EXPECT_EQ(off1, off2);
+  }
+}
+
+TEST(BlockPool, RoundsBlockSizeToAlignment) {
+  AddressSpace space;
+  Arena arena(space, 1 << 14);
+  BlockPool pool(arena, /*block_bytes=*/100, /*align=*/64,
+                 AddressPolicy::kSequential);
+  EXPECT_EQ(pool.block_bytes(), 128u);
+}
+
+TEST(BlockPool, BlocksAreAlignedAndDisjoint) {
+  AddressSpace space;
+  Arena arena(space, 1 << 16);
+  BlockPool pool(arena, 192, 128, AddressPolicy::kSequential, 16);
+  std::vector<char*> blocks;
+  for (int i = 0; i < 16; ++i)
+    blocks.push_back(static_cast<char*>(pool.acquire()));
+  for (char* b : blocks)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 128, 0u);
+  std::sort(blocks.begin(), blocks.end());
+  for (std::size_t i = 1; i < blocks.size(); ++i)
+    EXPECT_GE(blocks[i] - blocks[i - 1],
+              static_cast<std::ptrdiff_t>(pool.block_bytes()));
+}
+
+TEST(BlockPool, CarvedBytesCoversHeaterRegion) {
+  AddressSpace space;
+  Arena arena(space, 1 << 16);
+  BlockPool pool(arena, 256, 64, AddressPolicy::kSequential, 8);
+  pool.acquire();
+  EXPECT_EQ(pool.carved_bytes(), 8u * 256u);
+}
+
+TEST(BlockPool, ScatteredIsDeterministicPerSeed) {
+  AddressSpace s1, s2;
+  Arena a1(s1, 1 << 16), a2(s2, 1 << 16);
+  BlockPool p1(a1, 128, 64, AddressPolicy::kScattered, 32, 7);
+  BlockPool p2(a2, 128, 64, AddressPolicy::kScattered, 32, 7);
+  for (int i = 0; i < 32; ++i) {
+    const auto off1 = static_cast<char*>(p1.acquire()) -
+                      static_cast<const char*>(a1.buffer_base());
+    const auto off2 = static_cast<char*>(p2.acquire()) -
+                      static_cast<const char*>(a2.buffer_base());
+    EXPECT_EQ(off1, off2);
+  }
+}
+
+}  // namespace
+}  // namespace semperm::memlayout

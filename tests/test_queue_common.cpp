@@ -1,0 +1,207 @@
+// Behavioural contract tests run against EVERY queue implementation
+// (baseline list, LLA at several arities, LLA-large, per-source bins, hash
+// bins) through the common QueueIface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "match/factory.hpp"
+
+namespace semperm::match {
+namespace {
+
+class QueueContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  QueueContractTest() : bundle_(make_engine(mem_, space_, config())) {}
+
+  QueueConfig config() const {
+    auto cfg = QueueConfig::from_label(GetParam());
+    if (cfg.kind == QueueKind::kOmpiBins ||
+        cfg.kind == QueueKind::kFourDim)
+      cfg.bins = 64;
+    return cfg;
+  }
+
+  QueueIface<PostedEntry, NativeMem>& prq() { return bundle_->prq(); }
+  QueueIface<UnexpectedEntry, NativeMem>& umq() { return bundle_->umq(); }
+
+  PostedEntry posted(std::int32_t source, std::int32_t tag,
+                     MatchRequest* req) {
+    return PostedEntry::from(Pattern::make(source, tag, 0), req);
+  }
+
+  NativeMem mem_;
+  memlayout::AddressSpace space_;
+  EngineBundle<NativeMem> bundle_;
+  MatchRequest reqs_[64];
+};
+
+TEST_P(QueueContractTest, EmptySearchMisses) {
+  EXPECT_FALSE(prq().find_and_remove(Envelope{1, 1, 0}).has_value());
+  EXPECT_EQ(prq().stats().searches, 1u);
+  EXPECT_EQ(prq().stats().found, 0u);
+}
+
+TEST_P(QueueContractTest, AppendThenMatchRemoves) {
+  prq().append(posted(1, 7, &reqs_[0]));
+  EXPECT_EQ(prq().size(), 1u);
+  auto hit = prq().find_and_remove(Envelope{7, 1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[0]);
+  EXPECT_EQ(prq().size(), 0u);
+  // Gone: the same search now misses.
+  EXPECT_FALSE(prq().find_and_remove(Envelope{7, 1, 0}).has_value());
+}
+
+TEST_P(QueueContractTest, NonMatchingEntryIsLeftAlone) {
+  prq().append(posted(1, 7, &reqs_[0]));
+  EXPECT_FALSE(prq().find_and_remove(Envelope{8, 1, 0}).has_value());
+  EXPECT_EQ(prq().size(), 1u);
+}
+
+TEST_P(QueueContractTest, FifoAmongIdenticalIdentities) {
+  // MPI non-overtaking: the earliest matching receive wins.
+  for (int i = 0; i < 4; ++i) prq().append(posted(2, 5, &reqs_[i]));
+  for (int i = 0; i < 4; ++i) {
+    auto hit = prq().find_and_remove(Envelope{5, 2, 0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->req, &reqs_[i]);
+  }
+}
+
+TEST_P(QueueContractTest, WildcardEntryObeysGlobalOrder) {
+  // Concrete receive posted BEFORE a wildcard: concrete wins.
+  prq().append(posted(3, 9, &reqs_[0]));
+  prq().append(posted(kAnySource, kAnyTag, &reqs_[1]));
+  auto hit = prq().find_and_remove(Envelope{9, 3, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[0]);
+  // The wildcard is still there and takes the next message.
+  hit = prq().find_and_remove(Envelope{1, 1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[1]);
+}
+
+TEST_P(QueueContractTest, WildcardPostedFirstWins) {
+  prq().append(posted(kAnySource, kAnyTag, &reqs_[0]));
+  prq().append(posted(3, 9, &reqs_[1]));
+  auto hit = prq().find_and_remove(Envelope{9, 3, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[0]);
+}
+
+TEST_P(QueueContractTest, AnySourceConcreteTag) {
+  prq().append(posted(kAnySource, 4, &reqs_[0]));
+  EXPECT_FALSE(prq().find_and_remove(Envelope{5, 2, 0}).has_value());
+  auto hit = prq().find_and_remove(Envelope{4, 11, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[0]);
+}
+
+TEST_P(QueueContractTest, ContextIsolatesMatches) {
+  prq().append(PostedEntry::from(Pattern::make(1, 7, /*ctx=*/1), &reqs_[0]));
+  EXPECT_FALSE(prq().find_and_remove(Envelope{7, 1, /*ctx=*/0}).has_value());
+  EXPECT_TRUE(prq().find_and_remove(Envelope{7, 1, /*ctx=*/1}).has_value());
+}
+
+TEST_P(QueueContractTest, RemoveFromMiddlePreservesNeighbours) {
+  for (int i = 0; i < 9; ++i) prq().append(posted(1, 100 + i, &reqs_[i]));
+  ASSERT_TRUE(prq().find_and_remove(Envelope{104, 1, 0}).has_value());
+  EXPECT_EQ(prq().size(), 8u);
+  // All others still reachable, in any order of removal.
+  for (int tag : {100, 108, 101, 107, 102, 106, 103, 105}) {
+    auto hit = prq().find_and_remove(Envelope{tag, 1, 0});
+    ASSERT_TRUE(hit.has_value()) << "tag " << tag;
+    EXPECT_EQ(hit->req, &reqs_[tag - 100]);
+  }
+  EXPECT_EQ(prq().size(), 0u);
+}
+
+TEST_P(QueueContractTest, DrainFromFrontRepeatedly) {
+  for (int i = 0; i < 32; ++i) prq().append(posted(1, i, &reqs_[i]));
+  for (int i = 0; i < 32; ++i)
+    ASSERT_TRUE(prq().find_and_remove(Envelope{i, 1, 0}).has_value());
+  EXPECT_EQ(prq().size(), 0u);
+  // Queue is reusable after full drain.
+  prq().append(posted(1, 99, &reqs_[0]));
+  EXPECT_TRUE(prq().find_and_remove(Envelope{99, 1, 0}).has_value());
+}
+
+TEST_P(QueueContractTest, UmqConcreteSearch) {
+  umq().append(UnexpectedEntry::from(Envelope{7, 2, 0}, &reqs_[0]));
+  umq().append(UnexpectedEntry::from(Envelope{8, 2, 0}, &reqs_[1]));
+  auto hit = umq().find_and_remove(Pattern::make(2, 8, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[1]);
+  EXPECT_EQ(umq().size(), 1u);
+}
+
+TEST_P(QueueContractTest, UmqWildcardSearchTakesEarliestArrival) {
+  umq().append(UnexpectedEntry::from(Envelope{7, 5, 0}, &reqs_[0]));
+  umq().append(UnexpectedEntry::from(Envelope{7, 2, 0}, &reqs_[1]));
+  umq().append(UnexpectedEntry::from(Envelope{9, 2, 0}, &reqs_[2]));
+  // ANY_SOURCE, tag 7: the source-5 message arrived first.
+  auto hit = umq().find_and_remove(Pattern::make(kAnySource, 7, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[0]);
+  // ANY_SOURCE, ANY_TAG: next earliest overall.
+  hit = umq().find_and_remove(Pattern::make(kAnySource, kAnyTag, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[1]);
+}
+
+TEST_P(QueueContractTest, UmqAnyTagConcreteSource) {
+  umq().append(UnexpectedEntry::from(Envelope{1, 3, 0}, &reqs_[0]));
+  umq().append(UnexpectedEntry::from(Envelope{2, 4, 0}, &reqs_[1]));
+  auto hit = umq().find_and_remove(Pattern::make(4, kAnyTag, 0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req, &reqs_[1]);
+}
+
+TEST_P(QueueContractTest, StatsCountSearchesAndAppends) {
+  prq().append(posted(1, 1, &reqs_[0]));
+  prq().append(posted(1, 2, &reqs_[1]));
+  prq().find_and_remove(Envelope{2, 1, 0});
+  prq().find_and_remove(Envelope{9, 9, 0});
+  const auto& st = prq().stats();
+  EXPECT_EQ(st.appends, 2u);
+  EXPECT_EQ(st.searches, 2u);
+  EXPECT_EQ(st.found, 1u);
+  EXPECT_EQ(st.removals, 1u);
+  EXPECT_GT(st.entries_inspected, 0u);
+  EXPECT_GE(st.slots_scanned, st.entries_inspected);
+}
+
+TEST_P(QueueContractTest, FootprintGrowsWithEntries) {
+  const std::size_t before = prq().footprint_bytes();
+  for (int i = 0; i < 40; ++i) prq().append(posted(1, i, &reqs_[i]));
+  EXPECT_GT(prq().footprint_bytes(), before);
+}
+
+TEST_P(QueueContractTest, ResetStatsClears) {
+  prq().append(posted(1, 1, &reqs_[0]));
+  prq().reset_stats();
+  EXPECT_EQ(prq().stats().appends, 0u);
+  EXPECT_EQ(prq().stats().searches, 0u);
+}
+
+TEST_P(QueueContractTest, NameIsNonEmpty) {
+  EXPECT_NE(std::string(prq().name()), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueueKinds, QueueContractTest,
+                         ::testing::Values("baseline", "lla-2", "lla-3",
+                                           "lla-8", "lla-32", "lla-large",
+                                           "ompi", "hash-8", "hash-256",
+                                           "4d-64"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,158 @@
+// Property tests: every queue implementation must agree with the naive
+// reference queue operation-for-operation over randomized workloads —
+// same hit/miss decisions, same matched request, same size — across
+// thousands of operations including wildcards and duplicate identities.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "match/factory.hpp"
+#include "tests/match_reference.hpp"
+
+namespace semperm::match {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>;  // (kind, seed)
+
+class QueuePropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  QueueConfig config() const {
+    auto cfg = QueueConfig::from_label(std::get<0>(GetParam()));
+    if (cfg.kind == QueueKind::kOmpiBins) cfg.bins = 8;
+    if (cfg.kind == QueueKind::kHashBins) cfg.bins = 4;  // force collisions
+    if (cfg.kind == QueueKind::kFourDim) cfg.bins = 20;  // base 3 trie
+    return cfg;
+  }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(QueuePropertyTest, PrqAgreesWithReference) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = make_engine(mem, space, config());
+  auto& queue = bundle->prq();
+  testing::ReferenceQueue<PostedEntry> reference;
+
+  Rng rng(seed());
+  std::vector<std::unique_ptr<MatchRequest>> requests;
+  // Narrow identity space so duplicates and wildcard overlaps are common.
+  auto random_source = [&]() -> std::int32_t {
+    return rng.chance(0.2) ? kAnySource : static_cast<std::int32_t>(rng.below(4));
+  };
+  auto random_tag = [&]() -> std::int32_t {
+    return rng.chance(0.2) ? kAnyTag : static_cast<std::int32_t>(rng.below(6));
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    if (rng.chance(0.55)) {
+      requests.push_back(std::make_unique<MatchRequest>(
+          RequestKind::kRecv, static_cast<std::uint64_t>(op)));
+      const PostedEntry e = PostedEntry::from(
+          Pattern::make(random_source(), random_tag(), rng.below(2) ? 1 : 0),
+          requests.back().get());
+      queue.append(e);
+      reference.append(e);
+    } else {
+      const Envelope env{static_cast<std::int32_t>(rng.below(6)),
+                         static_cast<std::int16_t>(rng.below(4)),
+                         static_cast<std::uint16_t>(rng.below(2))};
+      auto got = queue.find_and_remove(env);
+      auto want = reference.find_and_remove(env);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "op " << op << " env " << env.to_string();
+      if (got) {
+        EXPECT_EQ(got->req, want->req) << "op " << op;
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size()) << "op " << op;
+  }
+}
+
+TEST_P(QueuePropertyTest, UmqAgreesWithReference) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = make_engine(mem, space, config());
+  auto& queue = bundle->umq();
+  testing::ReferenceQueue<UnexpectedEntry> reference;
+
+  Rng rng(seed() ^ 0xabcdef);
+  std::vector<std::unique_ptr<MatchRequest>> requests;
+
+  for (int op = 0; op < 3000; ++op) {
+    if (rng.chance(0.55)) {
+      requests.push_back(std::make_unique<MatchRequest>(
+          RequestKind::kUnexpected, static_cast<std::uint64_t>(op)));
+      const Envelope env{static_cast<std::int32_t>(rng.below(6)),
+                         static_cast<std::int16_t>(rng.below(4)),
+                         static_cast<std::uint16_t>(rng.below(2))};
+      const auto e = UnexpectedEntry::from(env, requests.back().get());
+      queue.append(e);
+      reference.append(e);
+    } else {
+      const std::int32_t src =
+          rng.chance(0.25) ? kAnySource : static_cast<std::int32_t>(rng.below(4));
+      const std::int32_t tag =
+          rng.chance(0.25) ? kAnyTag : static_cast<std::int32_t>(rng.below(6));
+      const Pattern p =
+          Pattern::make(src, tag, rng.below(2) ? 1 : 0);
+      auto got = queue.find_and_remove(p);
+      auto want = reference.find_and_remove(p);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "op " << op << " pattern " << p.to_string();
+      if (got) {
+        EXPECT_EQ(got->req, want->req) << "op " << op;
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size()) << "op " << op;
+  }
+}
+
+TEST_P(QueuePropertyTest, ChurnEndsEmptyAndConsistent) {
+  // Heavy churn: fill, drain via matching traffic, repeat. The queue must
+  // recycle its nodes (footprint bounded) and finish empty.
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = make_engine(mem, space, config());
+  auto& queue = bundle->prq();
+  Rng rng(seed() ^ 0x777);
+  std::vector<std::unique_ptr<MatchRequest>> requests;
+
+  std::size_t peak_footprint = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> tags;
+    for (int i = 0; i < 50; ++i) {
+      tags.push_back(i);
+      requests.push_back(std::make_unique<MatchRequest>(
+          RequestKind::kRecv, static_cast<std::uint64_t>(i)));
+      queue.append(PostedEntry::from(Pattern::make(1, i, 0),
+                                     requests.back().get()));
+    }
+    rng.shuffle(tags);
+    for (int tag : tags)
+      ASSERT_TRUE(queue.find_and_remove(Envelope{tag, 1, 0}).has_value());
+    ASSERT_EQ(queue.size(), 0u);
+    if (round == 4) peak_footprint = queue.footprint_bytes();
+    if (round > 4) {
+      // Node recycling: no unbounded growth across identical rounds.
+      EXPECT_LE(queue.footprint_bytes(), peak_footprint);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsBySeeds, QueuePropertyTest,
+    ::testing::Combine(::testing::Values("baseline", "lla-2", "lla-8",
+                                         "lla-32", "ompi", "hash-4", "4d"),
+                       ::testing::Values(1ull, 2ull, 3ull, 4ull)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace semperm::match

@@ -1,0 +1,201 @@
+// The rendezvous wire protocol: RTS/CTS handshake through the matching
+// engine, pre-posted and unexpected paths, and progress under symmetric
+// traffic. Also the engine's dwell-time (time-in-queue) statistics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace semperm::simmpi {
+namespace {
+
+RuntimeOptions tiny_threshold() {
+  RuntimeOptions opt;
+  opt.eager_threshold = 64;  // force rendezvous for modest payloads
+  return opt;
+}
+
+match::QueueConfig qc(const std::string& label) {
+  return match::QueueConfig::from_label(label);
+}
+
+std::vector<double> iota_payload(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 1.0);
+  return v;
+}
+
+TEST(Rendezvous, PrePostedLargeMessage) {
+  Runtime rt(2, qc("baseline"), tiny_threshold());
+  rt.run([](Comm& c) {
+    const auto payload = iota_payload(64);  // 512 B > 64 B threshold
+    if (c.rank() == 0) {
+      std::vector<double> buf(64, 0.0);
+      Request r = c.irecv(1, 5, std::as_writable_bytes(std::span<double>(buf)));
+      c.send_value<int>(1, 1, 0);  // tell the sender the receive is posted
+      const Status st = c.wait(r);
+      EXPECT_EQ(st.bytes, 512u);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_DOUBLE_EQ(buf[63], 64.0);
+    } else {
+      c.recv_value<int>(0, 1);
+      c.send(0, 5, std::as_bytes(std::span<const double>(payload)));
+    }
+  });
+}
+
+TEST(Rendezvous, UnexpectedRtsBuffersWithoutPayload) {
+  // The RTS lands on the UMQ before the receive exists; the payload only
+  // moves after the receive is posted.
+  Runtime rt(2, qc("lla-8"), tiny_threshold());
+  rt.run([](Comm& c) {
+    const auto payload = iota_payload(32);  // 256 B
+    if (c.rank() == 0) {
+      c.send(1, 9, std::as_bytes(std::span<const double>(payload)));
+      c.barrier();
+    } else {
+      // Let the RTS arrive and sit unexpected; the sender is blocked in
+      // its rendezvous send, so it cannot reach the barrier yet.
+      std::vector<double> buf(32, 0.0);
+      const Status st =
+          c.recv(0, 9, std::as_writable_bytes(std::span<double>(buf)));
+      EXPECT_EQ(st.bytes, 256u);
+      EXPECT_DOUBLE_EQ(buf[0], 1.0);
+      EXPECT_DOUBLE_EQ(buf[31], 32.0);
+      c.barrier();
+    }
+  });
+}
+
+TEST(Rendezvous, SymmetricExchangeWithPrePostedReceives) {
+  // Both ranks send large messages to each other simultaneously. With
+  // receives pre-posted this must make progress (senders drain their own
+  // mailboxes while awaiting CTS).
+  Runtime rt(2, qc("baseline"), tiny_threshold());
+  rt.run([](Comm& c) {
+    const int peer = 1 - c.rank();
+    const auto payload = iota_payload(128);  // 1 KiB
+    std::vector<double> buf(128, 0.0);
+    Request r = c.irecv(peer, 3, std::as_writable_bytes(std::span<double>(buf)));
+    c.send(peer, 3, std::as_bytes(std::span<const double>(payload)));
+    const Status st = c.wait(r);
+    EXPECT_EQ(st.bytes, 1024u);
+    EXPECT_DOUBLE_EQ(buf[127], 128.0);
+  });
+}
+
+TEST(Rendezvous, ManyLargeMessagesKeepOrder) {
+  Runtime rt(2, qc("baseline"), tiny_threshold());
+  rt.run([](Comm& c) {
+    constexpr int kN = 10;
+    if (c.rank() == 0) {
+      std::vector<std::vector<double>> bufs(kN, std::vector<double>(32));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kN; ++i)
+        reqs.push_back(c.irecv(
+            1, 7, std::as_writable_bytes(std::span<double>(bufs[static_cast<std::size_t>(i)]))));
+      c.send_value<int>(1, 1, 0);
+      c.wait_all(std::span<Request>(reqs));
+      // Same tag: non-overtaking order pairs message i with receive i.
+      for (int i = 0; i < kN; ++i)
+        EXPECT_DOUBLE_EQ(bufs[static_cast<std::size_t>(i)][0],
+                         static_cast<double>(i));
+    } else {
+      c.recv_value<int>(0, 1);
+      for (int i = 0; i < kN; ++i) {
+        std::vector<double> payload(32, static_cast<double>(i));
+        c.send(0, 7, std::as_bytes(std::span<const double>(payload)));
+      }
+    }
+  });
+}
+
+TEST(Rendezvous, MixedEagerAndRendezvousSameTag) {
+  Runtime rt(2, qc("hash-16"), tiny_threshold());
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      double small = 1.5;
+      const auto big = iota_payload(32);
+      c.send(1, 2, std::as_bytes(std::span<const double>(&small, 1)));  // eager
+      c.send(1, 2, std::as_bytes(std::span<const double>(big)));        // rdv
+    } else {
+      double small = 0.0;
+      std::vector<double> big(32, 0.0);
+      c.recv(0, 2, std::as_writable_bytes(std::span<double>(&small, 1)));
+      c.recv(0, 2, std::as_writable_bytes(std::span<double>(big)));
+      EXPECT_DOUBLE_EQ(small, 1.5);
+      EXPECT_DOUBLE_EQ(big[31], 32.0);
+    }
+  });
+}
+
+TEST(Rendezvous, DefaultThresholdKeepsSmallMessagesEager) {
+  // With the default 16 KiB threshold, KiB-scale traffic never blocks.
+  Runtime rt(2, qc("baseline"));
+  rt.run([](Comm& c) {
+    const auto payload = iota_payload(512);  // 4 KiB < 16 KiB
+    if (c.rank() == 0) {
+      c.send(1, 1, std::as_bytes(std::span<const double>(payload)));
+      // Returning proves the send did not wait for the (late) receive.
+      c.send_value<int>(1, 2, 42);
+    } else {
+      int token = c.recv_value<int>(0, 2);
+      EXPECT_EQ(token, 42);
+      std::vector<double> buf(512);
+      c.recv(0, 1, std::as_writable_bytes(std::span<double>(buf)));
+      EXPECT_DOUBLE_EQ(buf[511], 512.0);
+    }
+  });
+}
+
+// --- engine dwell-time statistics ---------------------------------------
+
+TEST(DwellStats, PostedReceivesMeasureWait) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = match::make_engine(mem, space, qc("baseline"));
+  match::MatchRequest r1(match::RequestKind::kRecv, 1);
+  match::MatchRequest r2(match::RequestKind::kRecv, 2);
+  bundle->post_recv(match::Pattern::make(1, 10, 0), &r1);  // tick 1
+  bundle->post_recv(match::Pattern::make(1, 11, 0), &r2);  // tick 2
+  match::MatchRequest m1(match::RequestKind::kUnexpected, 3);
+  match::MatchRequest m2(match::RequestKind::kUnexpected, 4);
+  bundle->incoming(match::Envelope{11, 1, 0}, &m1);  // tick 3: r2 waited 1
+  bundle->incoming(match::Envelope{10, 1, 0}, &m2);  // tick 4: r1 waited 3
+  const auto& dwell = bundle->prq_dwell().dwell();
+  EXPECT_EQ(dwell.count(), 2u);
+  EXPECT_DOUBLE_EQ(dwell.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dwell.max(), 3.0);
+  EXPECT_EQ(bundle->ticks(), 4u);
+}
+
+TEST(DwellStats, UnexpectedMessagesMeasureBufferTime) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = match::make_engine(mem, space, qc("lla-8"));
+  match::MatchRequest m(match::RequestKind::kUnexpected, 1);
+  bundle->incoming(match::Envelope{5, 2, 0}, &m);  // tick 1
+  match::MatchRequest decoy(match::RequestKind::kRecv, 2);
+  bundle->post_recv(match::Pattern::make(9, 9, 0), &decoy);  // tick 2
+  match::MatchRequest r(match::RequestKind::kRecv, 3);
+  bundle->post_recv(match::Pattern::make(2, 5, 0), &r);  // tick 3: dwelt 2
+  const auto& dwell = bundle->umq_dwell().dwell();
+  EXPECT_EQ(dwell.count(), 1u);
+  EXPECT_DOUBLE_EQ(dwell.mean(), 2.0);
+}
+
+TEST(DwellStats, EmptyUntilMatches) {
+  NativeMem mem;
+  memlayout::AddressSpace space;
+  auto bundle = match::make_engine(mem, space, qc("baseline"));
+  match::MatchRequest r(match::RequestKind::kRecv, 1);
+  bundle->post_recv(match::Pattern::make(1, 1, 0), &r);
+  EXPECT_EQ(bundle->prq_dwell().dwell().count(), 0u);
+  EXPECT_EQ(bundle->umq_dwell().dwell().count(), 0u);
+}
+
+}  // namespace
+}  // namespace semperm::simmpi

@@ -1,0 +1,144 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace semperm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitmixExpandsNearbySeeds) {
+  // Nearby seeds must not produce correlated first outputs.
+  Rng a(100), b(101);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(17);
+  // Mean failures before success = (1-p)/p = 3 for p = 0.25.
+  double sum = 0.0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricWithCertaintyIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(32), b(32);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng ra(31), rb(31);
+  ra.shuffle(a);
+  rb.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork();
+  // Child's stream should differ from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace semperm

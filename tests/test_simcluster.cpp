@@ -1,0 +1,107 @@
+// The virtual-time cluster simulation: causality, timing sanity,
+// determinism, deadlock detection, and agreement with the single-rank
+// app-model on the locality effects.
+
+#include "simcluster/simcluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::simcluster {
+namespace {
+
+ClusterConfig config_with(const std::string& queue) {
+  ClusterConfig cfg;
+  cfg.queue = match::QueueConfig::from_label(queue);
+  return cfg;
+}
+
+TEST(SimCluster, PingPongTimingIsWirePlusOverheads) {
+  // Rank 0 sends 1 KiB to rank 1; rank 1 receives then replies.
+  std::vector<Program> programs(2);
+  programs[0] = {Op::send(1, 1, 1024), Op::recv(1, 2)};
+  programs[1] = {Op::recv(0, 1), Op::send(0, 2, 1024)};
+  const ClusterConfig cfg = config_with("baseline");
+  const auto r = run_cluster(programs, cfg);
+  // Round trip: two wire transfers + several software overheads + a little
+  // match time. Bound it between the bare wire time and 3x.
+  const double wire = 2.0 * cfg.net.transfer_ns(1024);
+  EXPECT_GT(r.makespan_ns, wire);
+  EXPECT_LT(r.makespan_ns, 5.0 * wire);
+  EXPECT_EQ(r.ranks[0].sends, 1u);
+  EXPECT_EQ(r.ranks[1].recvs, 1u);
+}
+
+TEST(SimCluster, ReceiverBlockedOnLateSenderResumes) {
+  // Rank 0 receives FIRST; rank 1 computes a long time before sending.
+  std::vector<Program> programs(2);
+  programs[0] = {Op::recv(1, 7)};
+  programs[1] = {Op::compute(1e6), Op::send(0, 7, 64)};
+  const auto r = run_cluster(programs, config_with("lla-8"));
+  // The receiver's finish time is dominated by the sender's compute.
+  EXPECT_GT(r.ranks[0].finish_ns, 1e6);
+}
+
+TEST(SimCluster, DeadlockIsDetected) {
+  std::vector<Program> programs(2);
+  programs[0] = {Op::recv(1, 1)};  // nobody ever sends tag 1
+  programs[1] = {Op::recv(0, 2)};  // nobody ever sends tag 2
+  EXPECT_THROW(run_cluster(programs, config_with("baseline")),
+               std::runtime_error);
+}
+
+TEST(SimCluster, Deterministic) {
+  const auto programs = fan_in_programs(3, 16, 512, 1000.0);
+  const auto a = run_cluster(programs, config_with("baseline"));
+  const auto b = run_cluster(programs, config_with("baseline"));
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_DOUBLE_EQ(a.total_match_ns, b.total_match_ns);
+}
+
+TEST(SimCluster, RingHaloCompletesOnEveryStructure) {
+  for (const char* queue : {"baseline", "lla-8", "ompi", "hash-16", "4d"}) {
+    const auto programs = ring_halo_programs(4, 5, 2048, 5000.0);
+    const auto r = run_cluster(programs, config_with(queue));
+    ASSERT_EQ(r.ranks.size(), 4u) << queue;
+    for (const auto& rank : r.ranks) {
+      EXPECT_EQ(rank.sends, 10u) << queue;
+      EXPECT_EQ(rank.recvs, 10u) << queue;
+    }
+    EXPECT_GT(r.makespan_ns, 5.0 * 5000.0) << queue;
+  }
+}
+
+TEST(SimCluster, FanInBuildsDeepSearches) {
+  // Shuffled producers + in-order consumer: out-of-order messages pile up
+  // on the consumer's UNEXPECTED queue, and posting searches it deeply —
+  // depth grows with the number of pending messages.
+  const auto small = run_cluster(fan_in_programs(2, 8, 256, 500.0),
+                                 config_with("baseline"));
+  const auto large = run_cluster(fan_in_programs(6, 32, 256, 500.0),
+                                 config_with("baseline"));
+  EXPECT_GT(large.mean_umq_search_depth, small.mean_umq_search_depth);
+  EXPECT_GT(large.mean_umq_search_depth, 3.0);
+}
+
+TEST(SimCluster, LlaReducesMatchTimeLikeTheAppModel) {
+  // The ground-truth multi-rank simulation must agree with the paper's
+  // locality result: LLA cuts the consumer's matching time while the
+  // matching *decisions* (send/recv counts, depth) are identical.
+  const auto programs = fan_in_programs(4, 48, 256, 2000.0);
+  const auto base = run_cluster(programs, config_with("baseline"));
+  const auto lla = run_cluster(programs, config_with("lla-8"));
+  EXPECT_DOUBLE_EQ(base.mean_umq_search_depth, lla.mean_umq_search_depth);
+  EXPECT_LT(lla.total_match_ns, 0.7 * base.total_match_ns);
+  EXPECT_LE(lla.makespan_ns, base.makespan_ns);
+}
+
+TEST(SimCluster, AnySourceReceivesWork) {
+  std::vector<Program> programs(3);
+  programs[0] = {Op::recv(-1, 4), Op::recv(-1, 4)};
+  programs[1] = {Op::send(0, 4, 64)};
+  programs[2] = {Op::send(0, 4, 64)};
+  const auto r = run_cluster(programs, config_with("ompi"));
+  EXPECT_EQ(r.ranks[0].recvs, 2u);
+}
+
+}  // namespace
+}  // namespace semperm::simcluster

@@ -1,0 +1,148 @@
+// Randomized end-to-end stress of the runtime: many ranks exchange
+// randomized traffic (mixed sizes across the eager/rendezvous boundary,
+// wildcards, out-of-order receives) and every payload must arrive intact
+// and exactly once.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace semperm::simmpi {
+namespace {
+
+/// Payload carrying its own provenance so the receiver can verify it.
+struct Cell {
+  std::int32_t from;
+  std::int32_t round;
+  std::int32_t index;
+  std::int32_t fill;
+};
+
+class StressTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StressTest, AllToAllRandomizedTrafficArrivesIntact) {
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 12;
+  constexpr int kMsgsPerPeer = 6;
+  RuntimeOptions opt;
+  opt.eager_threshold = 3 * sizeof(Cell);  // some messages go rendezvous
+
+  Runtime rt(kRanks, match::QueueConfig::from_label(GetParam()), opt);
+  rt.run([&](Comm& c) {
+    Rng rng(0x57e55ULL + static_cast<std::uint64_t>(c.rank()));
+    for (int round = 0; round < kRounds; ++round) {
+      // Pre-post all receives for this round, shuffled across peers and
+      // message indexes; message length encoded in the tag.
+      struct Pending {
+        Request req;
+        std::vector<Cell> buf;
+        int peer;
+        int index;
+      };
+      std::vector<Pending> pending;
+      std::vector<std::pair<int, int>> slots;  // (peer, index)
+      for (int peer = 0; peer < kRanks; ++peer) {
+        if (peer == c.rank()) continue;
+        for (int i = 0; i < kMsgsPerPeer; ++i) slots.emplace_back(peer, i);
+      }
+      rng.shuffle(slots);
+      pending.reserve(slots.size());
+      for (const auto& [peer, index] : slots) {
+        // Length depends deterministically on (peer, round, index) so both
+        // sides agree: 1..6 cells.
+        const int cells = 1 + (peer + round + index) % 6;
+        Pending p;
+        p.buf.resize(static_cast<std::size_t>(cells));
+        p.peer = peer;
+        p.index = index;
+        pending.push_back(std::move(p));
+        pending.back().req = c.irecv(
+            peer, round * 100 + index,
+            std::as_writable_bytes(std::span<Cell>(pending.back().buf)));
+      }
+
+      // Send our messages in a shuffled order.
+      std::vector<std::pair<int, int>> sends = slots;
+      rng.shuffle(sends);
+      for (const auto& [peer, index] : sends) {
+        const int cells = 1 + (c.rank() + round + index) % 6;
+        std::vector<Cell> payload(static_cast<std::size_t>(cells));
+        for (int k = 0; k < cells; ++k)
+          payload[static_cast<std::size_t>(k)] =
+              Cell{c.rank(), round, index, k};
+        c.send(peer, round * 100 + index,
+               std::as_bytes(std::span<const Cell>(payload)));
+      }
+
+      // Collect and verify.
+      for (auto& p : pending) {
+        const Status st = c.wait(p.req);
+        const int cells = 1 + (p.peer + round + p.index) % 6;
+        ASSERT_EQ(st.source, p.peer);
+        ASSERT_EQ(st.tag, round * 100 + p.index);
+        ASSERT_EQ(st.bytes, static_cast<std::size_t>(cells) * sizeof(Cell));
+        for (int k = 0; k < cells; ++k) {
+          const Cell& cell = p.buf[static_cast<std::size_t>(k)];
+          ASSERT_EQ(cell.from, p.peer);
+          ASSERT_EQ(cell.round, round);
+          ASSERT_EQ(cell.index, p.index);
+          ASSERT_EQ(cell.fill, k);
+        }
+      }
+      c.barrier();
+    }
+  });
+
+  // Nothing may be left queued anywhere.
+  EXPECT_EQ(rt.aggregate_prq_stats().appends,
+            rt.aggregate_prq_stats().removals);
+}
+
+TEST_P(StressTest, WildcardConsumersDrainProducers) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 40;
+  Runtime rt(1 + kProducers, match::QueueConfig::from_label(GetParam()));
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      long long sum = 0;
+      int received = 0;
+      for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        int v = 0;
+        const Status st =
+            c.recv(kAnySource, kAnyTag,
+                   std::as_writable_bytes(std::span<int>(&v, 1)));
+        EXPECT_GE(st.source, 1);
+        EXPECT_LE(st.source, kProducers);
+        sum += v;
+        ++received;
+      }
+      EXPECT_EQ(received, kProducers * kPerProducer);
+      // Each producer p sends p*1000 + i for i in [0, kPerProducer).
+      long long want = 0;
+      for (int p = 1; p <= kProducers; ++p)
+        for (int i = 0; i < kPerProducer; ++i) want += p * 1000 + i;
+      EXPECT_EQ(sum, want);
+    } else {
+      for (int i = 0; i < kPerProducer; ++i)
+        c.send_value<int>(0, i % 7, c.rank() * 1000 + i);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, StressTest,
+                         ::testing::Values("baseline", "lla-8", "ompi",
+                                           "hash-16", "4d"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace semperm::simmpi

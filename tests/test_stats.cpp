@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace semperm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.25);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.25);
+  EXPECT_EQ(s.min(), 3.25);
+  EXPECT_EQ(s.max(), 3.25);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 25.0);
+  EXPECT_NEAR(percentile_sorted(v, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 7.0);
+}
+
+TEST(Summary, Summarize) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, ToStringFormats) {
+  Summary s;
+  s.mean = 1.5;
+  s.stddev = 0.25;
+  s.min = 1.0;
+  s.max = 2.0;
+  const std::string text = s.to_string(2);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  EXPECT_NE(text.find("[1.00, 2.00]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semperm

@@ -1,0 +1,94 @@
+// Stencil geometry tests, anchored to Table 1 of the paper: tr, ts and
+// Length are exact combinatorial quantities — every row must match
+// digit-for-digit.
+
+#include "motifs/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm::motifs {
+namespace {
+
+TEST(Stencil, OffsetCounts) {
+  EXPECT_EQ(stencil_offsets(Stencil::k5pt).size(), 4u);
+  EXPECT_EQ(stencil_offsets(Stencil::k9pt).size(), 8u);
+  EXPECT_EQ(stencil_offsets(Stencil::k7pt).size(), 6u);
+  EXPECT_EQ(stencil_offsets(Stencil::k27pt).size(), 26u);
+}
+
+TEST(Stencil, NamesRoundTrip) {
+  for (auto s : {Stencil::k5pt, Stencil::k9pt, Stencil::k7pt, Stencil::k27pt})
+    EXPECT_EQ(stencil_by_name(stencil_name(s)), s);
+  EXPECT_THROW(stencil_by_name("13pt"), std::invalid_argument);
+}
+
+TEST(Stencil, GridToString) {
+  EXPECT_EQ((ThreadGrid{32, 32, 1}.to_string()), "32x32");
+  EXPECT_EQ((ThreadGrid{8, 8, 4}.to_string()), "8x8x4");
+  EXPECT_EQ((ThreadGrid{1, 1, 128}.to_string()), "1x1x128");
+}
+
+struct Table1Row {
+  ThreadGrid grid;
+  Stencil stencil;
+  int tr, ts, length;
+};
+
+// The exact Table 1 values from the paper.
+const Table1Row kTable1[] = {
+    {{32, 32, 1}, Stencil::k5pt, 124, 128, 128},
+    {{64, 32, 1}, Stencil::k5pt, 188, 192, 192},
+    {{32, 32, 1}, Stencil::k9pt, 124, 132, 380},
+    {{64, 32, 1}, Stencil::k9pt, 188, 196, 572},
+    {{8, 8, 4}, Stencil::k7pt, 184, 256, 256},
+    {{1, 1, 128}, Stencil::k7pt, 128, 514, 514},
+    {{1, 1, 256}, Stencil::k7pt, 256, 1026, 1026},
+    {{8, 8, 4}, Stencil::k27pt, 184, 344, 2072},
+    {{1, 1, 128}, Stencil::k27pt, 128, 1042, 3074},
+    {{1, 1, 256}, Stencil::k27pt, 256, 2066, 6146},
+};
+
+TEST(Decomposition, ReproducesTable1Exactly) {
+  for (const auto& row : kTable1) {
+    const auto a = analyze_decomposition(row.grid, row.stencil);
+    EXPECT_EQ(a.tr, row.tr) << row.grid.to_string() << " "
+                            << stencil_name(row.stencil);
+    EXPECT_EQ(a.ts, row.ts) << row.grid.to_string() << " "
+                            << stencil_name(row.stencil);
+    EXPECT_EQ(a.length, row.length)
+        << row.grid.to_string() << " " << stencil_name(row.stencil);
+  }
+}
+
+TEST(Decomposition, EdgesAreConsistent) {
+  const auto a = analyze_decomposition(ThreadGrid{4, 4, 1}, Stencil::k5pt);
+  EXPECT_EQ(static_cast<int>(a.edges.size()), a.length);
+  // Sender ids are dense: 0..ts-1.
+  int max_sender = -1;
+  for (const auto& e : a.edges) {
+    EXPECT_GE(e.sender_id, 0);
+    EXPECT_LT(e.sender_id, a.ts);
+    EXPECT_GE(e.recv_cell, 0);
+    EXPECT_LT(e.recv_cell, 16);
+    max_sender = std::max(max_sender, e.sender_id);
+  }
+  EXPECT_EQ(max_sender, a.ts - 1);
+}
+
+TEST(Decomposition, InteriorCellsPostNothing) {
+  // 4x4 5pt: the 4 interior cells have no external neighbours.
+  const auto a = analyze_decomposition(ThreadGrid{4, 4, 1}, Stencil::k5pt);
+  EXPECT_EQ(a.tr, 12);
+  EXPECT_EQ(a.length, 16);
+  EXPECT_EQ(a.ts, 16);
+}
+
+TEST(Decomposition, SingleCellAllExternal) {
+  const auto a = analyze_decomposition(ThreadGrid{1, 1, 1}, Stencil::k7pt);
+  EXPECT_EQ(a.tr, 1);
+  EXPECT_EQ(a.length, 6);
+  EXPECT_EQ(a.ts, 6);
+}
+
+}  // namespace
+}  // namespace semperm::motifs

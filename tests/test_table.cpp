@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Every line (header, separator, rows) should have equal length.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"x", "note"});
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "has,comma"});
+  t.add_row({"3", "has\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("x,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,\"has,comma\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("3,\"has\"\"quote\"\n"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Banner) {
+  EXPECT_EQ(banner("Figure 4"), "\n== Figure 4 ==\n");
+}
+
+}  // namespace
+}  // namespace semperm

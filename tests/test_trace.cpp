@@ -1,0 +1,158 @@
+// The trace capture/replay module.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/replay.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace.hpp"
+
+namespace semperm::trace {
+namespace {
+
+// --- format round trips --------------------------------------------------
+
+TEST(TraceFormat, SaveLoadRoundTrip) {
+  Trace t;
+  t.post(3, 42, 1);
+  t.post(match::kAnySource, match::kAnyTag, 0);
+  t.arrive(3, 42, 1);
+  const Trace loaded = Trace::from_string(t.to_string());
+  EXPECT_EQ(loaded, t);
+}
+
+TEST(TraceFormat, WildcardsSerializeAsStar) {
+  Trace t;
+  t.post(match::kAnySource, 7, 0);
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("post * 7 0"), std::string::npos);
+}
+
+TEST(TraceFormat, CommentsAndBlankLinesIgnored) {
+  const Trace t = Trace::from_string(
+      "# header comment\n"
+      "\n"
+      "post 1 2 0  # trailing comment\n"
+      "arrive 1 2 0\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0], TraceEvent::post(1, 2, 0));
+  EXPECT_EQ(t.events()[1], TraceEvent::arrive(1, 2, 0));
+}
+
+TEST(TraceFormat, MalformedInputThrowsWithLineNumber) {
+  EXPECT_THROW(Trace::from_string("post 1\n"), std::invalid_argument);
+  EXPECT_THROW(Trace::from_string("noverb 1 2 0\n"), std::invalid_argument);
+  EXPECT_THROW(Trace::from_string("arrive * 2 0\n"), std::invalid_argument);
+  EXPECT_THROW(Trace::from_string("post 1 2 0 9\n"), std::invalid_argument);
+  try {
+    Trace::from_string("post 1 2 0\nbogus x y 0\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// --- replay ----------------------------------------------------------------
+
+TEST(TraceReplay, CountsMatchesNative) {
+  Trace t;
+  t.post(1, 10);
+  t.arrive(1, 10);   // PRQ match
+  t.arrive(1, 11);   // unexpected
+  t.post(1, 11);     // UMQ match
+  t.post(1, 12);     // leftover posted
+  const auto r = replay(t, ReplayOptions{});
+  EXPECT_EQ(r.posts, 3u);
+  EXPECT_EQ(r.arrivals, 2u);
+  EXPECT_EQ(r.prq_matches, 1u);
+  EXPECT_EQ(r.umq_matches, 1u);
+  EXPECT_EQ(r.leftover_posted, 1u);
+  EXPECT_EQ(r.leftover_unexpected, 0u);
+  EXPECT_EQ(r.match_cycles, 0u);  // native replay: no modelled cycles
+}
+
+TEST(TraceReplay, SimulatedReplayChargesCycles) {
+  ReplayOptions opt;
+  opt.arch = cachesim::sandy_bridge();
+  const auto r = replay(synth_fds_trace(128, 16, 4), opt);
+  EXPECT_GT(r.match_cycles, 0u);
+  EXPECT_GT(r.match_ns, 0.0);
+  EXPECT_EQ(r.leftover_posted, 128u);  // the standing list remains
+}
+
+TEST(TraceReplay, DeterministicUnderSimulation) {
+  ReplayOptions opt;
+  opt.arch = cachesim::broadwell();
+  const Trace t = synth_fds_trace(64, 8, 3);
+  const auto a = replay(t, opt);
+  const auto b = replay(t, opt);
+  EXPECT_EQ(a.match_cycles, b.match_cycles);
+  EXPECT_DOUBLE_EQ(a.mean_prq_search_depth, b.mean_prq_search_depth);
+}
+
+TEST(TraceReplay, StructuresAgreeOnSemanticsDifferOnCost) {
+  const Trace t = synth_fds_trace(256, 24, 4);
+  ReplayOptions base;
+  base.arch = cachesim::sandy_bridge();
+  auto lla = base;
+  lla.queue = match::QueueConfig::from_label("lla-8");
+  const auto rb = replay(t, base);
+  const auto rl = replay(t, lla);
+  // Identical matching outcomes...
+  EXPECT_EQ(rb.prq_matches, rl.prq_matches);
+  EXPECT_EQ(rb.leftover_posted, rl.leftover_posted);
+  EXPECT_DOUBLE_EQ(rb.mean_prq_search_depth, rl.mean_prq_search_depth);
+  // ...at very different modelled cost.
+  EXPECT_GT(rb.match_cycles, rl.match_cycles);
+}
+
+TEST(TraceReplay, PollutionRaisesCost) {
+  const Trace t = synth_fds_trace(512, 16, 4);
+  ReplayOptions warm;
+  warm.arch = cachesim::sandy_bridge();
+  auto cold = warm;
+  cold.pollute_every = 8;
+  EXPECT_GT(replay(t, cold).match_cycles, replay(t, warm).match_cycles);
+}
+
+TEST(TraceReplay, SummaryMentionsKeyNumbers) {
+  const auto r = replay(synth_halo_trace(6, 4, 2), ReplayOptions{});
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("posts"), std::string::npos);
+  EXPECT_NE(s.find("leftover"), std::string::npos);
+}
+
+// --- synthetic generators --------------------------------------------------
+
+TEST(TraceSynth, HaloTraceDrainsAndStaysShallow) {
+  const auto r = replay(synth_halo_trace(6, 8, 5), ReplayOptions{});
+  EXPECT_EQ(r.leftover_posted, 0u);
+  EXPECT_EQ(r.leftover_unexpected, 0u);
+  EXPECT_LT(r.max_prq_length, 10u);  // lead is 1..3
+}
+
+TEST(TraceSynth, FdsTraceSearchesDeep) {
+  const auto r = replay(synth_fds_trace(256, 24, 4), ReplayOptions{});
+  EXPECT_GT(r.mean_prq_search_depth, 250.0);
+  EXPECT_EQ(r.leftover_posted, 256u);
+}
+
+TEST(TraceSynth, UnexpectedTraceExercisesUmq) {
+  const auto all_early = replay(synth_unexpected_trace(64, 1.0),
+                                ReplayOptions{});
+  EXPECT_EQ(all_early.umq_matches, 64u);
+  EXPECT_EQ(all_early.prq_matches, 0u);
+  const auto none_early = replay(synth_unexpected_trace(64, 0.0),
+                                 ReplayOptions{});
+  EXPECT_EQ(none_early.umq_matches, 0u);
+  EXPECT_EQ(none_early.prq_matches, 64u);
+}
+
+TEST(TraceSynth, GeneratorsAreSeedDeterministic) {
+  EXPECT_EQ(synth_fds_trace(32, 8, 2, 5), synth_fds_trace(32, 8, 2, 5));
+  EXPECT_NE(synth_fds_trace(32, 8, 2, 5), synth_fds_trace(32, 8, 2, 6));
+}
+
+}  // namespace
+}  // namespace semperm::trace

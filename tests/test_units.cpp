@@ -1,0 +1,56 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semperm {
+namespace {
+
+TEST(Units, FormatBytesExactMultiples) {
+  EXPECT_EQ(format_bytes(0), "0");
+  EXPECT_EQ(format_bytes(1), "1");
+  EXPECT_EQ(format_bytes(512), "512");
+  EXPECT_EQ(format_bytes(1024), "1KiB");
+  EXPECT_EQ(format_bytes(4096), "4KiB");
+  EXPECT_EQ(format_bytes(1024 * 1024), "1MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3GiB");
+}
+
+TEST(Units, FormatBytesNonMultiplesStayPlain) {
+  EXPECT_EQ(format_bytes(1025), "1025");
+  EXPECT_EQ(format_bytes(1536), "1536");  // 1.5 KiB: not a whole multiple
+}
+
+TEST(Units, ParseBytesPlain) {
+  EXPECT_EQ(parse_bytes("0"), 0u);
+  EXPECT_EQ(parse_bytes("42"), 42u);
+  EXPECT_EQ(parse_bytes("123B"), 123u);
+}
+
+TEST(Units, ParseBytesSuffixes) {
+  EXPECT_EQ(parse_bytes("4KiB"), 4096u);
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("4KB"), 4096u);
+  EXPECT_EQ(parse_bytes("2MiB"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1g"), 1ull << 30);
+  EXPECT_EQ(parse_bytes("1.5k"), 1536u);
+}
+
+TEST(Units, ParseBytesRoundTripsFormat) {
+  for (std::uint64_t v : {1ull, 512ull, 4096ull, 1048576ull, 3221225472ull})
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_THROW(parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("12XiB"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("-5"), std::invalid_argument);
+}
+
+TEST(Units, FormatMibps) {
+  EXPECT_EQ(format_mibps(1024.0 * 1024.0), "1.00 MiBps");
+  EXPECT_EQ(format_mibps(1.5 * 1024.0 * 1024.0, 1), "1.5 MiBps");
+}
+
+}  // namespace
+}  // namespace semperm
