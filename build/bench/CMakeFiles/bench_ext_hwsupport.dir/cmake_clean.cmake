@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hwsupport.dir/bench_ext_hwsupport.cpp.o"
+  "CMakeFiles/bench_ext_hwsupport.dir/bench_ext_hwsupport.cpp.o.d"
+  "bench_ext_hwsupport"
+  "bench_ext_hwsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hwsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

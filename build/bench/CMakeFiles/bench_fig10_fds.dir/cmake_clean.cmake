@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fds.dir/bench_fig10_fds.cpp.o"
+  "CMakeFiles/bench_fig10_fds.dir/bench_fig10_fds.cpp.o.d"
+  "bench_fig10_fds"
+  "bench_fig10_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_spatial_snb.dir/bench_fig4_spatial_snb.cpp.o"
+  "CMakeFiles/bench_fig4_spatial_snb.dir/bench_fig4_spatial_snb.cpp.o.d"
+  "bench_fig4_spatial_snb"
+  "bench_fig4_spatial_snb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_spatial_snb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

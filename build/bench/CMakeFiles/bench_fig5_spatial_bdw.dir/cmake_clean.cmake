@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_spatial_bdw.dir/bench_fig5_spatial_bdw.cpp.o"
+  "CMakeFiles/bench_fig5_spatial_bdw.dir/bench_fig5_spatial_bdw.cpp.o.d"
+  "bench_fig5_spatial_bdw"
+  "bench_fig5_spatial_bdw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_spatial_bdw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_temporal_snb.dir/bench_fig6_temporal_snb.cpp.o"
+  "CMakeFiles/bench_fig6_temporal_snb.dir/bench_fig6_temporal_snb.cpp.o.d"
+  "bench_fig6_temporal_snb"
+  "bench_fig6_temporal_snb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_temporal_snb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_temporal_bdw.dir/bench_fig7_temporal_bdw.cpp.o"
+  "CMakeFiles/bench_fig7_temporal_bdw.dir/bench_fig7_temporal_bdw.cpp.o.d"
+  "bench_fig7_temporal_bdw"
+  "bench_fig7_temporal_bdw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_temporal_bdw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

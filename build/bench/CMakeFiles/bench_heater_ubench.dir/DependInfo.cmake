@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_heater_ubench.cpp" "bench/CMakeFiles/bench_heater_ubench.dir/bench_heater_ubench.cpp.o" "gcc" "bench/CMakeFiles/bench_heater_ubench.dir/bench_heater_ubench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/semperm_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/semperm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/motifs/CMakeFiles/semperm_motifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/semperm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/semperm_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/semperm_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/semperm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayout/CMakeFiles/semperm_memlayout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heater_ubench.dir/bench_heater_ubench.cpp.o"
+  "CMakeFiles/bench_heater_ubench.dir/bench_heater_ubench.cpp.o.d"
+  "bench_heater_ubench"
+  "bench_heater_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heater_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_heater_ubench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mt_decomp.dir/bench_table1_mt_decomp.cpp.o"
+  "CMakeFiles/bench_table1_mt_decomp.dir/bench_table1_mt_decomp.cpp.o.d"
+  "bench_table1_mt_decomp"
+  "bench_table1_mt_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mt_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

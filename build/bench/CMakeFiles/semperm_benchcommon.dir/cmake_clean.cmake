@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_benchcommon.dir/figure_panels.cpp.o"
+  "CMakeFiles/semperm_benchcommon.dir/figure_panels.cpp.o.d"
+  "libsemperm_benchcommon.a"
+  "libsemperm_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fds_like.cpp" "examples/CMakeFiles/fds_like.dir/fds_like.cpp.o" "gcc" "examples/CMakeFiles/fds_like.dir/fds_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/semperm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/semperm_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/semperm_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotcache/CMakeFiles/semperm_hotcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/semperm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayout/CMakeFiles/semperm_memlayout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fds_like.dir/fds_like.cpp.o"
+  "CMakeFiles/fds_like.dir/fds_like.cpp.o.d"
+  "fds_like"
+  "fds_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fds_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

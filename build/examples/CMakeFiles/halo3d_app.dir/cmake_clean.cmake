@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo3d_app.dir/halo3d_app.cpp.o"
+  "CMakeFiles/halo3d_app.dir/halo3d_app.cpp.o.d"
+  "halo3d_app"
+  "halo3d_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo3d_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

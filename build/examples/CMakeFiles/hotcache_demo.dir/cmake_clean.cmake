@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotcache_demo.dir/hotcache_demo.cpp.o"
+  "CMakeFiles/hotcache_demo.dir/hotcache_demo.cpp.o.d"
+  "hotcache_demo"
+  "hotcache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotcache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

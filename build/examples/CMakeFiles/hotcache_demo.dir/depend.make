@@ -1,0 +1,2 @@
+# Empty dependencies file for hotcache_demo.
+# This may be replaced when dependencies are built.

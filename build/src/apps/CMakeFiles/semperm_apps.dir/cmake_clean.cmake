@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_apps.dir/amg.cpp.o"
+  "CMakeFiles/semperm_apps.dir/amg.cpp.o.d"
+  "CMakeFiles/semperm_apps.dir/fds.cpp.o"
+  "CMakeFiles/semperm_apps.dir/fds.cpp.o.d"
+  "CMakeFiles/semperm_apps.dir/minife.cpp.o"
+  "CMakeFiles/semperm_apps.dir/minife.cpp.o.d"
+  "libsemperm_apps.a"
+  "libsemperm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

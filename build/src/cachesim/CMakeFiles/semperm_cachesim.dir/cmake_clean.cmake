@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_cachesim.dir/arch.cpp.o"
+  "CMakeFiles/semperm_cachesim.dir/arch.cpp.o.d"
+  "CMakeFiles/semperm_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/semperm_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/semperm_cachesim.dir/heater.cpp.o"
+  "CMakeFiles/semperm_cachesim.dir/heater.cpp.o.d"
+  "CMakeFiles/semperm_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/semperm_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/semperm_cachesim.dir/prefetch.cpp.o"
+  "CMakeFiles/semperm_cachesim.dir/prefetch.cpp.o.d"
+  "libsemperm_cachesim.a"
+  "libsemperm_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

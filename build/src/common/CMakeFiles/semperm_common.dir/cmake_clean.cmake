@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_common.dir/affinity.cpp.o"
+  "CMakeFiles/semperm_common.dir/affinity.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/cli.cpp.o"
+  "CMakeFiles/semperm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/histogram.cpp.o"
+  "CMakeFiles/semperm_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/rng.cpp.o"
+  "CMakeFiles/semperm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/stats.cpp.o"
+  "CMakeFiles/semperm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/table.cpp.o"
+  "CMakeFiles/semperm_common.dir/table.cpp.o.d"
+  "CMakeFiles/semperm_common.dir/units.cpp.o"
+  "CMakeFiles/semperm_common.dir/units.cpp.o.d"
+  "libsemperm_common.a"
+  "libsemperm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

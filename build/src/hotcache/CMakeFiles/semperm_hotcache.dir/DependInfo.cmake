@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotcache/heater_thread.cpp" "src/hotcache/CMakeFiles/semperm_hotcache.dir/heater_thread.cpp.o" "gcc" "src/hotcache/CMakeFiles/semperm_hotcache.dir/heater_thread.cpp.o.d"
+  "/root/repo/src/hotcache/region_registry.cpp" "src/hotcache/CMakeFiles/semperm_hotcache.dir/region_registry.cpp.o" "gcc" "src/hotcache/CMakeFiles/semperm_hotcache.dir/region_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

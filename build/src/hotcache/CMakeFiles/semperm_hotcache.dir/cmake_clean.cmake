@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_hotcache.dir/heater_thread.cpp.o"
+  "CMakeFiles/semperm_hotcache.dir/heater_thread.cpp.o.d"
+  "CMakeFiles/semperm_hotcache.dir/region_registry.cpp.o"
+  "CMakeFiles/semperm_hotcache.dir/region_registry.cpp.o.d"
+  "libsemperm_hotcache.a"
+  "libsemperm_hotcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_hotcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemperm_hotcache.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for semperm_hotcache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_match.dir/envelope.cpp.o"
+  "CMakeFiles/semperm_match.dir/envelope.cpp.o.d"
+  "CMakeFiles/semperm_match.dir/factory.cpp.o"
+  "CMakeFiles/semperm_match.dir/factory.cpp.o.d"
+  "libsemperm_match.a"
+  "libsemperm_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_memlayout.dir/arena.cpp.o"
+  "CMakeFiles/semperm_memlayout.dir/arena.cpp.o.d"
+  "CMakeFiles/semperm_memlayout.dir/layout.cpp.o"
+  "CMakeFiles/semperm_memlayout.dir/layout.cpp.o.d"
+  "libsemperm_memlayout.a"
+  "libsemperm_memlayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_memlayout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motifs/amr.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/amr.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/amr.cpp.o.d"
+  "/root/repo/src/motifs/halo3d.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/halo3d.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/halo3d.cpp.o.d"
+  "/root/repo/src/motifs/mt_decomp.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/mt_decomp.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/mt_decomp.cpp.o.d"
+  "/root/repo/src/motifs/replayer.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/replayer.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/replayer.cpp.o.d"
+  "/root/repo/src/motifs/stencil.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/stencil.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/stencil.cpp.o.d"
+  "/root/repo/src/motifs/sweep3d.cpp" "src/motifs/CMakeFiles/semperm_motifs.dir/sweep3d.cpp.o" "gcc" "src/motifs/CMakeFiles/semperm_motifs.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/semperm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayout/CMakeFiles/semperm_memlayout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_motifs.dir/amr.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/amr.cpp.o.d"
+  "CMakeFiles/semperm_motifs.dir/halo3d.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/halo3d.cpp.o.d"
+  "CMakeFiles/semperm_motifs.dir/mt_decomp.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/mt_decomp.cpp.o.d"
+  "CMakeFiles/semperm_motifs.dir/replayer.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/replayer.cpp.o.d"
+  "CMakeFiles/semperm_motifs.dir/stencil.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/stencil.cpp.o.d"
+  "CMakeFiles/semperm_motifs.dir/sweep3d.cpp.o"
+  "CMakeFiles/semperm_motifs.dir/sweep3d.cpp.o.d"
+  "libsemperm_motifs.a"
+  "libsemperm_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_simcluster.dir/simcluster.cpp.o"
+  "CMakeFiles/semperm_simcluster.dir/simcluster.cpp.o.d"
+  "libsemperm_simcluster.a"
+  "libsemperm_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/semperm_simmpi.dir/runtime.cpp.o.d"
+  "libsemperm_simmpi.a"
+  "libsemperm_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/semperm_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/semperm_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/synth.cpp" "src/trace/CMakeFiles/semperm_trace.dir/synth.cpp.o" "gcc" "src/trace/CMakeFiles/semperm_trace.dir/synth.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/semperm_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/semperm_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/semperm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/semperm_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayout/CMakeFiles/semperm_memlayout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

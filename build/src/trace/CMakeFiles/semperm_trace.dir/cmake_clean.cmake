@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_trace.dir/replay.cpp.o"
+  "CMakeFiles/semperm_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/semperm_trace.dir/synth.cpp.o"
+  "CMakeFiles/semperm_trace.dir/synth.cpp.o.d"
+  "CMakeFiles/semperm_trace.dir/trace.cpp.o"
+  "CMakeFiles/semperm_trace.dir/trace.cpp.o.d"
+  "libsemperm_trace.a"
+  "libsemperm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

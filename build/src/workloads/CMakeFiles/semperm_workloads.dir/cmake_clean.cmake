@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semperm_workloads.dir/app_model.cpp.o"
+  "CMakeFiles/semperm_workloads.dir/app_model.cpp.o.d"
+  "CMakeFiles/semperm_workloads.dir/heater_ubench.cpp.o"
+  "CMakeFiles/semperm_workloads.dir/heater_ubench.cpp.o.d"
+  "CMakeFiles/semperm_workloads.dir/osu.cpp.o"
+  "CMakeFiles/semperm_workloads.dir/osu.cpp.o.d"
+  "libsemperm_workloads.a"
+  "libsemperm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semperm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

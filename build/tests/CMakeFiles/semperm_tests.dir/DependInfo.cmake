@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/semperm_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_arena.cpp" "tests/CMakeFiles/semperm_tests.dir/test_arena.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_arena.cpp.o.d"
+  "/root/repo/tests/test_binned.cpp" "tests/CMakeFiles/semperm_tests.dir/test_binned.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_binned.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/semperm_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cache_property.cpp" "tests/CMakeFiles/semperm_tests.dir/test_cache_property.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_cache_property.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/semperm_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/semperm_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/semperm_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_property.cpp" "tests/CMakeFiles/semperm_tests.dir/test_engine_property.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_engine_property.cpp.o.d"
+  "/root/repo/tests/test_envelope.cpp" "tests/CMakeFiles/semperm_tests.dir/test_envelope.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_envelope.cpp.o.d"
+  "/root/repo/tests/test_factory.cpp" "tests/CMakeFiles/semperm_tests.dir/test_factory.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_factory.cpp.o.d"
+  "/root/repo/tests/test_four_dim.cpp" "tests/CMakeFiles/semperm_tests.dir/test_four_dim.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_four_dim.cpp.o.d"
+  "/root/repo/tests/test_heater_sim.cpp" "tests/CMakeFiles/semperm_tests.dir/test_heater_sim.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_heater_sim.cpp.o.d"
+  "/root/repo/tests/test_heater_thread.cpp" "tests/CMakeFiles/semperm_tests.dir/test_heater_thread.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_heater_thread.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/semperm_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/semperm_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hwsupport.cpp" "tests/CMakeFiles/semperm_tests.dir/test_hwsupport.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_hwsupport.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/semperm_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_list_queue.cpp" "tests/CMakeFiles/semperm_tests.dir/test_list_queue.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_list_queue.cpp.o.d"
+  "/root/repo/tests/test_lla.cpp" "tests/CMakeFiles/semperm_tests.dir/test_lla.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_lla.cpp.o.d"
+  "/root/repo/tests/test_mem_model.cpp" "tests/CMakeFiles/semperm_tests.dir/test_mem_model.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_mem_model.cpp.o.d"
+  "/root/repo/tests/test_motifs.cpp" "tests/CMakeFiles/semperm_tests.dir/test_motifs.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_motifs.cpp.o.d"
+  "/root/repo/tests/test_mt_decomp.cpp" "tests/CMakeFiles/semperm_tests.dir/test_mt_decomp.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_mt_decomp.cpp.o.d"
+  "/root/repo/tests/test_osu.cpp" "tests/CMakeFiles/semperm_tests.dir/test_osu.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_osu.cpp.o.d"
+  "/root/repo/tests/test_paper_shapes.cpp" "tests/CMakeFiles/semperm_tests.dir/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/test_pool.cpp" "tests/CMakeFiles/semperm_tests.dir/test_pool.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_pool.cpp.o.d"
+  "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/semperm_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_prefetch.cpp.o.d"
+  "/root/repo/tests/test_probe_cancel.cpp" "tests/CMakeFiles/semperm_tests.dir/test_probe_cancel.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_probe_cancel.cpp.o.d"
+  "/root/repo/tests/test_queue_common.cpp" "tests/CMakeFiles/semperm_tests.dir/test_queue_common.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_queue_common.cpp.o.d"
+  "/root/repo/tests/test_queue_property.cpp" "tests/CMakeFiles/semperm_tests.dir/test_queue_property.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_queue_property.cpp.o.d"
+  "/root/repo/tests/test_region_registry.cpp" "tests/CMakeFiles/semperm_tests.dir/test_region_registry.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_region_registry.cpp.o.d"
+  "/root/repo/tests/test_rendezvous.cpp" "tests/CMakeFiles/semperm_tests.dir/test_rendezvous.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_rendezvous.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/semperm_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simcluster.cpp" "tests/CMakeFiles/semperm_tests.dir/test_simcluster.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_simcluster.cpp.o.d"
+  "/root/repo/tests/test_simmpi.cpp" "tests/CMakeFiles/semperm_tests.dir/test_simmpi.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_simmpi.cpp.o.d"
+  "/root/repo/tests/test_simmpi_stress.cpp" "tests/CMakeFiles/semperm_tests.dir/test_simmpi_stress.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_simmpi_stress.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/semperm_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stencil.cpp" "tests/CMakeFiles/semperm_tests.dir/test_stencil.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_stencil.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/semperm_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/semperm_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/semperm_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/semperm_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/semperm_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semperm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayout/CMakeFiles/semperm_memlayout.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/semperm_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/semperm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotcache/CMakeFiles/semperm_hotcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/semperm_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/motifs/CMakeFiles/semperm_motifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/semperm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/semperm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/semperm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/semperm_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
