@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   const bool quick = cli.flag("quick");
 
-  Table table({"Architecture", "cold (ns/access)", "heated (ns/access)",
-               "improvement (x)"});
+  Table table({"Architecture", "engine", "cold (ns/access)",
+               "heated (ns/access)", "improvement (x)", "coverage",
+               "heater LLC lines", "invals", "intervs"});
   for (const char* arch_name : {"sandybridge", "broadwell", "nehalem"}) {
     workloads::HeaterUbenchParams p;
     p.arch = cachesim::arch_by_name(arch_name);
@@ -30,10 +31,27 @@ int main(int argc, char** argv) {
       p.iterations = 4;
       p.accesses_per_iteration = 512;
     }
-    const auto r = workloads::run_heater_ubench(p);
-    table.add_row({p.arch.name, Table::num(r.cold_ns_per_access, 1),
-                   Table::num(r.heated_ns_per_access, 1),
-                   Table::num(r.improvement(), 2)});
+    // Analytic fast path and the execution-driven heater core, side by
+    // side: the exec rows additionally report measured coverage, LLC
+    // occupancy and protocol events (non-zero by construction — the app
+    // core's pollution races the heater core every iteration).
+    for (const auto engine :
+         {workloads::HeaterEngine::kAnalytic,
+          workloads::HeaterEngine::kExecution}) {
+      p.engine = engine;
+      p.write_fraction =
+          engine == workloads::HeaterEngine::kExecution ? 0.1 : 0.0;
+      const auto r = workloads::run_heater_ubench(p);
+      const bool exec = engine == workloads::HeaterEngine::kExecution;
+      table.add_row({p.arch.name, exec ? "exec" : "analytic",
+                     Table::num(r.cold_ns_per_access, 1),
+                     Table::num(r.heated_ns_per_access, 1),
+                     Table::num(r.improvement(), 2),
+                     exec ? Table::num(r.measured_coverage, 3) : "-",
+                     exec ? Table::num(std::uint64_t{r.heater_llc_lines}) : "-",
+                     exec ? Table::num(r.coherence.invalidations) : "-",
+                     exec ? Table::num(r.coherence.interventions) : "-"});
+    }
   }
   bench::emit("Heater micro-benchmark: random-access iteration time", table,
               cli.flag("csv"));

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   const bool quick = cli.flag("quick");
   Table table({"Decomp.", "Stencil", "tr", "ts", "Length", "Search depth",
-               "(stddev)"});
+               "(stddev)", "cyc/op", "lock xfer/op", "invals", "intervs"});
   for (auto params : motifs::table1_rows()) {
     params.trials = quick ? 2 : static_cast<int>(cli.get_int("trials"));
     params.queue = match::QueueConfig::from_label(cli.get_string("queue"));
@@ -33,9 +33,15 @@ int main(int argc, char** argv) {
                    Table::num(std::int64_t{r.tr}), Table::num(std::int64_t{r.ts}),
                    Table::num(std::int64_t{r.length}),
                    Table::num(r.mean_search_depth, 2),
-                   Table::num(r.stddev_search_depth, 2)});
+                   Table::num(r.stddev_search_depth, 2),
+                   Table::num(r.mean_cycles_per_op, 1),
+                   Table::num(r.lock_transfers_per_op, 3),
+                   Table::num(r.coherence.invalidations),
+                   Table::num(r.coherence.interventions)});
   }
-  bench::emit("Table 1: queue lengths and mean search depths", table,
-              cli.flag("csv"));
+  bench::emit(
+      "Table 1: queue lengths, search depths and cross-core coherence "
+      "(KNL, CoherentHierarchy)",
+      table, cli.flag("csv"));
   return 0;
 }

@@ -93,6 +93,29 @@ void run_osu_figure(const std::string& figure_name,
              format_bytes(bytes) + " messages)",
          table, csv);
   }
+
+  // Hierarchy counters: per-level prefetch coverage and writeback traffic
+  // for every series at the 4 KiB / depth-1024 operating point, so the
+  // ablation benches report them uniformly.
+  Table counters({"series", "level", "hits", "misses", "pf fills",
+                  "pf used", "pf coverage", "writebacks"});
+  for (const auto& s : series) {
+    auto p = base_params(arch, net, s, quick);
+    p.msg_bytes = 4096;
+    p.queue_depth = 1024;
+    const auto r = workloads::run_osu_bw(p);
+    for (const auto& lvl : r.hier.levels) {
+      counters.add_row({s.label, lvl.name,
+                        Table::num(lvl.demand_hits),
+                        Table::num(lvl.demand_misses),
+                        Table::num(lvl.prefetch_fills),
+                        Table::num(lvl.prefetch_hits),
+                        Table::num(lvl.prefetch_coverage(), 3),
+                        Table::num(lvl.writebacks)});
+    }
+  }
+  emit(figure_name + " hierarchy counters (4 KiB messages, depth 1024)",
+       counters, csv);
 }
 
 }  // namespace semperm::bench

@@ -22,6 +22,8 @@ ArchProfile sandy_bridge() {
   a.l3 = {20 * MiB, 20, 28};
   a.dram_latency = 200;  // ~77 ns at 2.6 GHz
   a.lock_transfer = 110;
+  a.snoop_latency = 40;
+  a.intervention_latency = 75;
   a.sw_overhead_ns = 2600.0;
   return a;
 }
@@ -40,6 +42,8 @@ ArchProfile broadwell() {
   a.dram_latency = 190;  // ~90 ns at 2.1 GHz
   // Larger ring + decoupled uncore: contended line transfers cost more.
   a.lock_transfer = 260;
+  a.snoop_latency = 55;
+  a.intervention_latency = 110;
   a.sw_overhead_ns = 1500.0;
   return a;
 }
@@ -54,6 +58,8 @@ ArchProfile nehalem() {
   a.l3 = {8 * MiB, 16, 38};
   a.dram_latency = 165;  // ~65 ns at 2.53 GHz
   a.lock_transfer = 90;
+  a.snoop_latency = 35;
+  a.intervention_latency = 70;
   a.sw_overhead_ns = 1900.0;
   // Nehalem's streamer is less aggressive than later generations.
   a.prefetch.stream_degree = 2;
@@ -70,6 +76,10 @@ ArchProfile knl() {
   a.l3 = {0, 0, 0};  // no shared L3; MCDRAM behaves as memory here
   a.dram_latency = 215;
   a.lock_transfer = 300;
+  // Mesh of tiles, no shared LLC: snoops traverse the mesh distributed
+  // tag directory; private-to-private supply is expensive.
+  a.snoop_latency = 60;
+  a.intervention_latency = 120;
   a.sw_overhead_ns = 2500.0;
   a.prefetch.l2_adjacent_pair = false;  // KNL lacks the spatial pair unit
   return a;

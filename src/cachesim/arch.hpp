@@ -74,6 +74,15 @@ struct ArchProfile {
   /// Drives the hot-caching registry-synchronisation overhead model.
   Cycles lock_transfer = 100;
 
+  // --- coherence timing (src/coherence/) ------------------------------
+  /// Snoop round that finds no remote copy needing action, or a clean
+  /// remote downgrade (S→I invalidate, E→S): on-die broadcast/filter cost.
+  Cycles snoop_latency = 40;
+  /// Cache-to-cache intervention: a remote core holds the line Modified and
+  /// must supply the data (and usually write it back). Charged on top of
+  /// the serving level's latency.
+  Cycles intervention_latency = 75;
+
   /// Per-message match-path software overhead excluding queue traversal
   /// (descriptor handling, protocol), in nanoseconds.
   double sw_overhead_ns = 300.0;

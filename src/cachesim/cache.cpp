@@ -70,6 +70,13 @@ void SetAssocCache::set_partition(unsigned reserved_ways) {
 
 std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
                                         LineClass cls) {
+  const auto evicted = fill_line(line, reason, cls);
+  if (!evicted) return std::nullopt;
+  return evicted->line;
+}
+
+std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
+    Addr line, FillReason reason, LineClass cls, bool dirty) {
   Set& set = set_for(line);
   purge(set);
   for (std::size_t i = 0; i < set.size(); ++i) {
@@ -79,6 +86,7 @@ std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
       Way w = set[i];
       if (reason == FillReason::kHeater) w.reason = FillReason::kHeater;
       w.cls = cls;
+      w.dirty = w.dirty || dirty;
       set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
       set.insert(set.begin(), w);
       return std::nullopt;
@@ -87,11 +95,11 @@ std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
   if (reason == FillReason::kPrefetch) ++stats_.prefetch_fills;
   if (reason == FillReason::kHeater) ++stats_.heater_fills;
 
-  std::optional<Addr> evicted;
+  std::optional<EvictedWay> evicted;
   if (reserved_ways_ == 0) {
     // Unpartitioned: one LRU pool.
     if (set.size() >= assoc_) {
-      evicted = set.back().line;
+      evicted = EvictedWay{set.back().line, set.back().dirty};
       set.pop_back();
       ++stats_.evictions;
     }
@@ -107,7 +115,7 @@ std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
       // Evict the LRU way of this class.
       for (std::size_t i = set.size(); i-- > 0;) {
         if (set[i].cls == cls) {
-          evicted = set[i].line;
+          evicted = EvictedWay{set[i].line, set[i].dirty};
           set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
           ++stats_.evictions;
           break;
@@ -115,21 +123,48 @@ std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
       }
     }
   }
-  set.insert(set.begin(), Way{line, epoch_, reason, cls});
+  if (evicted && evicted->dirty) ++stats_.writebacks;
+  set.insert(set.begin(), Way{line, epoch_, reason, cls, dirty});
   return evicted;
+}
+
+bool SetAssocCache::mark_dirty(Addr line) {
+  Set& set = set_for(line);
+  for (Way& w : set) {
+    if (w.epoch == epoch_ && w.line == line) {
+      w.dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::line_dirty(Addr line) const {
+  const Set& set = set_for(line);
+  for (const Way& w : set)
+    if (w.epoch == epoch_ && w.line == line) return w.dirty;
+  return false;
 }
 
 void SetAssocCache::invalidate(Addr line) {
   Set& set = set_for(line);
   for (std::size_t i = 0; i < set.size(); ++i) {
     if (set[i].epoch == epoch_ && set[i].line == line) {
+      if (set[i].dirty) ++stats_.writebacks;
       set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
       return;
     }
   }
 }
 
-void SetAssocCache::flush() { ++epoch_; }
+void SetAssocCache::flush() {
+  // Dirty residents are written back by the flush (the epoch bump is lazy,
+  // so account for them eagerly here).
+  for (const auto& set : sets_)
+    for (const Way& w : set)
+      if (w.epoch == epoch_ && w.dirty) ++stats_.writebacks;
+  ++epoch_;
+}
 
 void SetAssocCache::pollute(std::size_t bytes) {
   // Lines the stream pushes through each set.
@@ -154,11 +189,22 @@ void SetAssocCache::pollute(std::size_t bytes) {
     std::size_t drop = normal + per_set - normal_capacity;
     for (std::size_t i = set.size(); i-- > 0 && drop > 0;) {
       if (set[i].cls == LineClass::kNormal) {
+        if (set[i].dirty) ++stats_.writebacks;
         set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
         --drop;
       }
     }
   }
+}
+
+std::size_t SetAssocCache::resident_lines_filled_by(FillReason reason) const {
+  std::size_t n = 0;
+  for (const auto& s : sets_)
+    n += static_cast<std::size_t>(std::count_if(
+        s.begin(), s.end(), [this, reason](const Way& w) {
+          return w.epoch == epoch_ && w.reason == reason;
+        }));
+  return n;
 }
 
 std::size_t SetAssocCache::resident_lines() const {

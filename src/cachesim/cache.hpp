@@ -41,6 +41,7 @@ struct CacheStats {
   std::uint64_t heater_fills = 0;
   std::uint64_t heater_hits = 0;  // demand hits on heater-filled lines
   std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  // dirty lines displaced (evict/pollute/flush)
 
   double hit_rate() const {
     const double total =
@@ -63,6 +64,13 @@ class SetAssocCache {
   /// Probe without updating LRU or statistics.
   bool contains(Addr line) const;
 
+  /// An eviction produced by fill_line: which line left, and whether it was
+  /// dirty (the caller owns the resulting writeback, e.g. to the next level).
+  struct EvictedWay {
+    Addr line;
+    bool dirty;
+  };
+
   /// Insert `line` (after a miss at this level, or as prefetch/heater fill).
   /// Returns the evicted line, if any. Inserting an already-resident line
   /// just refreshes its LRU position (and reason, if heater).
@@ -71,6 +79,19 @@ class SetAssocCache {
   /// quota is full.
   std::optional<Addr> fill(Addr line, FillReason reason,
                            LineClass cls = LineClass::kNormal);
+
+  /// Like fill(), but reports the evicted way's dirty bit and can insert the
+  /// line already dirty. A dirty eviction bumps the writeback counter.
+  std::optional<EvictedWay> fill_line(Addr line, FillReason reason,
+                                      LineClass cls = LineClass::kNormal,
+                                      bool dirty = false);
+
+  /// Set the dirty bit of a resident line (a write-back cache records the
+  /// store; the data moves only on displacement). Returns false if absent.
+  bool mark_dirty(Addr line);
+
+  /// Is `line` resident and dirty?
+  bool line_dirty(Addr line) const;
 
   /// Reserve `reserved_ways` of every set for kNetwork lines (the paper's
   /// posited "cache partition"). 0 disables partitioning. Must be less
@@ -105,12 +126,18 @@ class SetAssocCache {
   /// Number of currently valid lines (for occupancy reporting).
   std::size_t resident_lines() const;
 
+  /// Valid lines whose most recent provider was `reason` (a demand hit on a
+  /// prefetched/heated line re-marks it kDemand, so this counts lines still
+  /// "owned" by that provider — the heater-vs-app occupancy split).
+  std::size_t resident_lines_filled_by(FillReason reason) const;
+
  private:
   struct Way {
     Addr line = 0;
     std::uint64_t epoch = 0;
     FillReason reason = FillReason::kDemand;
     LineClass cls = LineClass::kNormal;
+    bool dirty = false;
   };
   // Each set is kept in LRU order: front = most recent.
   using Set = std::vector<Way>;

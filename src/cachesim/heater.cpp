@@ -80,7 +80,7 @@ double SimHeater::coverage() const {
   return std::min(1.0, window_cycles / pass);
 }
 
-Cycles SimHeater::mutation_cost() const {
+Cycles SimHeater::mutation_cost() {
   // Contended lock-line transfer, plus the mutation's own walk of the
   // registry, plus the expected wait on the heater's per-region lock hold
   // (probability = duty, mean residual = half of one region's hold time;

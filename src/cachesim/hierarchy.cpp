@@ -53,7 +53,8 @@ Cycles Hierarchy::access(Addr addr, std::size_t bytes, bool write) {
 }
 
 Cycles Hierarchy::access_line(Addr line, bool write) {
-  (void)write;  // write-allocate, identical timing to reads in this model
+  // Write-allocate, write-back: stores have identical timing to loads; the
+  // dirty bit records the deferred writeback charged on displacement.
   ++stats_.lines_touched;
 
   const bool network = !network_ranges_.empty() && is_network_line(line);
@@ -63,6 +64,7 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
   // configured — it sits beside the L1 and ordinary traffic never touches
   // it (the paper's posited "network specific cache").
   if (network && netcache_ != nullptr && netcache_->access(line)) {
+    if (write) netcache_->mark_dirty(line);
     stats_.total_cycles += arch_.network_cache.hit_latency;
     return arch_.network_cache.hit_latency;
   }
@@ -86,12 +88,25 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
   obs.l2_hit = (serving_level == 1);
 
   // Fill every level closer to the core than the serving level; network
-  // lines fill the dedicated cache instead of the L1.
+  // lines fill the dedicated cache instead of the L1. Dirty victims are
+  // written back into the next level out (NINE: accepted only if already
+  // resident there; otherwise the writeback drains to DRAM).
   for (unsigned lvl = first_level; lvl < serving_level && lvl < level_count();
-       ++lvl)
-    levels_[lvl].fill(line, FillReason::kDemand, cls);
+       ++lvl) {
+    const auto evicted = levels_[lvl].fill_line(line, FillReason::kDemand, cls);
+    if (evicted && evicted->dirty && lvl + 1 < level_count())
+      levels_[lvl + 1].mark_dirty(evicted->line);
+  }
   if (network && netcache_ != nullptr)
-    netcache_->fill(line, FillReason::kDemand, LineClass::kNetwork);
+    netcache_->fill_line(line, FillReason::kDemand, LineClass::kNetwork,
+                         write);
+
+  if (write) {
+    // Mark dirty at the level closest to the core now holding the line.
+    if (!(network && netcache_ != nullptr)) {
+      if (first_level < level_count()) levels_[first_level].mark_dirty(line);
+    }
+  }
 
   run_prefetchers(obs);
   stats_.total_cycles += cost;
@@ -157,6 +172,24 @@ bool Hierarchy::resident(unsigned level, Addr addr) const {
 void Hierarchy::reset_stats() {
   stats_ = HierarchyStats{};
   for (auto& lvl : levels_) lvl.reset_stats();
+  if (netcache_) netcache_->reset_stats();
+}
+
+const HierarchyStats& Hierarchy::stats() const {
+  stats_.levels.clear();
+  for (const auto& lvl : levels_) {
+    const auto& st = lvl.stats();
+    stats_.levels.push_back(LevelSummary{lvl.name(), st.demand_hits,
+                                         st.demand_misses, st.prefetch_fills,
+                                         st.prefetch_hits, st.writebacks});
+  }
+  if (netcache_) {
+    const auto& st = netcache_->stats();
+    stats_.levels.push_back(LevelSummary{netcache_->name(), st.demand_hits,
+                                         st.demand_misses, st.prefetch_fills,
+                                         st.prefetch_hits, st.writebacks});
+  }
+  return stats_;
 }
 
 std::string Hierarchy::report() const {

@@ -31,11 +31,32 @@
 
 namespace semperm::cachesim {
 
+/// Per-level roll-up mirrored out of the underlying CacheStats so bench
+/// emitters can report prefetch coverage and writeback traffic uniformly
+/// without reaching into each SetAssocCache.
+struct LevelSummary {
+  std::string name;
+  std::uint64_t demand_hits = 0;
+  std::uint64_t demand_misses = 0;
+  std::uint64_t prefetch_fills = 0;
+  std::uint64_t prefetch_hits = 0;  // demand hits on prefetched lines
+  std::uint64_t writebacks = 0;     // dirty lines displaced at this level
+
+  /// Fraction of prefetch fills that covered a later demand access.
+  double prefetch_coverage() const {
+    return prefetch_fills > 0
+               ? static_cast<double>(prefetch_hits) /
+                     static_cast<double>(prefetch_fills)
+               : 0.0;
+  }
+};
+
 struct HierarchyStats {
   std::uint64_t accesses = 0;
   std::uint64_t lines_touched = 0;
   std::uint64_t dram_fetches = 0;
   Cycles total_cycles = 0;
+  std::vector<LevelSummary> levels;  // [0]=L1 ... refreshed by stats()
 };
 
 class Hierarchy {
@@ -81,7 +102,7 @@ class Hierarchy {
   unsigned level_count() const { return static_cast<unsigned>(levels_.size()); }
   const SetAssocCache& level(unsigned i) const { return levels_.at(i); }
   const ArchProfile& arch() const { return arch_; }
-  const HierarchyStats& stats() const { return stats_; }
+  const HierarchyStats& stats() const;
 
   void reset_stats();
 
@@ -106,7 +127,7 @@ class Hierarchy {
   AdjacentPairPrefetcher adjacent_pair_;
   StreamPrefetcher streamer_;
   std::vector<PrefetchRequest> scratch_requests_;
-  HierarchyStats stats_;
+  mutable HierarchyStats stats_;  // mutable: stats() refreshes .levels
 };
 
 }  // namespace semperm::cachesim

@@ -1,0 +1,482 @@
+#include "coherence/coherent_hierarchy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace semperm::coherence {
+
+using cachesim::AccessObservation;
+using cachesim::FillReason;
+using cachesim::LineClass;
+using cachesim::PrefetchRequest;
+
+CoherentHierarchy::CoreStack::CoreStack(const ArchProfile& a)
+    : l1("L1", a.l1.size_bytes, a.l1.assoc),
+      l2("L2", a.l2.size_bytes, a.l2.assoc),
+      streamer(a.prefetch.stream_trigger, a.prefetch.stream_degree) {}
+
+CoherentHierarchy::CoherentHierarchy(const ArchProfile& arch, unsigned cores)
+    : arch_(arch) {
+  SEMPERM_ASSERT(arch_.l1.present() && arch_.l2.present());
+  SEMPERM_ASSERT_MSG(cores >= 1 && cores <= 64,
+                     "sharer bitmap is 64 bits wide");
+  cores_.reserve(cores);
+  for (unsigned c = 0; c < cores; ++c) cores_.emplace_back(arch_);
+  if (arch_.l3.present()) {
+    llc_ = std::make_unique<SetAssocCache>("LLC", arch_.l3.size_bytes,
+                                           arch_.l3.assoc);
+    llc_latency_ = arch_.l3.hit_latency;
+  }
+}
+
+std::uint64_t CoherentHierarchy::remote_sharers(unsigned core,
+                                                Addr line) const {
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return 0;
+  return it->second.sharers & ~bit(core);
+}
+
+int CoherentHierarchy::remote_modified(unsigned core, Addr line) const {
+  std::uint64_t rem = remote_sharers(core, line);
+  while (rem != 0) {
+    const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
+    rem &= rem - 1;
+    const auto& st = cores_[c].state;
+    const auto it = st.find(line);
+    if (it != st.end() && it->second == MesiState::kModified)
+      return static_cast<int>(c);
+  }
+  return -1;
+}
+
+void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
+  cores_[core].state[line] = st;
+  directory_[line].sharers |= bit(core);
+}
+
+void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
+  cores_[core].state.erase(line);
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  it->second.sharers &= ~bit(core);
+  if (it->second.sharers == 0) directory_.erase(it);
+}
+
+void CoherentHierarchy::invalidate_remotes(unsigned core, Addr line) {
+  std::uint64_t rem = remote_sharers(core, line);
+  while (rem != 0) {
+    const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
+    rem &= rem - 1;
+    const auto it = cores_[c].state.find(line);
+    if (it != cores_[c].state.end() &&
+        it->second == MesiState::kModified) {
+      // Write the dirty data back into the shared level before dropping.
+      ++coh_.dirty_writebacks;
+      if (llc_) llc_->mark_dirty(line);
+    }
+    cores_[c].l1.invalidate(line);
+    cores_[c].l2.invalidate(line);
+    drop_sharer(c, line);
+    ++coh_.invalidations;
+  }
+}
+
+void CoherentHierarchy::private_line_gone(unsigned core, Addr line) {
+  // The victim's data fate (writeback or silent drop) travels with the
+  // per-way dirty bits, exactly as in the single-core model; leaving the
+  // private stack is a local event that just clears the sharer bit.
+  drop_sharer(core, line);
+}
+
+void CoherentHierarchy::on_private_evict(unsigned core, unsigned level,
+                                         const SetAssocCache::EvictedWay& ev,
+                                         bool propagate_dirty) {
+  CoreStack& cs = cores_[core];
+  // Mirror the single-core NINE demand path: a dirty victim is accepted by
+  // the next level out only if already resident there (mark_dirty no-ops
+  // otherwise). Prefetch-fill victims drop their dirty bit silently, as
+  // the single-core prefetch_fill does.
+  if (propagate_dirty && ev.dirty) {
+    if (level == 0)
+      cs.l2.mark_dirty(ev.line);
+    else if (llc_)
+      llc_->mark_dirty(ev.line);
+  }
+  if (!cs.l1.contains(ev.line) && !cs.l2.contains(ev.line))
+    private_line_gone(core, ev.line);
+}
+
+void CoherentHierarchy::on_llc_evict(const SetAssocCache::EvictedWay& ev) {
+  // Inclusive LLC: the victim may not live in any private cache either.
+  const auto it = directory_.find(ev.line);
+  if (it == directory_.end()) return;
+  std::uint64_t sharers = it->second.sharers;
+  while (sharers != 0) {
+    const unsigned c = static_cast<unsigned>(std::countr_zero(sharers));
+    sharers &= sharers - 1;
+    const auto st = cores_[c].state.find(ev.line);
+    if (st != cores_[c].state.end() && st->second == MesiState::kModified)
+      ++coh_.dirty_writebacks;  // drains to DRAM; LLC copy is already gone
+    cores_[c].l1.invalidate(ev.line);
+    cores_[c].l2.invalidate(ev.line);
+    drop_sharer(c, ev.line);
+    ++coh_.back_invalidations;
+  }
+}
+
+void CoherentHierarchy::llc_fill(Addr line, FillReason reason, bool dirty) {
+  if (!llc_) return;
+  const auto ev = llc_->fill_line(line, reason, LineClass::kNormal, dirty);
+  if (ev) on_llc_evict(*ev);
+}
+
+Cycles CoherentHierarchy::access(unsigned core, Addr addr, std::size_t bytes,
+                                 bool write) {
+  SEMPERM_ASSERT(bytes > 0);
+  Cycles total = 0;
+  const Addr first = line_of(addr);
+  const Addr last = line_of(addr + bytes - 1);
+  for (Addr line = first; line <= last; ++line)
+    total += access_line(core, line, write);
+  ++cores_[core].stats.accesses;
+  return total;
+}
+
+Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
+  SEMPERM_ASSERT(core < cores());
+  CoreStack& cs = cores_[core];
+  ++cs.stats.lines_touched;
+
+  AccessObservation obs{line, /*l1_hit=*/false, /*l2_hit=*/false};
+  Cycles cost = 0;
+  // Serving levels: 0=L1, 1=L2, 2=shared LLC, >=count means DRAM/remote.
+  const unsigned level_cnt = llc_ ? 3u : 2u;
+  unsigned serving = level_cnt;
+
+  if (cs.l1.access(line)) {
+    serving = 0;
+    cost = arch_.l1.hit_latency;
+  } else if (cs.l2.access(line)) {
+    serving = 1;
+    cost = arch_.l2.hit_latency;
+  }
+
+  if (serving <= 1) {
+    // Private hit. Reads proceed in any state; a write to a Shared copy
+    // needs ownership (upgrade): snoop out and invalidate the other copies.
+    if (write) {
+      auto& st = cs.state[line];
+      if (st == MesiState::kShared) {
+        ++coh_.snoops;
+        ++coh_.upgrades;
+        cost += arch_.snoop_latency;
+        invalidate_remotes(core, line);
+      }
+      st = MesiState::kModified;
+    }
+  } else {
+    // Private miss: the directory arbitrates before the shared level does.
+    const int owner = remote_modified(core, line);
+    const std::uint64_t remotes = remote_sharers(core, line);
+    if (owner >= 0) {
+      // Cache-to-cache intervention out of a remote Modified copy. The
+      // owner writes back into the shared level and downgrades (M→S on a
+      // read, M→I on a write).
+      ++coh_.snoops;
+      ++coh_.interventions;
+      ++coh_.dirty_writebacks;
+      cost = arch_.intervention_latency;
+      llc_fill(line, FillReason::kDemand, /*dirty=*/true);
+      if (write) {
+        cores_[owner].l1.invalidate(line);
+        cores_[owner].l2.invalidate(line);
+        drop_sharer(static_cast<unsigned>(owner), line);
+        ++coh_.invalidations;
+      } else {
+        cores_[owner].state[line] = MesiState::kShared;
+      }
+    } else if (llc_ && llc_->access(line)) {
+      serving = 2;
+      cost = llc_latency_;
+      if (remotes != 0) {
+        if (write) {
+          ++coh_.snoops;
+          cost += arch_.snoop_latency;
+          invalidate_remotes(core, line);
+        } else {
+          // A remote Exclusive copy must observe the read and downgrade;
+          // Shared copies need no action (directory filters the snoop).
+          std::uint64_t rem = remotes;
+          while (rem != 0) {
+            const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
+            rem &= rem - 1;
+            auto it = cores_[c].state.find(line);
+            if (it != cores_[c].state.end() &&
+                it->second == MesiState::kExclusive) {
+              it->second = MesiState::kShared;
+              ++coh_.snoops;
+              ++coh_.clean_downgrades;
+              cost += arch_.snoop_latency;
+            }
+          }
+        }
+      }
+    } else if (remotes != 0) {
+      // Remote clean copy not served by a shared level: always the case on
+      // KNL (no L3), and possible elsewhere through the prefetch inclusion
+      // leak (L1-prefetched lines bypass the LLC). The copy is forwarded
+      // cache-to-cache.
+      ++coh_.snoops;
+      cost = arch_.intervention_latency;
+      if (write) {
+        invalidate_remotes(core, line);
+      } else {
+        std::uint64_t rem = remotes;
+        while (rem != 0) {
+          const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
+          rem &= rem - 1;
+          auto it = cores_[c].state.find(line);
+          if (it != cores_[c].state.end() &&
+              it->second == MesiState::kExclusive) {
+            it->second = MesiState::kShared;
+            ++coh_.clean_downgrades;
+          }
+        }
+      }
+      if (llc_) llc_fill(line, FillReason::kDemand, /*dirty=*/false);
+    } else {
+      cost = arch_.dram_latency;
+      ++cs.stats.dram_fetches;
+      if (llc_) llc_fill(line, FillReason::kDemand, /*dirty=*/false);
+    }
+  }
+  obs.l1_hit = (serving == 0);
+  obs.l2_hit = (serving == 1);
+
+  // Fill the private levels closer to the core than the serving level,
+  // exactly as the single-core Hierarchy does.
+  if (serving > 0) {
+    // L1 before L2, matching the single-core fill loop: the L1 victim's
+    // dirty bit must land on its L2 copy before L2's own fill can evict it.
+    const auto ev =
+        cs.l1.fill_line(line, FillReason::kDemand, LineClass::kNormal, false);
+    if (ev) on_private_evict(core, 0, *ev, /*propagate_dirty=*/true);
+    if (serving > 1) {
+      const auto ev2 = cs.l2.fill_line(line, FillReason::kDemand,
+                                       LineClass::kNormal, false);
+      if (ev2) on_private_evict(core, 1, *ev2, /*propagate_dirty=*/true);
+    }
+  }
+
+  // MESI state after the access.
+  if (serving > 1) {
+    if (write) {
+      set_state(core, line, MesiState::kModified);
+      // remote copies were invalidated above on every write path
+    } else {
+      const bool shared = remote_sharers(core, line) != 0;
+      set_state(core, line, shared ? MesiState::kShared
+                                   : MesiState::kExclusive);
+    }
+  }
+  if (write) {
+    // Write-back: record the store at the level closest to the core.
+    cs.l1.mark_dirty(line);
+  }
+
+  run_prefetchers(core, obs);
+  cs.stats.total_cycles += cost;
+  return cost;
+}
+
+void CoherentHierarchy::run_prefetchers(unsigned core,
+                                        const AccessObservation& obs) {
+  CoreStack& cs = cores_[core];
+  cs.scratch.clear();
+  if (arch_.prefetch.l1_next_line) cs.next_line.observe(obs, cs.scratch);
+  if (arch_.prefetch.l2_adjacent_pair)
+    cs.adjacent_pair.observe(obs, cs.scratch);
+  if (arch_.prefetch.l2_streamer) cs.streamer.observe(obs, cs.scratch);
+  for (const auto& req : cs.scratch) prefetch_fill(core, req);
+}
+
+void CoherentHierarchy::prefetch_fill(unsigned core,
+                                      const PrefetchRequest& req) {
+  // A prefetch that snoop-hits another core's copy is squashed (hardware
+  // prefetchers do not trigger interventions). With one core this path is
+  // identical to the single-core Hierarchy's.
+  if (remote_sharers(core, req.line) != 0) return;
+
+  CoreStack& cs = cores_[core];
+  const unsigned level_cnt = llc_ ? 3u : 2u;
+  const unsigned target = std::min<unsigned>(req.target_level, level_cnt - 1);
+  SetAssocCache* levels[3] = {&cs.l1, &cs.l2, llc_.get()};
+  if (levels[target]->contains(req.line)) return;
+
+  const bool was_private = cs.state.contains(req.line);
+  auto fill_at = [&](unsigned lvl) {
+    const auto ev = levels[lvl]->fill_line(req.line, FillReason::kPrefetch,
+                                           LineClass::kNormal, false);
+    if (!ev) return;
+    if (lvl <= 1)
+      on_private_evict(core, lvl, *ev, /*propagate_dirty=*/false);
+    else
+      on_llc_evict(*ev);
+  };
+  fill_at(target);
+  // L2 prefetches also land in the LLC (the fill passes through it).
+  if (target + 1 < level_cnt && !levels[target + 1]->contains(req.line))
+    fill_at(target + 1);
+
+  // A line pulled into a private level arrives Exclusive (nobody else
+  // holds it — we squashed otherwise); an existing private state stands.
+  if (target <= 1 && !was_private)
+    set_state(core, req.line, MesiState::kExclusive);
+}
+
+CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
+    unsigned core, Addr line) {
+  SEMPERM_ASSERT_MSG(llc_ != nullptr,
+                     "heater streaming needs a shared LLC (not KNL)");
+  CoreStack& cs = cores_[core];
+  ++cs.stats.lines_touched;
+  HeaterTouch t;
+  const int owner = remote_modified(core, line);
+  if (owner >= 0) {
+    // The application holds the line Modified: the heater's read forces a
+    // writeback and an M→S downgrade, but the line stays warm.
+    ++coh_.snoops;
+    ++coh_.interventions;
+    ++coh_.dirty_writebacks;
+    cores_[owner].state[line] = MesiState::kShared;
+    t.cycles = arch_.intervention_latency;
+    llc_fill(line, FillReason::kHeater, /*dirty=*/true);
+  } else if (llc_->contains(line)) {
+    t.cycles = llc_latency_;
+    llc_fill(line, FillReason::kHeater, /*dirty=*/false);
+  } else {
+    t.cycles = arch_.dram_latency;
+    t.cold = true;
+    ++cs.stats.dram_fetches;
+    llc_fill(line, FillReason::kHeater, /*dirty=*/false);
+  }
+  cs.stats.total_cycles += t.cycles;
+  return t;
+}
+
+void CoherentHierarchy::pollute(unsigned core, std::size_t bytes) {
+  SEMPERM_ASSERT(core < cores());
+  CoreStack& cs = cores_[core];
+  // The polluting core's private stack is wrecked outright. The flush of
+  // its L1/L2 below counts the dirty-way writebacks, mirroring the
+  // single-core pollute(); clearing the state map is a local event, not
+  // protocol traffic.
+  for (auto it = cs.state.begin(); it != cs.state.end();) {
+    const Addr line = it->first;
+    it = cs.state.erase(it);
+    auto dit = directory_.find(line);
+    if (dit != directory_.end()) {
+      dit->second.sharers &= ~bit(core);
+      if (dit->second.sharers == 0) directory_.erase(dit);
+    }
+  }
+  cs.l1.flush();
+  cs.l2.flush();
+  cs.streamer.reset();
+  if (!llc_) return;
+  llc_->pollute(bytes);
+  // Repair inclusion: private lines (any core) whose LLC copy was
+  // displaced by the stream are back-invalidated.
+  std::vector<Addr> gone;
+  for (const auto& [line, entry] : directory_)
+    if (entry.sharers != 0 && !llc_->contains(line)) gone.push_back(line);
+  for (Addr line : gone)
+    on_llc_evict(SetAssocCache::EvictedWay{line, false});
+}
+
+void CoherentHierarchy::flush_all() {
+  for (auto& cs : cores_) {
+    cs.l1.flush();
+    cs.l2.flush();
+    cs.state.clear();
+    cs.streamer.reset();
+  }
+  if (llc_) llc_->flush();
+  directory_.clear();
+}
+
+MesiState CoherentHierarchy::state(unsigned core, Addr line) const {
+  const auto& st = cores_.at(core).state;
+  const auto it = st.find(line);
+  return it == st.end() ? MesiState::kInvalid : it->second;
+}
+
+bool CoherentHierarchy::privately_resident(unsigned core, Addr line) const {
+  const CoreStack& cs = cores_.at(core);
+  return cs.l1.contains(line) || cs.l2.contains(line);
+}
+
+const cachesim::HierarchyStats& CoherentHierarchy::core_stats(
+    unsigned core) const {
+  const CoreStack& cs = cores_.at(core);
+  cs.stats.levels.clear();
+  const SetAssocCache* levels[3] = {&cs.l1, &cs.l2, llc_.get()};
+  for (const SetAssocCache* c : levels) {
+    if (c == nullptr) continue;
+    const auto& st = c->stats();
+    cs.stats.levels.push_back(cachesim::LevelSummary{
+        c->name(), st.demand_hits, st.demand_misses, st.prefetch_fills,
+        st.prefetch_hits, st.writebacks});
+  }
+  return cs.stats;
+}
+
+LlcOccupancy CoherentHierarchy::llc_occupancy() const {
+  LlcOccupancy occ;
+  if (!llc_) return occ;
+  occ.capacity_lines = llc_->size_bytes() / kCacheLine;
+  occ.heater_lines = llc_->resident_lines_filled_by(FillReason::kHeater);
+  occ.other_lines = llc_->resident_lines() - occ.heater_lines;
+  return occ;
+}
+
+void CoherentHierarchy::reset_stats() {
+  for (auto& cs : cores_) {
+    cs.stats = cachesim::HierarchyStats{};
+    cs.l1.reset_stats();
+    cs.l2.reset_stats();
+  }
+  if (llc_) llc_->reset_stats();
+  coh_ = CoherenceStats{};
+}
+
+std::string CoherentHierarchy::report() const {
+  std::ostringstream os;
+  os << arch_.name << " coherent hierarchy, " << cores() << " cores\n";
+  for (unsigned c = 0; c < cores(); ++c) {
+    const auto& cs = cores_[c];
+    os << "  core " << c << ": " << cs.stats.lines_touched
+       << " line accesses, " << cs.stats.dram_fetches << " DRAM fetches, "
+       << cs.stats.total_cycles << " cycles (L1 hit-rate "
+       << static_cast<int>(cs.l1.stats().hit_rate() * 100.0) << "%, L2 "
+       << static_cast<int>(cs.l2.stats().hit_rate() * 100.0) << "%)\n";
+  }
+  if (llc_) {
+    const auto& st = llc_->stats();
+    const auto occ = llc_occupancy();
+    os << "  LLC: hits " << st.demand_hits << ", misses " << st.demand_misses
+       << ", writebacks " << st.writebacks << ", heater occupancy "
+       << static_cast<int>(occ.heater_fraction() * 100.0) << "%\n";
+  }
+  os << "  coherence: " << coh_.snoops << " snoops, " << coh_.invalidations
+     << " invalidations, " << coh_.interventions << " interventions, "
+     << coh_.upgrades << " upgrades, " << coh_.dirty_writebacks
+     << " dirty writebacks, " << coh_.back_invalidations
+     << " back-invalidations\n";
+  return os.str();
+}
+
+}  // namespace semperm::coherence

@@ -1,0 +1,169 @@
+// semperm/coherence/coherent_hierarchy.hpp
+//
+// Multi-core coherent cache hierarchy: N per-core private L1/L2 stacks
+// (each a cachesim::SetAssocCache with the architecture's prefetchers)
+// over one shared, inclusive LLC, with MESI line states and a
+// directory-lite sharer bitmap per line.
+//
+// Modelling notes (see DESIGN.md § Coherence model):
+//  * Private levels keep the single-core Hierarchy's NINE fill/evict
+//    behaviour exactly; the shared LLC adds inclusion — an LLC eviction
+//    back-invalidates every private copy of the victim.
+//  * Coherence cost is charged only when a remote core must act (the
+//    directory filters everything else): S→M upgrades and write-miss
+//    invalidations pay snoop_latency; a remote Modified copy pays
+//    intervention_latency and writes back. A 1-core instance therefore
+//    charges byte-identical cycles to the single-core Hierarchy — the
+//    regression anchor tests/test_coherence_property.cpp relies on.
+//  * KNL (no shared L3) is supported: misses snoop the other cores'
+//    privates and a remote copy is supplied cache-to-cache at
+//    intervention_latency, else DRAM serves.
+//  * Known divergence from strict inclusion: the L1 next-line prefetcher
+//    fills L1+L2 without touching the LLC (as in the single-core model).
+//    The directory tracks those lines anyway, and pollute() repairs
+//    inclusion by back-invalidating private lines the LLC no longer holds.
+//  * The dedicated network cache / way-partition knobs of ArchProfile are
+//    single-core §6 extensions and are not modelled here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/prefetch.hpp"
+#include "coherence/mesi.hpp"
+#include "common/types.hpp"
+
+namespace semperm::coherence {
+
+using cachesim::ArchProfile;
+using cachesim::SetAssocCache;
+
+class CoherentHierarchy {
+ public:
+  /// `cores` simulated cores sharing the LLC (<= 64, the sharer-bitmap
+  /// width). Private L1/L2 geometry, latencies, prefetchers and coherence
+  /// latencies all come from `arch`.
+  CoherentHierarchy(const ArchProfile& arch, unsigned cores);
+
+  /// Demand access from `core` covering [addr, addr+bytes).
+  Cycles access(unsigned core, Addr addr, std::size_t bytes,
+                bool write = false);
+
+  /// Demand access from `core` to a single cache-line index.
+  Cycles access_line(unsigned core, Addr line, bool write = false);
+
+  /// Heater stream: pull `line` into the shared LLC from `core` without
+  /// filling that core's private levels (the heater's re-reads are a
+  /// non-temporal stream; its privates hold only the registry).
+  struct HeaterTouch {
+    Cycles cycles = 0;
+    bool cold = false;  // had to come from DRAM
+  };
+  HeaterTouch heater_touch_line(unsigned core, Addr line);
+
+  /// Compute phase on `core` with a working set of `bytes`: wrecks that
+  /// core's privates, streams through the shared LLC, and repairs
+  /// inclusion (private lines whose LLC copy was displaced are
+  /// back-invalidated). Other cores' private stacks survive.
+  void pollute(unsigned core, std::size_t bytes);
+
+  /// Clear every cache level, all MESI state and the directory.
+  void flush_all();
+
+  // --- introspection ---------------------------------------------------
+
+  /// MESI state of `line` in `core`'s private stack (kInvalid if absent).
+  MesiState state(unsigned core, Addr line) const;
+
+  bool privately_resident(unsigned core, Addr line) const;
+
+  unsigned cores() const { return static_cast<unsigned>(cores_.size()); }
+  const ArchProfile& arch() const { return arch_; }
+  const SetAssocCache& l1(unsigned core) const { return cores_.at(core).l1; }
+  const SetAssocCache& l2(unsigned core) const { return cores_.at(core).l2; }
+  /// Shared LLC, or nullptr when the architecture has none (KNL).
+  const SetAssocCache* llc() const { return llc_.get(); }
+  SetAssocCache* llc() { return llc_.get(); }
+
+  /// Per-core counters, with .levels refreshed to [L1, L2, LLC] (the LLC
+  /// summary is the shared cache, identical across cores).
+  const cachesim::HierarchyStats& core_stats(unsigned core) const;
+
+  const CoherenceStats& coherence_stats() const { return coh_; }
+
+  /// Heater-vs-application LLC occupancy (zeros when there is no LLC).
+  LlcOccupancy llc_occupancy() const;
+
+  void reset_stats();
+
+  std::string report() const;
+
+ private:
+  struct CoreStack {
+    SetAssocCache l1;
+    SetAssocCache l2;
+    cachesim::NextLinePrefetcher next_line;
+    cachesim::AdjacentPairPrefetcher adjacent_pair;
+    cachesim::StreamPrefetcher streamer;
+    // MESI state of privately resident lines; absence == kInvalid.
+    std::unordered_map<Addr, MesiState> state;
+    std::vector<cachesim::PrefetchRequest> scratch;
+    mutable cachesim::HierarchyStats stats;
+
+    CoreStack(const ArchProfile& a);
+  };
+
+  struct DirEntry {
+    std::uint64_t sharers = 0;  // bit c set => core c holds a private copy
+  };
+
+  static std::uint64_t bit(unsigned core) { return std::uint64_t{1} << core; }
+
+  /// Cores other than `core` holding a private copy of `line` (bitmap).
+  std::uint64_t remote_sharers(unsigned core, Addr line) const;
+  /// The single remote core holding `line` Modified, or -1.
+  int remote_modified(unsigned core, Addr line) const;
+
+  void set_state(unsigned core, Addr line, MesiState st);
+  void drop_sharer(unsigned core, Addr line);
+
+  /// Remote copies of `line` leave S/E/M → I (write propagation). M copies
+  /// write back first. Charges nothing — callers charge the snoop.
+  void invalidate_remotes(unsigned core, Addr line);
+
+  /// Line no longer resident in either private level of `core`: drop the
+  /// sharer bit (the data's fate travels with the per-way dirty bits).
+  void private_line_gone(unsigned core, Addr line);
+
+  /// Handle a private-level fill eviction exactly like the single-core
+  /// Hierarchy (a demand-fill dirty victim propagates outward; a
+  /// prefetch-fill victim's dirty bit is dropped), then finalize MESI
+  /// state if the line left the private stack entirely.
+  void on_private_evict(unsigned core, unsigned level,
+                        const SetAssocCache::EvictedWay& ev,
+                        bool propagate_dirty);
+
+  /// Inclusive-LLC eviction: back-invalidate every private copy.
+  void on_llc_evict(const SetAssocCache::EvictedWay& ev);
+
+  /// Fill `line` into the shared LLC, handling inclusion victims.
+  void llc_fill(Addr line, cachesim::FillReason reason, bool dirty);
+
+  void run_prefetchers(unsigned core, const cachesim::AccessObservation& obs);
+  void prefetch_fill(unsigned core, const cachesim::PrefetchRequest& req);
+
+  ArchProfile arch_;
+  std::vector<CoreStack> cores_;
+  std::unique_ptr<SetAssocCache> llc_;  // null on KNL
+  Cycles llc_latency_ = 0;
+  std::unordered_map<Addr, DirEntry> directory_;
+  CoherenceStats coh_;
+};
+
+}  // namespace semperm::coherence

@@ -1,0 +1,117 @@
+#include "coherence/heater_core.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace semperm::coherence {
+
+ExecHeater::ExecHeater(CoherentHierarchy& hier, unsigned heater_core,
+                       unsigned app_core, cachesim::SimHeaterConfig config)
+    : hier_(&hier),
+      heater_core_(heater_core),
+      app_core_(app_core),
+      config_(config) {
+  SEMPERM_ASSERT(heater_core_ < hier_->cores());
+  SEMPERM_ASSERT(app_core_ < hier_->cores());
+  SEMPERM_ASSERT_MSG(heater_core_ != app_core_,
+                     "the heater needs its own core");
+  SEMPERM_ASSERT_MSG(hier_->llc() != nullptr,
+                     "execution-driven heating needs a shared LLC");
+  capacity_ = config_.capacity_bytes != 0 ? config_.capacity_bytes
+                                          : hier_->llc()->size_bytes() / 2;
+}
+
+std::size_t ExecHeater::register_region(Addr addr, std::size_t bytes) {
+  SEMPERM_ASSERT(bytes > 0);
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = regions_.size();
+    regions_.emplace_back();
+  }
+  regions_[slot] = Region{addr, bytes, /*live=*/true};
+  ++live_;
+  registered_bytes_ += bytes;
+  return slot;
+}
+
+void ExecHeater::unregister_region(std::size_t handle) {
+  SEMPERM_ASSERT(handle < regions_.size());
+  SEMPERM_ASSERT_MSG(regions_[handle].live, "double unregister");
+  regions_[handle].live = false;
+  free_slots_.push_back(handle);
+  SEMPERM_ASSERT(live_ > 0);
+  --live_;
+  SEMPERM_ASSERT(registered_bytes_ >= regions_[handle].bytes);
+  registered_bytes_ -= regions_[handle].bytes;
+}
+
+Cycles ExecHeater::budget_cycles() const {
+  // Racing continuous pollution the heater has exactly one period per
+  // pass; at a bulk-synchronous phase boundary it has the refresh window.
+  const double ns = config_.race_with_pollution ? config_.period_ns
+                                                : config_.refresh_window_ns;
+  return hier_->arch().ns_to_cycles(ns);
+}
+
+std::uint64_t ExecHeater::refresh() {
+  const Cycles budget = budget_cycles();
+  Cycles spent = 0;
+
+  // Acquire the registry lock (a real coherent write: if the application
+  // mutated the registry since the last pass, this is an intervention).
+  spent += hier_->access_line(heater_core_, lock_line(), /*write=*/true);
+
+  // Walk every slot, live or tombstoned — the heater cannot skip what it
+  // has not read.
+  for (std::size_t s = 0; s < regions_.size(); ++s) {
+    spent += hier_->access_line(heater_core_, slot_line(s));
+    spent += config_.scan_cost_per_region;
+  }
+
+  // Heat regions oldest-first until the capacity budget or the cycle
+  // budget runs out — whichever the race decides.
+  std::uint64_t cold = 0;
+  std::size_t heated_bytes = 0;
+  for (const Region& r : regions_) {
+    if (!r.live) continue;
+    if (spent >= budget || heated_bytes >= capacity_) break;
+    const Addr first = line_of(r.addr);
+    const Addr last = line_of(r.addr + r.bytes - 1);
+    for (Addr line = first; line <= last; ++line) {
+      if (spent >= budget || heated_bytes >= capacity_) break;
+      const auto t = hier_->heater_touch_line(heater_core_, line);
+      spent += t.cycles;
+      heated_bytes += kCacheLine;
+      if (t.cold) ++cold;
+    }
+  }
+
+  const std::size_t goal = std::min(registered_bytes_, capacity_);
+  coverage_ = goal > 0 ? std::min(1.0, static_cast<double>(heated_bytes) /
+                                           static_cast<double>(goal))
+                       : 1.0;
+  last_pass_cycles_ = spent;
+  refreshed_lines_ += cold;
+  return cold;
+}
+
+Cycles ExecHeater::mutation_cost() {
+  // The mutation takes the registry lock and writes one slot from the
+  // application core. Because the heater wrote both lines during its last
+  // pass, each write is a real M→I intervention + invalidation — the
+  // measured equivalent of the analytic lock_transfer charge.
+  Cycles cost = hier_->access_line(app_core_, lock_line(), /*write=*/true);
+  const std::size_t slot =
+      free_slots_.empty() ? (regions_.empty() ? 0 : regions_.size() - 1)
+                          : free_slots_.back();
+  cost += hier_->access_line(app_core_, slot_line(slot), /*write=*/true);
+  // Registry walk under the lock (pointer chase over the slot array).
+  cost += config_.scan_cost_per_region * static_cast<Cycles>(regions_.size());
+  return cost;
+}
+
+}  // namespace semperm::coherence

@@ -1,12 +1,24 @@
 #include "motifs/mt_decomp.hpp"
 
 #include "common/assert.hpp"
+#include <algorithm>
 #include <map>
+#include <memory>
 
+#include "coherence/coherent_hierarchy.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace semperm::motifs {
+
+namespace {
+
+// Shadow address map for the coherent cost model: the match lock and one
+// line per queue entry, in a reserved region above any workload address.
+constexpr Addr kShadowLockLine = Addr{1} << 30;
+constexpr Addr kShadowEntryBase = (Addr{1} << 30) + 16;
+
+}  // namespace
 
 MtDecompResult run_mt_decomp(const MtDecompParams& params) {
   const DecompAnalysis analysis =
@@ -22,6 +34,26 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
   RunningStats depth_over_trials;
   // The sending proxy process is rank 1 from the receiver's point of view.
   constexpr std::int16_t kProxyRank = 1;
+
+  // Cross-core cost model: receiving threads map round-robin onto the
+  // simulated cores of one socket; the match lock and every queue entry
+  // are real coherent lines. Uses no randomness — the depth statistics
+  // below are unchanged by it.
+  std::unique_ptr<coherence::CoherentHierarchy> coh;
+  unsigned ncores = 1;
+  if (params.model_coherence) {
+    ncores = params.cores != 0 ? params.cores
+                               : std::min(params.arch.cores_per_socket, 64u);
+    ncores = std::max(1u, std::min(ncores, 64u));
+    coh = std::make_unique<coherence::CoherentHierarchy>(params.arch, ncores);
+  }
+  const auto core_of = [&](int recv_cell) {
+    return static_cast<unsigned>(recv_cell) % ncores;
+  };
+  int lock_holder = -1;
+  std::uint64_t lock_transfers = 0;
+  std::uint64_t coh_ops = 0;
+  Cycles coh_cycles = 0;
 
   for (int trial = 0; trial < params.trials; ++trial) {
     Rng rng = trial_rng.fork();
@@ -46,6 +78,21 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
     for (const auto& burst : by_recv_thread)
       post_order.insert(post_order.end(), burst.begin(), burst.end());
 
+    if (coh) {
+      coh->flush_all();  // fresh caches per trial; stats accumulate
+      lock_holder = -1;
+    }
+    // Live queue entries in posted order — the shadow of the match list
+    // the coherent walk below reads.
+    std::vector<int> shadow_list;
+    shadow_list.reserve(analysis.edges.size());
+    const auto charge_lock = [&](unsigned core) {
+      coh_cycles += coh->access_line(core, kShadowLockLine, /*write=*/true);
+      if (lock_holder >= 0 && lock_holder != static_cast<int>(core))
+        ++lock_transfers;
+      lock_holder = static_cast<int>(core);
+    };
+
     std::vector<match::MatchRequest> requests(analysis.edges.size());
     for (int idx : post_order) {
       const ExternalEdge& e = analysis.edges[static_cast<std::size_t>(idx)];
@@ -56,6 +103,15 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
           match::Pattern::make(kProxyRank, e.sender_id, /*ctx=*/0),
           &requests[static_cast<std::size_t>(idx)]);
       SEMPERM_ASSERT_MSG(matched == nullptr, "no messages sent yet");
+      if (coh) {
+        // The posting thread takes the match lock and writes its entry.
+        const unsigned c = core_of(e.recv_cell);
+        charge_lock(c);
+        coh_cycles += coh->access_line(
+            c, kShadowEntryBase + static_cast<Addr>(idx), /*write=*/true);
+        shadow_list.push_back(idx);
+        ++coh_ops;
+      }
     }
     SEMPERM_ASSERT(bundle->prq().size() ==
                    static_cast<std::size_t>(analysis.length));
@@ -93,10 +149,36 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
       const ExternalEdge& e = analysis.edges[static_cast<std::size_t>(idx)];
       messages[static_cast<std::size_t>(idx)] = match::MatchRequest(
           match::RequestKind::kUnexpected, static_cast<std::uint64_t>(idx));
+      const std::uint64_t inspected_before =
+          coh ? bundle->prq().stats().entries_inspected : 0;
       match::MatchRequest* recv = bundle->incoming(
           match::Envelope{e.sender_id, kProxyRank, /*ctx=*/0},
           &messages[static_cast<std::size_t>(idx)]);
       SEMPERM_ASSERT_MSG(recv != nullptr, "every message must find a receive");
+      if (coh) {
+        // The matching thread (owner of the completed receive) takes the
+        // lock and walks the list: each inspected entry is a coherent read
+        // of a line another thread wrote (M→S intervention the first
+        // time), and the unlink re-writes the matched entry's line.
+        const std::uint64_t inspected =
+            bundle->prq().stats().entries_inspected - inspected_before;
+        const int midx = static_cast<int>(recv - requests.data());
+        const unsigned c =
+            core_of(analysis.edges[static_cast<std::size_t>(midx)].recv_cell);
+        charge_lock(c);
+        std::uint64_t walked = 0;
+        for (int j : shadow_list) {
+          if (walked >= inspected) break;
+          ++walked;
+          coh_cycles += coh->access_line(
+              c, kShadowEntryBase + static_cast<Addr>(j), /*write=*/false);
+        }
+        shadow_list.erase(
+            std::find(shadow_list.begin(), shadow_list.end(), midx));
+        coh_cycles += coh->access_line(
+            c, kShadowEntryBase + static_cast<Addr>(midx), /*write=*/true);
+        ++coh_ops;
+      }
     }
     SEMPERM_ASSERT(bundle->prq().size() == 0);
     depth_over_trials.add(bundle->prq().stats().mean_inspected());
@@ -104,6 +186,14 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
 
   result.mean_search_depth = depth_over_trials.mean();
   result.stddev_search_depth = depth_over_trials.stddev();
+  if (coh && coh_ops > 0) {
+    result.mean_cycles_per_op =
+        static_cast<double>(coh_cycles) / static_cast<double>(coh_ops);
+    result.lock_transfers_per_op =
+        static_cast<double>(lock_transfers) / static_cast<double>(coh_ops);
+    result.coherence = coh->coherence_stats();
+    result.coherence.lock_transfers = lock_transfers;
+  }
   return result;
 }
 

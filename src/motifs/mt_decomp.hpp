@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "cachesim/arch.hpp"
+#include "coherence/mesi.hpp"
 #include "match/factory.hpp"
 #include "motifs/stencil.hpp"
 
@@ -38,6 +40,20 @@ struct MtDecompParams {
   double send_interleave = 0.3;
   std::uint64_t seed = 0x7ab1e1ULL;
   match::QueueConfig queue;  // structure under test (baseline by default)
+
+  // --- cross-core cost model (src/coherence/) ------------------------
+  /// Charge real MESI transitions for the shared match queue: every post
+  /// and arrival takes the match lock (a coherent write, ping-ponging the
+  /// lock line between cores) and walks entries written by other threads
+  /// (M→S interventions). Consumes no randomness, so the search-depth
+  /// statistics are bit-identical with the model on or off.
+  bool model_coherence = true;
+  /// Simulated cores the receiving threads map onto (round-robin);
+  /// 0 = the architecture's cores-per-socket, clamped to 64.
+  unsigned cores = 0;
+  /// Architecture the cross-core costs are charged on. The paper runs
+  /// Table 1 on the Cray XC40 KNL partition.
+  cachesim::ArchProfile arch = cachesim::knl();
 };
 
 struct MtDecompResult {
@@ -48,6 +64,14 @@ struct MtDecompResult {
   int length = 0;
   double mean_search_depth = 0.0;
   double stddev_search_depth = 0.0;
+
+  // Filled when MtDecompParams::model_coherence is set.
+  /// Mean coherent-memory cycles per queue operation (post or arrival).
+  double mean_cycles_per_op = 0.0;
+  /// Match-lock transfers between cores per operation.
+  double lock_transfers_per_op = 0.0;
+  /// Protocol events aggregated over all trials.
+  coherence::CoherenceStats coherence;
 };
 
 MtDecompResult run_mt_decomp(const MtDecompParams& params);

@@ -2,6 +2,8 @@
 
 #include "cachesim/heater.hpp"
 #include "cachesim/hierarchy.hpp"
+#include "coherence/coherent_hierarchy.hpp"
+#include "coherence/heater_core.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -9,6 +11,53 @@
 namespace semperm::workloads {
 
 namespace {
+
+/// Execution-driven variant: core 0 runs the application's random walk,
+/// core 1 runs the heater. The compute phase pollutes from the app core,
+/// so the heater's re-heating pass races real LLC displacement.
+double measure_exec(const HeaterUbenchParams& params, bool heated,
+                    HeaterUbenchResult* out) {
+  constexpr unsigned kAppCore = 0;
+  constexpr unsigned kHeaterCore = 1;
+  coherence::CoherentHierarchy hier(params.arch, /*cores=*/2);
+  coherence::ExecHeater heater(hier, kHeaterCore, kAppCore,
+                               cachesim::SimHeaterConfig{});
+  const Addr base = 0x4000'0000;
+  heater.register_region(base, params.region_bytes);
+  const std::size_t lines = params.region_bytes / kCacheLine;
+
+  Rng rng(params.seed);
+  RunningStats per_access_ns;
+  const std::size_t mid = params.accesses_per_iteration / 2;
+  for (std::size_t it = 0; it < params.iterations; ++it) {
+    hier.pollute(kAppCore, 24ull * 1024 * 1024);
+    if (heated) heater.refresh();
+    Cycles cycles = 0;
+    for (std::size_t a = 0; a < params.accesses_per_iteration; ++a) {
+      if (heated && a == mid && a != 0) {
+        // The real heater is periodic: a pass lands mid-phase too, racing
+        // the application's live working set (its re-reads intervene on
+        // freshly written Modified lines), and the application performs a
+        // registry update against the heater-held lock line.
+        heater.refresh();
+        cycles += heater.mutation_cost();
+      }
+      const Addr addr = base + rng.below(lines) * kCacheLine;
+      const bool write = params.write_fraction > 0.0 &&
+                         rng.chance(params.write_fraction);
+      cycles += hier.access(kAppCore, addr, 4, write);
+    }
+    per_access_ns.add(params.arch.cycles_to_ns(cycles) /
+                          static_cast<double>(params.accesses_per_iteration) +
+                      params.loop_overhead_ns);
+  }
+  if (out != nullptr && heated) {
+    out->measured_coverage = heater.coverage();
+    out->heater_llc_lines = hier.llc_occupancy().heater_lines;
+    out->coherence = hier.coherence_stats();
+  }
+  return per_access_ns.mean();
+}
 
 double measure(const HeaterUbenchParams& params, bool heated) {
   cachesim::Hierarchy hier(params.arch);
@@ -39,8 +88,13 @@ double measure(const HeaterUbenchParams& params, bool heated) {
 
 HeaterUbenchResult run_heater_ubench(const HeaterUbenchParams& params) {
   HeaterUbenchResult r;
-  r.cold_ns_per_access = measure(params, /*heated=*/false);
-  r.heated_ns_per_access = measure(params, /*heated=*/true);
+  if (params.engine == HeaterEngine::kExecution) {
+    r.cold_ns_per_access = measure_exec(params, /*heated=*/false, nullptr);
+    r.heated_ns_per_access = measure_exec(params, /*heated=*/true, &r);
+  } else {
+    r.cold_ns_per_access = measure(params, /*heated=*/false);
+    r.heated_ns_per_access = measure(params, /*heated=*/true);
+  }
   return r;
 }
 

@@ -15,8 +15,18 @@
 #include <cstdint>
 
 #include "cachesim/arch.hpp"
+#include "coherence/mesi.hpp"
 
 namespace semperm::workloads {
+
+/// Which heater implementation drives the benchmark.
+enum class HeaterEngine : std::uint8_t {
+  /// cachesim::SimHeater — closed-form refresh/saturation (fast path).
+  kAnalytic,
+  /// coherence::ExecHeater — a second simulated core in a
+  /// CoherentHierarchy actually races the application for the LLC.
+  kExecution,
+};
 
 struct HeaterUbenchParams {
   cachesim::ArchProfile arch = cachesim::sandy_bridge();
@@ -26,6 +36,10 @@ struct HeaterUbenchParams {
   /// Loop overhead per access (index generation, bounds math), ns.
   double loop_overhead_ns = 10.0;
   std::uint64_t seed = 0x4ea7e4ULL;
+  HeaterEngine engine = HeaterEngine::kAnalytic;
+  /// Fraction of application accesses that are stores (execution engine:
+  /// stores leave Modified lines the heater's re-reads must intervene on).
+  double write_fraction = 0.0;
 };
 
 struct HeaterUbenchResult {
@@ -35,6 +49,14 @@ struct HeaterUbenchResult {
     return heated_ns_per_access > 0.0 ? cold_ns_per_access / heated_ns_per_access
                                       : 0.0;
   }
+
+  // Filled by the execution engine only.
+  /// Measured heater coverage of the registered region (last pass).
+  double measured_coverage = 0.0;
+  /// LLC lines still heater-owned after the final heated iteration.
+  std::size_t heater_llc_lines = 0;
+  /// Protocol events over the heated phase (both cores).
+  coherence::CoherenceStats coherence;
 };
 
 HeaterUbenchResult run_heater_ubench(const HeaterUbenchParams& params);

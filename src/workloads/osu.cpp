@@ -125,6 +125,7 @@ OsuResult finish(const Bench& bench, const RunningStats& iter_time_ns,
       std::max<double>(1.0, static_cast<double>(prq_stats.searches));
   const auto& llc = bench.hier.level(bench.hier.level_count() - 1).stats();
   r.llc_hit_rate = llc.hit_rate();
+  r.hier = hs;  // includes per-level summaries (prefetch coverage, writebacks)
   return r;
 }
 

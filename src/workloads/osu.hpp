@@ -24,6 +24,7 @@
 #include <string>
 
 #include "cachesim/arch.hpp"
+#include "cachesim/hierarchy.hpp"
 #include "match/factory.hpp"
 #include "simmpi/network_model.hpp"
 
@@ -59,6 +60,9 @@ struct OsuResult {
   double mean_search_depth = 0.0;
   double dram_fetches_per_msg = 0.0;
   double llc_hit_rate = 0.0;
+  /// Full hierarchy counters at the end of the run (per-level prefetch
+  /// coverage and writebacks included; see cachesim::LevelSummary).
+  cachesim::HierarchyStats hier;
 };
 
 /// Modified osu_bw: streaming window of same-size messages.

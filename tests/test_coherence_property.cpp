@@ -1,0 +1,123 @@
+// Property test: a 1-core CoherentHierarchy reproduces the single-core
+// cachesim::Hierarchy exactly — per-access cycles, hit/miss counts,
+// prefetch fills and DRAM fetches — on random mixed read/write traces.
+//
+// This is the regression anchor of the coherence subsystem: with one core
+// there are no remote sharers, so the directory filters every snoop and no
+// coherence cost is ever charged; the only structural difference between
+// the two models is LLC inclusivity, which is exercised only by LLC
+// evictions. The traces below therefore use a line universe much smaller
+// than the LLC (plenty of L1/L2 eviction traffic, none at the LLC), and
+// the KNL profile — which has no LLC at all — is tested with a universe
+// larger than its L2 to cover heavy private-eviction traffic too.
+
+#include <gtest/gtest.h>
+
+#include "cachesim/arch.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "coherence/coherent_hierarchy.hpp"
+#include "common/rng.hpp"
+
+namespace semperm::coherence {
+namespace {
+
+void expect_identical(const cachesim::Hierarchy& single,
+                      const CoherentHierarchy& coh) {
+  const auto& ss = single.stats();
+  const auto& cs = coh.core_stats(0);
+  EXPECT_EQ(ss.lines_touched, cs.lines_touched);
+  EXPECT_EQ(ss.dram_fetches, cs.dram_fetches);
+  EXPECT_EQ(ss.total_cycles, cs.total_cycles);
+  ASSERT_EQ(ss.levels.size(), cs.levels.size());
+  for (std::size_t i = 0; i < ss.levels.size(); ++i) {
+    SCOPED_TRACE(ss.levels[i].name);
+    EXPECT_EQ(ss.levels[i].demand_hits, cs.levels[i].demand_hits);
+    EXPECT_EQ(ss.levels[i].demand_misses, cs.levels[i].demand_misses);
+    EXPECT_EQ(ss.levels[i].prefetch_fills, cs.levels[i].prefetch_fills);
+    EXPECT_EQ(ss.levels[i].prefetch_hits, cs.levels[i].prefetch_hits);
+    EXPECT_EQ(ss.levels[i].writebacks, cs.levels[i].writebacks);
+  }
+}
+
+/// Random trace mixing short sequential runs (arms the streamer and the
+/// pair prefetcher) with random jumps and a write fraction.
+void run_trace(const cachesim::ArchProfile& arch, std::size_t universe_lines,
+               std::size_t accesses, std::uint64_t seed) {
+  cachesim::Hierarchy single(arch);
+  CoherentHierarchy coh(arch, /*cores=*/1);
+  Rng rng(seed);
+
+  Addr cursor = 0;
+  std::size_t run_left = 0;
+  for (std::size_t i = 0; i < accesses; ++i) {
+    if (run_left == 0) {
+      cursor = rng.below(universe_lines);
+      run_left = 1 + rng.below(12);
+    }
+    const Addr line = cursor % universe_lines;
+    ++cursor;
+    --run_left;
+    const bool write = rng.chance(0.25);
+    const Cycles a = single.access_line(line, write);
+    const Cycles b = coh.access_line(0, line, write);
+    ASSERT_EQ(a, b) << "access " << i << " line " << line
+                    << (write ? " (write)" : " (read)");
+  }
+  expect_identical(single, coh);
+  // No remote core ever acted: the protocol stayed silent.
+  const auto& events = coh.coherence_stats();
+  EXPECT_EQ(events.total_events(), 0u);
+}
+
+TEST(CoherencePropertyTest, OneCoreMatchesSingleCoreSandyBridge) {
+  // 4 MiB universe: far below the 20 MiB LLC, far above L1+L2.
+  run_trace(cachesim::sandy_bridge(), 4ull * 1024 * 1024 / kCacheLine,
+            60'000, 0xc0ffee01ULL);
+}
+
+TEST(CoherencePropertyTest, OneCoreMatchesSingleCoreBroadwell) {
+  run_trace(cachesim::broadwell(), 8ull * 1024 * 1024 / kCacheLine, 60'000,
+            0xc0ffee02ULL);
+}
+
+TEST(CoherencePropertyTest, OneCoreMatchesSingleCoreNehalem) {
+  // Nehalem's LLC is 8 MiB; stay at 2 MiB.
+  run_trace(cachesim::nehalem(), 2ull * 1024 * 1024 / kCacheLine, 60'000,
+            0xc0ffee03ULL);
+}
+
+TEST(CoherencePropertyTest, OneCoreMatchesSingleCoreKnlNoLlc) {
+  // KNL has no shared L3, so there is no inclusivity to diverge on: any
+  // universe is fair game. 8 MiB >> the 1 MiB L2 exercises constant
+  // private-eviction traffic.
+  run_trace(cachesim::knl(), 8ull * 1024 * 1024 / kCacheLine, 60'000,
+            0xc0ffee04ULL);
+}
+
+TEST(CoherencePropertyTest, ManySeedsShortTraces) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    run_trace(cachesim::sandy_bridge(), 1ull * 1024 * 1024 / kCacheLine,
+              8'000, seed);
+}
+
+TEST(CoherencePropertyTest, FlushAllKeepsModelsAligned) {
+  const auto arch = cachesim::sandy_bridge();
+  cachesim::Hierarchy single(arch);
+  CoherentHierarchy coh(arch, 1);
+  Rng rng(0xf1005ULL);
+  const std::size_t universe = 64 * 1024;  // lines
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int i = 0; i < 5'000; ++i) {
+      const Addr line = rng.below(universe);
+      const bool write = rng.chance(0.3);
+      ASSERT_EQ(single.access_line(line, write),
+                coh.access_line(0, line, write));
+    }
+    single.flush_all();
+    coh.flush_all();
+  }
+  expect_identical(single, coh);
+}
+
+}  // namespace
+}  // namespace semperm::coherence
