@@ -34,6 +34,7 @@ void SetAssocCache::purge(Set& set) {
 bool SetAssocCache::access(Addr line) {
   Set& set = set_for(line);
   purge(set);
+  SEMPERM_AUDIT_ONLY(++audit_accesses_;)
   for (std::size_t i = 0; i < set.size(); ++i) {
     if (set[i].line == line) {
       ++stats_.demand_hits;
@@ -48,10 +49,14 @@ bool SetAssocCache::access(Addr line) {
       Way hit = set[i];
       set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
       set.insert(set.begin(), hit);
+      SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
+                                            set_count_);
+                         audit_stats();)
       return true;
     }
   }
   ++stats_.demand_misses;
+  SEMPERM_AUDIT_ONLY(audit_stats();)
   return false;
 }
 
@@ -79,16 +84,25 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     Addr line, FillReason reason, LineClass cls, bool dirty) {
   Set& set = set_for(line);
   purge(set);
+  SEMPERM_AUDIT_ONLY(++audit_fill_calls_;)
   for (std::size_t i = 0; i < set.size(); ++i) {
     if (set[i].line == line) {
       // Refresh LRU position; heater touches re-mark the line so coverage
       // accounting reflects the most recent provider.
       Way w = set[i];
-      if (reason == FillReason::kHeater) w.reason = FillReason::kHeater;
+      if (reason == FillReason::kHeater) {
+        SEMPERM_AUDIT_ONLY(if (w.reason != FillReason::kHeater)
+                               ++audit_heater_remarks_;)
+        w.reason = FillReason::kHeater;
+      }
       w.cls = cls;
+      SEMPERM_AUDIT_ONLY(if (dirty && !w.dirty) ++audit_dirty_marks_;)
       w.dirty = w.dirty || dirty;
       set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
       set.insert(set.begin(), w);
+      SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
+                                            set_count_);
+                         audit_stats();)
       return std::nullopt;
     }
   }
@@ -124,7 +138,11 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     }
   }
   if (evicted && evicted->dirty) ++stats_.writebacks;
+  SEMPERM_AUDIT_ONLY(if (dirty) ++audit_dirty_marks_;)
   set.insert(set.begin(), Way{line, epoch_, reason, cls, dirty});
+  SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
+                                        set_count_);
+                     audit_stats();)
   return evicted;
 }
 
@@ -132,6 +150,7 @@ bool SetAssocCache::mark_dirty(Addr line) {
   Set& set = set_for(line);
   for (Way& w : set) {
     if (w.epoch == epoch_ && w.line == line) {
+      SEMPERM_AUDIT_ONLY(if (!w.dirty) ++audit_dirty_marks_;)
       w.dirty = true;
       return true;
     }
@@ -215,5 +234,115 @@ std::size_t SetAssocCache::resident_lines() const {
                       [this](const Way& w) { return w.epoch == epoch_; }));
   return n;
 }
+
+#if SEMPERM_AUDIT
+
+void SetAssocCache::audit_set(const Set& set, std::size_t set_idx) const {
+  SEMPERM_AUDIT_CHECK(set.size() <= assoc_,
+                      name_ << " set " << set_idx << " holds " << set.size()
+                            << " ways, associativity is " << assoc_);
+  std::size_t network_ways = 0;
+  std::size_t normal_ways = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Way& w = set[i];
+    // The per-op hooks audit just-purged sets, so every way is current.
+    SEMPERM_AUDIT_CHECK(w.epoch == epoch_,
+                        name_ << " set " << set_idx << " way " << i
+                              << " carries stale epoch " << w.epoch
+                              << " (current " << epoch_ << ')');
+    SEMPERM_AUDIT_CHECK(static_cast<std::size_t>(w.line) % set_count_ ==
+                            set_idx,
+                        name_ << " line " << w.line
+                              << " indexed into the wrong set " << set_idx);
+    w.cls == LineClass::kNetwork ? ++network_ways : ++normal_ways;
+    for (std::size_t j = i + 1; j < set.size(); ++j)
+      SEMPERM_AUDIT_CHECK(set[j].line != w.line,
+                          name_ << " set " << set_idx
+                                << " LRU stack is not a permutation: line "
+                                << w.line << " appears twice");
+  }
+  if (reserved_ways_ > 0) {
+    SEMPERM_AUDIT_CHECK(network_ways <= reserved_ways_,
+                        name_ << " set " << set_idx << " holds "
+                              << network_ways
+                              << " network ways, partition quota is "
+                              << reserved_ways_);
+    SEMPERM_AUDIT_CHECK(normal_ways <= assoc_ - reserved_ways_,
+                        name_ << " set " << set_idx << " holds "
+                              << normal_ways
+                              << " normal ways, partition quota is "
+                              << assoc_ - reserved_ways_);
+  }
+}
+
+void SetAssocCache::audit_stats() const {
+  SEMPERM_AUDIT_CHECK(stats_.demand_hits + stats_.demand_misses ==
+                          audit_accesses_,
+                      name_ << " accounting leak: hits " << stats_.demand_hits
+                            << " + misses " << stats_.demand_misses
+                            << " != accesses " << audit_accesses_);
+  SEMPERM_AUDIT_CHECK(stats_.evictions <= audit_fill_calls_,
+                      name_ << " evictions " << stats_.evictions
+                            << " exceed fill operations "
+                            << audit_fill_calls_);
+  SEMPERM_AUDIT_CHECK(stats_.writebacks <= audit_dirty_marks_,
+                      name_ << " writebacks " << stats_.writebacks
+                            << " exceed clean->dirty transitions "
+                            << audit_dirty_marks_
+                            << " (a clean line was written back)");
+  SEMPERM_AUDIT_CHECK(
+      stats_.prefetch_hits <= stats_.prefetch_fills + audit_prefetch_base_,
+      name_ << " prefetch coverage " << stats_.prefetch_hits
+            << " exceeds prefetch fills " << stats_.prefetch_fills
+            << " + resident-at-reset " << audit_prefetch_base_);
+  SEMPERM_AUDIT_CHECK(
+      stats_.heater_hits <=
+          stats_.heater_fills + audit_heater_remarks_ + audit_heater_base_,
+      name_ << " heater coverage " << stats_.heater_hits
+            << " exceeds heater fills " << stats_.heater_fills
+            << " + re-marks " << audit_heater_remarks_
+            << " + resident-at-reset " << audit_heater_base_);
+  // Monotonicity: counters only ever grow between resets.
+  const CacheStats& p = audit_prev_stats_;
+  SEMPERM_AUDIT_CHECK(
+      stats_.demand_hits >= p.demand_hits &&
+          stats_.demand_misses >= p.demand_misses &&
+          stats_.prefetch_fills >= p.prefetch_fills &&
+          stats_.prefetch_hits >= p.prefetch_hits &&
+          stats_.heater_fills >= p.heater_fills &&
+          stats_.heater_hits >= p.heater_hits &&
+          stats_.evictions >= p.evictions &&
+          stats_.writebacks >= p.writebacks,
+      name_ << " a statistics counter decreased outside reset_stats()");
+  audit_prev_stats_ = stats_;
+}
+
+void SetAssocCache::audit() const {
+  for (std::size_t idx = 0; idx < sets_.size(); ++idx) {
+    // The full walk tolerates stale epochs (flush() purges lazily): audit
+    // only the live ways, which is what audit_set() expects.
+    Set live;
+    for (const Way& w : sets_[idx])
+      if (w.epoch == epoch_) live.push_back(w);
+    audit_set(live, idx);
+  }
+  audit_stats();
+  SEMPERM_AUDIT_CHECK(resident_lines() <= set_count_ * assoc_,
+                      name_ << " resident lines exceed capacity");
+}
+
+void SetAssocCache::audit_corrupt_lru_for_test(Addr line) {
+  Set& set = set_for(line);
+  purge(set);
+  SEMPERM_ASSERT_MSG(!set.empty(), "cannot corrupt an empty set");
+  set.push_back(set.front());  // duplicate MRU way: stack no longer a
+                               // permutation
+}
+
+#else
+
+void SetAssocCache::audit() const {}
+
+#endif  // SEMPERM_AUDIT
 
 }  // namespace semperm::cachesim

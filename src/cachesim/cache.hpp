@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 
 namespace semperm::cachesim {
@@ -116,7 +117,41 @@ class SetAssocCache {
   void pollute(std::size_t bytes);
 
   const CacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CacheStats{}; }
+  void reset_stats() {
+    stats_ = CacheStats{};
+    SEMPERM_AUDIT_ONLY(
+        audit_accesses_ = 0; audit_fill_calls_ = 0; audit_dirty_marks_ = 0;
+        audit_heater_remarks_ = 0; audit_prefetch_base_ = 0;
+        audit_heater_base_ = 0; audit_prev_stats_ = CacheStats{};
+        // Resident state survives a stats reset: dirty lines will still be
+        // written back and prefetched/heated lines still earn coverage
+        // hits, so the conservation bounds must start from what is already
+        // in the cache, not from zero.
+        for (const auto& set : sets_)
+          for (const auto& w : set) {
+            if (w.epoch != epoch_) continue;
+            if (w.dirty) ++audit_dirty_marks_;
+            if (w.reason == FillReason::kPrefetch) ++audit_prefetch_base_;
+            if (w.reason == FillReason::kHeater) ++audit_heater_base_;
+          })
+  }
+
+  /// Full structural + accounting audit (see DESIGN.md § Invariant audits):
+  /// every set is a valid LRU stack (distinct lines of the current epoch,
+  /// correctly indexed, within associativity and partition quotas) and the
+  /// counters obey their conservation laws (hits + misses == accesses,
+  /// evictions bounded by fills, writebacks bounded by dirty transitions,
+  /// prefetch/heater coverage bounded by fills, all counters monotone).
+  /// Throws semperm::check::AuditError. No-op unless SEMPERM_AUDIT. The
+  /// per-access hooks audit only the touched set (O(assoc)); this walks
+  /// everything.
+  void audit() const;
+
+#if SEMPERM_AUDIT
+  /// Test seam: duplicate the MRU way of `line`'s set so the LRU stack is
+  /// no longer a permutation; the next audit of that set must throw.
+  void audit_corrupt_lru_for_test(Addr line);
+#endif
 
   const std::string& name() const { return name_; }
   std::size_t size_bytes() const { return size_bytes_; }
@@ -147,6 +182,13 @@ class SetAssocCache {
   /// Drop ways from flushed epochs.
   void purge(Set& set);
 
+#if SEMPERM_AUDIT
+  /// Audit one (just-purged) set: O(assoc²) duplicate scan + quota checks.
+  void audit_set(const Set& set, std::size_t set_idx) const;
+  /// O(1) counter conservation + monotonicity checks.
+  void audit_stats() const;
+#endif
+
   std::string name_;
   std::size_t size_bytes_;
   unsigned assoc_;
@@ -155,6 +197,21 @@ class SetAssocCache {
   unsigned reserved_ways_ = 0;
   std::vector<Set> sets_;
   CacheStats stats_;
+  // Audit-only shadow counters (mutable: audits run from const context).
+  // audit_accesses_ counts access() calls; audit_fill_calls_ counts
+  // fill_line() calls; audit_dirty_marks_ counts clean→dirty transitions;
+  // audit_heater_remarks_ counts resident lines re-marked kHeater without
+  // a heater_fills increment. audit_prefetch_base_ / audit_heater_base_
+  // hold the resident prefetch/heater line counts at the last stats reset
+  // (lines that can still earn coverage hits with no post-reset fill).
+  // audit_prev_stats_ anchors the monotonicity check.
+  SEMPERM_AUDIT_ONLY(mutable std::uint64_t audit_accesses_ = 0;
+                     mutable std::uint64_t audit_fill_calls_ = 0;
+                     mutable std::uint64_t audit_dirty_marks_ = 0;
+                     mutable std::uint64_t audit_heater_remarks_ = 0;
+                     mutable std::uint64_t audit_prefetch_base_ = 0;
+                     mutable std::uint64_t audit_heater_base_ = 0;
+                     mutable CacheStats audit_prev_stats_;)
 };
 
 }  // namespace semperm::cachesim

@@ -110,6 +110,10 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
 
   run_prefetchers(obs);
   stats_.total_cycles += cost;
+  SEMPERM_AUDIT_CHECK(stats_.dram_fetches <= stats_.lines_touched,
+                      arch_.name << " DRAM fetches exceed line accesses");
+  SEMPERM_AUDIT_CHECK(stats_.accesses <= stats_.lines_touched,
+                      arch_.name << " byte accesses exceed line accesses");
   return cost;
 }
 
@@ -173,6 +177,15 @@ void Hierarchy::reset_stats() {
   stats_ = HierarchyStats{};
   for (auto& lvl : levels_) lvl.reset_stats();
   if (netcache_) netcache_->reset_stats();
+}
+
+void Hierarchy::audit() const {
+  for (const auto& lvl : levels_) lvl.audit();
+  if (netcache_) netcache_->audit();
+  SEMPERM_AUDIT_CHECK(stats_.dram_fetches <= stats_.lines_touched,
+                      arch_.name << " DRAM fetches exceed line accesses");
+  SEMPERM_AUDIT_CHECK(stats_.accesses <= stats_.lines_touched,
+                      arch_.name << " byte accesses exceed line accesses");
 }
 
 const HierarchyStats& Hierarchy::stats() const {

@@ -106,6 +106,12 @@ class Hierarchy {
 
   void reset_stats();
 
+  /// Full hierarchy audit: every level's structural/accounting audit plus
+  /// the cross-level conservation laws (DRAM fetches bounded by lines
+  /// touched, byte accesses bounded by line accesses). Throws
+  /// semperm::check::AuditError. No-op unless SEMPERM_AUDIT.
+  void audit() const;
+
   /// Multi-line summary of per-level hit rates and prefetch coverage.
   std::string report() const;
 

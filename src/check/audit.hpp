@@ -1,0 +1,81 @@
+// semperm/check/audit.hpp
+//
+// The invariant-audit layer (DESIGN.md § Invariant audits).
+//
+// Every conclusion this repo produces is a simulated counter: misses,
+// writebacks, coherence traffic, match-queue traversals. A silent protocol
+// or accounting bug therefore corrupts every regenerated table and figure
+// without crashing anything. The audit layer makes the simulators
+// self-verifying: the cache, coherence, and matching subsystems carry
+// always-checked structural invariants that are compiled in when
+// SEMPERM_AUDIT is 1 (the default for Debug builds) and vanish entirely —
+// zero code, zero data members — when it is 0 (the default for Release).
+//
+// Violations throw semperm::check::AuditError, a distinct type from the
+// SEMPERM_ASSERT logic_error so tests can tell "the simulator detected its
+// own corruption" apart from ordinary precondition failures.
+//
+// Usage:
+//   SEMPERM_AUDIT_CHECK(cond, "set " << idx << " holds duplicate line");
+//     — active only in audited builds; streams the message lazily.
+//   SEMPERM_AUDIT_ONLY(std::uint64_t audit_accesses_ = 0;)
+//     — declares members/statements that exist only in audited builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef SEMPERM_AUDIT
+#define SEMPERM_AUDIT 0
+#endif
+
+namespace semperm::check {
+
+/// Thrown by every auditor on an invariant violation. The message names
+/// the invariant, the object, and the offending values — an AuditError
+/// with no actionable message is itself a bug.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void audit_fail(const char* invariant, const char* file,
+                                    int line, const std::string& detail) {
+  std::ostringstream os;
+  os << "SEMPERM_AUDIT violation [" << invariant << "] at " << file << ':'
+     << line;
+  if (!detail.empty()) os << " — " << detail;
+  throw AuditError(os.str());
+}
+
+/// True when the audit layer is compiled into this translation unit.
+inline constexpr bool kAuditEnabled = SEMPERM_AUDIT != 0;
+
+}  // namespace semperm::check
+
+#if SEMPERM_AUDIT
+
+/// Check an invariant; `msg` is any ostream chain, evaluated only on
+/// failure.
+#define SEMPERM_AUDIT_CHECK(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream semperm_audit_os_;                                \
+      semperm_audit_os_ << msg; /* NOLINT(bugprone-macro-parentheses) */   \
+      ::semperm::check::audit_fail(#cond, __FILE__, __LINE__,              \
+                                   semperm_audit_os_.str());               \
+    }                                                                      \
+  } while (0)
+
+/// Emit `...` only in audited builds (member declarations, statements).
+#define SEMPERM_AUDIT_ONLY(...) __VA_ARGS__
+
+#else
+
+#define SEMPERM_AUDIT_CHECK(cond, msg) \
+  do {                                 \
+  } while (0)
+#define SEMPERM_AUDIT_ONLY(...)
+
+#endif  // SEMPERM_AUDIT

@@ -1,0 +1,35 @@
+#include "check/mesi_rules.hpp"
+
+#include <sstream>
+
+namespace semperm::check {
+
+namespace {
+
+constexpr unsigned index_of(MesiState s) { return static_cast<unsigned>(s); }
+
+// Row = from, column = to; order kInvalid, kShared, kExclusive, kModified.
+constexpr bool kLegal[4][4] = {
+    /* I */ {true, true, true, true},
+    /* S */ {true, true, false, true},
+    /* E */ {true, true, true, true},
+    /* M */ {true, true, false, true},
+};
+
+}  // namespace
+
+bool mesi_transition_legal(MesiState from, MesiState to) {
+  return kLegal[index_of(from)][index_of(to)];
+}
+
+void require_mesi_transition(MesiState from, MesiState to, unsigned core,
+                             std::uint64_t line) {
+  if (mesi_transition_legal(from, to)) return;
+  std::ostringstream os;
+  os << "illegal MESI transition " << coherence::to_string(from) << " -> "
+     << coherence::to_string(to) << " for line " << line << " on core "
+     << core;
+  throw AuditError(os.str());
+}
+
+}  // namespace semperm::check

@@ -1,0 +1,45 @@
+// semperm/check/mesi_rules.hpp
+//
+// MESI legality rules for the coherent hierarchy's audit hooks.
+//
+// The transition table below is the protocol contract of
+// coherence::CoherentHierarchy (PR 1): every per-core line-state change
+// must be one of these edges. The table is deliberately independent of the
+// simulator code — it restates the protocol from the MESI definition, so a
+// bug in the simulator's transition logic cannot also hide in its checker.
+//
+// Legal edges (self-loops are always legal — refreshes re-assert a state):
+//   I → S   fill, remote sharers exist
+//   I → E   fill, sole copy (demand miss served clean, or prefetch)
+//   I → M   write fill (read-for-ownership)
+//   S → M   upgrade (write to a Shared copy after invalidating remotes)
+//   S → I   invalidation / eviction / back-invalidation
+//   E → M   silent upgrade (write to an Exclusive copy)
+//   E → S   remote read observed (clean downgrade)
+//   E → I   invalidation / eviction
+//   M → S   remote read observed (writeback + downgrade)
+//   M → I   invalidation / eviction (writeback)
+//
+// Illegal edges the checker exists to catch:
+//   S → E   a Shared copy can never silently become Exclusive
+//   M → E   ownership is never downgraded to clean-exclusive in MESI
+#pragma once
+
+#include <cstdint>
+
+#include "check/audit.hpp"
+#include "coherence/mesi.hpp"
+
+namespace semperm::check {
+
+using coherence::MesiState;
+
+/// Is `from` → `to` a legal MESI edge (self-loops included)?
+bool mesi_transition_legal(MesiState from, MesiState to);
+
+/// Throws AuditError if `from` → `to` is illegal. `core` and `line` are
+/// reported in the message.
+void require_mesi_transition(MesiState from, MesiState to, unsigned core,
+                             std::uint64_t line);
+
+}  // namespace semperm::check

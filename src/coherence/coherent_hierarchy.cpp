@@ -4,6 +4,7 @@
 #include <bit>
 #include <sstream>
 
+#include "check/mesi_rules.hpp"
 #include "common/assert.hpp"
 
 namespace semperm::coherence {
@@ -53,16 +54,24 @@ int CoherentHierarchy::remote_modified(unsigned core, Addr line) const {
 }
 
 void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
-  cores_[core].state[line] = st;
+#if SEMPERM_AUDIT
+  check::require_mesi_transition(state(core, line), st, core, line);
+#endif
+  cores_[core].state[line] = st;  // lint:allow-state-mutation
   directory_[line].sharers |= bit(core);
 }
 
 void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
-  cores_[core].state.erase(line);
+  cores_[core].state.erase(line);  // lint:allow-state-mutation
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
   it->second.sharers &= ~bit(core);
-  if (it->second.sharers == 0) directory_.erase(it);
+  if (it->second.sharers == 0) {
+    directory_.erase(it);
+    // No private copy remains, so the line can no longer be an inclusion
+    // exemption.
+    SEMPERM_AUDIT_ONLY(audit_noninclusive_.erase(line);)
+  }
 }
 
 void CoherentHierarchy::invalidate_remotes(unsigned core, Addr line) {
@@ -131,6 +140,8 @@ void CoherentHierarchy::llc_fill(Addr line, FillReason reason, bool dirty) {
   if (!llc_) return;
   const auto ev = llc_->fill_line(line, reason, LineClass::kNormal, dirty);
   if (ev) on_llc_evict(*ev);
+  // The LLC now holds the line: inclusion is restored for it.
+  SEMPERM_AUDIT_ONLY(audit_noninclusive_.erase(line);)
 }
 
 Cycles CoherentHierarchy::access(unsigned core, Addr addr, std::size_t bytes,
@@ -168,14 +179,13 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     // Private hit. Reads proceed in any state; a write to a Shared copy
     // needs ownership (upgrade): snoop out and invalidate the other copies.
     if (write) {
-      auto& st = cs.state[line];
-      if (st == MesiState::kShared) {
+      if (state(core, line) == MesiState::kShared) {
         ++coh_.snoops;
         ++coh_.upgrades;
         cost += arch_.snoop_latency;
         invalidate_remotes(core, line);
       }
-      st = MesiState::kModified;
+      set_state(core, line, MesiState::kModified);
     }
   } else {
     // Private miss: the directory arbitrates before the shared level does.
@@ -196,7 +206,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
         drop_sharer(static_cast<unsigned>(owner), line);
         ++coh_.invalidations;
       } else {
-        cores_[owner].state[line] = MesiState::kShared;
+        set_state(static_cast<unsigned>(owner), line, MesiState::kShared);
       }
     } else if (llc_ && llc_->access(line)) {
       serving = 2;
@@ -213,10 +223,8 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
           while (rem != 0) {
             const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
             rem &= rem - 1;
-            auto it = cores_[c].state.find(line);
-            if (it != cores_[c].state.end() &&
-                it->second == MesiState::kExclusive) {
-              it->second = MesiState::kShared;
+            if (state(c, line) == MesiState::kExclusive) {
+              set_state(c, line, MesiState::kShared);
               ++coh_.snoops;
               ++coh_.clean_downgrades;
               cost += arch_.snoop_latency;
@@ -238,10 +246,8 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
         while (rem != 0) {
           const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
           rem &= rem - 1;
-          auto it = cores_[c].state.find(line);
-          if (it != cores_[c].state.end() &&
-              it->second == MesiState::kExclusive) {
-            it->second = MesiState::kShared;
+          if (state(c, line) == MesiState::kExclusive) {
+            set_state(c, line, MesiState::kShared);
             ++coh_.clean_downgrades;
           }
         }
@@ -287,7 +293,13 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     cs.l1.mark_dirty(line);
   }
 
+  // Before the prefetchers run (they may legitimately evict the accessed
+  // line again), the line is resident in L1 and must carry MESI state.
+  SEMPERM_AUDIT_CHECK(cs.state.find(line) != cs.state.end(),
+                      "core " << core << " finished an access to line " << line
+                              << " without MESI state");
   run_prefetchers(core, obs);
+  SEMPERM_AUDIT_ONLY(audit_line(line);)
   cs.stats.total_cycles += cost;
   return cost;
 }
@@ -335,6 +347,14 @@ void CoherentHierarchy::prefetch_fill(unsigned core,
   // holds it — we squashed otherwise); an existing private state stands.
   if (target <= 1 && !was_private)
     set_state(core, req.line, MesiState::kExclusive);
+
+  // The L1 next-line prefetcher fills L1+L2 without touching the LLC — the
+  // documented inclusion leak. Record the exemption so the inclusion audit
+  // can tell it apart from a genuine protocol bug.
+  SEMPERM_AUDIT_ONLY(
+      if (target <= 1 && llc_ && !llc_->contains(req.line))
+        audit_noninclusive_.insert(req.line);
+      audit_line(req.line);)
 }
 
 CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
@@ -351,7 +371,7 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
     ++coh_.snoops;
     ++coh_.interventions;
     ++coh_.dirty_writebacks;
-    cores_[owner].state[line] = MesiState::kShared;
+    set_state(static_cast<unsigned>(owner), line, MesiState::kShared);
     t.cycles = arch_.intervention_latency;
     llc_fill(line, FillReason::kHeater, /*dirty=*/true);
   } else if (llc_->contains(line)) {
@@ -363,6 +383,7 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
     ++cs.stats.dram_fetches;
     llc_fill(line, FillReason::kHeater, /*dirty=*/false);
   }
+  SEMPERM_AUDIT_ONLY(audit_line(line);)
   cs.stats.total_cycles += t.cycles;
   return t;
 }
@@ -374,15 +395,10 @@ void CoherentHierarchy::pollute(unsigned core, std::size_t bytes) {
   // its L1/L2 below counts the dirty-way writebacks, mirroring the
   // single-core pollute(); clearing the state map is a local event, not
   // protocol traffic.
-  for (auto it = cs.state.begin(); it != cs.state.end();) {
-    const Addr line = it->first;
-    it = cs.state.erase(it);
-    auto dit = directory_.find(line);
-    if (dit != directory_.end()) {
-      dit->second.sharers &= ~bit(core);
-      if (dit->second.sharers == 0) directory_.erase(dit);
-    }
-  }
+  std::vector<Addr> mine;
+  mine.reserve(cs.state.size());
+  for (const auto& [line, st] : cs.state) mine.push_back(line);
+  for (Addr line : mine) drop_sharer(core, line);
   cs.l1.flush();
   cs.l2.flush();
   cs.streamer.reset();
@@ -395,17 +411,21 @@ void CoherentHierarchy::pollute(unsigned core, std::size_t bytes) {
     if (entry.sharers != 0 && !llc_->contains(line)) gone.push_back(line);
   for (Addr line : gone)
     on_llc_evict(SetAssocCache::EvictedWay{line, false});
+  SEMPERM_AUDIT_ONLY(audit();)
 }
 
 void CoherentHierarchy::flush_all() {
   for (auto& cs : cores_) {
     cs.l1.flush();
     cs.l2.flush();
-    cs.state.clear();
+    // Wholesale reset of all line state; per-line transitions (all → I) are
+    // trivially legal.
+    cs.state.clear();  // lint:allow-state-mutation
     cs.streamer.reset();
   }
   if (llc_) llc_->flush();
   directory_.clear();
+  SEMPERM_AUDIT_ONLY(audit_noninclusive_.clear();)
 }
 
 MesiState CoherentHierarchy::state(unsigned core, Addr line) const {
@@ -442,6 +462,90 @@ LlcOccupancy CoherentHierarchy::llc_occupancy() const {
   occ.other_lines = llc_->resident_lines() - occ.heater_lines;
   return occ;
 }
+
+#if SEMPERM_AUDIT
+void CoherentHierarchy::audit_line(Addr line) const {
+  const auto dit = directory_.find(line);
+  const std::uint64_t bitmap =
+      dit == directory_.end() ? 0 : dit->second.sharers;
+  SEMPERM_AUDIT_CHECK(dit == directory_.end() || bitmap != 0,
+                      "directory entry for line " << line
+                          << " has an empty sharer bitmap");
+  std::uint64_t derived = 0;
+  unsigned holders = 0;
+  unsigned owners = 0;
+  for (unsigned c = 0; c < cores(); ++c) {
+    const auto it = cores_[c].state.find(line);
+    if (it == cores_[c].state.end()) continue;
+    SEMPERM_AUDIT_CHECK(it->second != MesiState::kInvalid,
+                        "core " << c << " stores an explicit Invalid for line "
+                                << line
+                                << " (absence is the only Invalid encoding)");
+    derived |= bit(c);
+    ++holders;
+    if (it->second == MesiState::kModified ||
+        it->second == MesiState::kExclusive)
+      ++owners;
+    SEMPERM_AUDIT_CHECK(
+        cores_[c].l1.contains(line) || cores_[c].l2.contains(line),
+        "core " << c << " holds MESI state " << to_string(it->second)
+                << " for line " << line << " without a private copy");
+  }
+  SEMPERM_AUDIT_CHECK(derived == bitmap,
+                      "directory sharer bitmap 0x"
+                          << std::hex << bitmap
+                          << " disagrees with per-core states 0x" << derived
+                          << std::dec << " for line " << line);
+  SEMPERM_AUDIT_CHECK(owners <= 1, "line " << line << " has " << owners
+                                           << " Exclusive/Modified owners");
+  SEMPERM_AUDIT_CHECK(
+      owners == 0 || holders == 1,
+      "line " << line
+              << " mixes an Exclusive/Modified owner with other sharers");
+  if (llc_ && holders > 0 && !llc_->contains(line))
+    SEMPERM_AUDIT_CHECK(
+        audit_noninclusive_.count(line) != 0,
+        "LLC inclusion violated for line "
+            << line
+            << ": privately resident, absent from the LLC, and not a "
+               "recorded prefetch leak");
+}
+#endif
+
+void CoherentHierarchy::audit() const {
+#if SEMPERM_AUDIT
+  for (const auto& [line, entry] : directory_) audit_line(line);
+  for (unsigned c = 0; c < cores(); ++c) {
+    for (const auto& [line, st] : cores_[c].state) {
+      const auto dit = directory_.find(line);
+      SEMPERM_AUDIT_CHECK(
+          dit != directory_.end() && (dit->second.sharers & bit(c)) != 0,
+          "core " << c << " holds MESI state " << to_string(st)
+                  << " for line " << line << " that the directory"
+                  << " does not track");
+    }
+    cores_[c].l1.audit();
+    cores_[c].l2.audit();
+  }
+  if (llc_) llc_->audit();
+  SEMPERM_AUDIT_CHECK(coh_.upgrades <= coh_.snoops,
+                      "more upgrades than snoops ("
+                          << coh_.upgrades << " > " << coh_.snoops << ")");
+  SEMPERM_AUDIT_CHECK(coh_.interventions <= coh_.dirty_writebacks,
+                      "more interventions than dirty writebacks ("
+                          << coh_.interventions << " > "
+                          << coh_.dirty_writebacks << ")");
+#endif
+}
+
+#if SEMPERM_AUDIT
+void CoherentHierarchy::audit_corrupt_state_for_test(unsigned core, Addr line,
+                                                     MesiState st) {
+  // Deliberately bypasses set_state: no legality check, no directory
+  // update. The next audit of `line` must throw.
+  cores_.at(core).state[line] = st;  // lint:allow-state-mutation
+}
+#endif
 
 void CoherentHierarchy::reset_stats() {
   for (auto& cs : cores_) {

@@ -30,12 +30,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cachesim/arch.hpp"
 #include "cachesim/cache.hpp"
 #include "cachesim/hierarchy.hpp"
 #include "cachesim/prefetch.hpp"
+#include "check/audit.hpp"
 #include "coherence/mesi.hpp"
 #include "common/types.hpp"
 
@@ -104,6 +106,24 @@ class CoherentHierarchy {
 
   std::string report() const;
 
+  /// Full protocol audit (see DESIGN.md § Invariant audits): every tracked
+  /// line satisfies the MESI sharing invariants (at most one E/M owner and
+  /// never alongside other sharers, directory bitmap == per-core state
+  /// maps, private state implies private residency, LLC inclusion modulo
+  /// the documented L1-prefetch leak), every cache level passes its own
+  /// audit, and the coherence counters obey their conservation bounds.
+  /// Throws semperm::check::AuditError. No-op unless SEMPERM_AUDIT. The
+  /// per-access hook audits only the touched line (O(cores)); this walks
+  /// everything.
+  void audit() const;
+
+#if SEMPERM_AUDIT
+  /// Test seam: poke a per-core MESI state directly, bypassing the audited
+  /// set_state mutator (no directory update, no legality check) — the next
+  /// audit of that line must throw.
+  void audit_corrupt_state_for_test(unsigned core, Addr line, MesiState st);
+#endif
+
  private:
   struct CoreStack {
     SetAssocCache l1;
@@ -158,12 +178,22 @@ class CoherentHierarchy {
   void run_prefetchers(unsigned core, const cachesim::AccessObservation& obs);
   void prefetch_fill(unsigned core, const cachesim::PrefetchRequest& req);
 
+#if SEMPERM_AUDIT
+  /// Cross-core MESI invariants for one line (the per-access hook).
+  void audit_line(Addr line) const;
+#endif
+
   ArchProfile arch_;
   std::vector<CoreStack> cores_;
   std::unique_ptr<SetAssocCache> llc_;  // null on KNL
   Cycles llc_latency_ = 0;
   std::unordered_map<Addr, DirEntry> directory_;
   CoherenceStats coh_;
+  // Audit-only: lines legitimately violating LLC inclusion through the
+  // documented L1-prefetch leak (filled privately without an LLC copy).
+  // Entries retire when the LLC acquires the line or the last private copy
+  // leaves.
+  SEMPERM_AUDIT_ONLY(std::unordered_set<Addr> audit_noninclusive_;)
 };
 
 }  // namespace semperm::coherence

@@ -32,14 +32,14 @@ RegionRegistry::RegionRegistry(std::size_t max_regions) : slots_(max_regions) {
 
 void RegionRegistry::write_slot(Slot& s, const void* base, std::size_t len,
                                 bool live) {
-  // Seqlock write: bump to odd, mutate, bump to even.
+  // Seqlock write: bump to odd, mutate, bump to even. The payload stores
+  // are relaxed; the odd/even version stores order them for readers.
   const std::uint32_t v = s.version.load(std::memory_order_relaxed);
-  s.version.store(v + 1, std::memory_order_release);
+  s.version.store(v + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
-  s.base = static_cast<const std::byte*>(base);
-  s.len = len;
-  s.live = live;
-  std::atomic_thread_fence(std::memory_order_release);
+  s.base.store(static_cast<const std::byte*>(base), std::memory_order_relaxed);
+  s.len.store(len, std::memory_order_relaxed);
+  s.live.store(live, std::memory_order_relaxed);
   s.version.store(v + 2, std::memory_order_release);
 }
 
@@ -65,8 +65,10 @@ void RegionRegistry::unregister_region(std::size_t handle) {
   SpinGuard guard(mutate_lock_);
   SEMPERM_ASSERT(handle < high_water_.load(std::memory_order_relaxed));
   Slot& s = slots_[handle];
-  SEMPERM_ASSERT_MSG(s.live, "double unregister of slot " << handle);
-  write_slot(s, s.base, s.len, /*live=*/false);
+  SEMPERM_ASSERT_MSG(s.live.load(std::memory_order_relaxed),
+                     "double unregister of slot " << handle);
+  write_slot(s, s.base.load(std::memory_order_relaxed),
+             s.len.load(std::memory_order_relaxed), /*live=*/false);
   free_slots_.push_back(handle);
   live_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -76,11 +78,11 @@ bool RegionRegistry::snapshot(std::size_t i, RegionView& out) const {
   for (int attempt = 0; attempt < 4; ++attempt) {
     const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
     if (v1 & 1u) continue;  // write in progress
+    const RegionView view{s.base.load(std::memory_order_relaxed),
+                          s.len.load(std::memory_order_relaxed)};
+    const bool live = s.live.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
-    const RegionView view{s.base, s.len};
-    const bool live = s.live;
-    std::atomic_thread_fence(std::memory_order_acquire);
-    const std::uint32_t v2 = s.version.load(std::memory_order_acquire);
+    const std::uint32_t v2 = s.version.load(std::memory_order_relaxed);
     if (v1 == v2) {
       if (!live) return false;
       out = view;

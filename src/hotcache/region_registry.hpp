@@ -63,9 +63,13 @@ class RegionRegistry {
  private:
   struct Slot {
     std::atomic<std::uint32_t> version{0};  // seqlock: odd = write in progress
-    const std::byte* base = nullptr;
-    std::size_t len = 0;
-    bool live = false;
+    // Payload fields are atomics accessed with relaxed ordering: a seqlock
+    // reader races with the writer by design, and the version counter (not
+    // the payload accesses) provides the ordering. Plain fields here would
+    // be a data race under the C++ memory model (and ThreadSanitizer).
+    std::atomic<const std::byte*> base{nullptr};
+    std::atomic<std::size_t> len{0};
+    std::atomic<bool> live{false};
   };
 
   void write_slot(Slot& s, const void* base, std::size_t len, bool live);

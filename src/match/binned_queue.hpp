@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "check/audit.hpp"
 #include "common/assert.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
@@ -170,6 +171,48 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
   void reset_stats() override { stats_ = SearchStats{}; }
 
   const char* name() const override { return name_.c_str(); }
+
+  void self_check() const override {
+    // Global arrival list: linkage, live count, strictly increasing seq.
+    std::size_t g_count = 0;
+    const Node* prev = nullptr;
+    for (const Node* n = global_.head; n != nullptr;
+         prev = n, n = n->g_next) {
+      if (n->g_prev != prev)
+        throw check::AuditError(name_ + " audit: broken global back-link");
+      if (prev != nullptr && n->seq <= prev->seq)
+        throw check::AuditError(name_ + " audit: arrival order not strictly "
+                                        "increasing (seq " +
+                                std::to_string(n->seq) + " after " +
+                                std::to_string(prev->seq) + ')');
+      ++g_count;
+      if (g_count > size_)
+        throw check::AuditError(name_ + " audit: global chain longer than "
+                                        "live count (cycle or stale node)");
+    }
+    if (prev != global_.tail)
+      throw check::AuditError(name_ + " audit: global tail pointer does not "
+                                      "terminate the chain");
+    if (g_count != size_)
+      throw check::AuditError(name_ + " audit: global chain length " +
+                              std::to_string(g_count) + " != live count " +
+                              std::to_string(size_));
+    // Bin lists partition the same nodes: lengths must sum to the total.
+    std::size_t b_count = 0;
+    for (std::size_t b = 0; b <= nbins_; ++b) {
+      const List& l = b < nbins_ ? bins_[b] : wildcard_;
+      for (const Node* n = l.head; n != nullptr; n = n->bin_next) {
+        ++b_count;
+        if (b_count > size_)
+          throw check::AuditError(name_ + " audit: bin chains hold more "
+                                          "nodes than the live count");
+      }
+    }
+    if (b_count != size_)
+      throw check::AuditError(name_ + " audit: bin occupancy " +
+                              std::to_string(b_count) +
+                              " != live count " + std::to_string(size_));
+  }
 
   std::size_t bin_count() const { return nbins_; }
 

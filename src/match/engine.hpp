@@ -16,6 +16,8 @@
 
 #include <memory>
 
+#include "check/audit.hpp"
+#include "check/match_shadow.hpp"
 #include "common/assert.hpp"
 #include "common/mem_policy.hpp"
 #include "match/entry.hpp"
@@ -42,7 +44,12 @@ class MatchEngine {
   MatchRequest* post_recv(const Pattern& pattern, MatchRequest* recv) {
     SEMPERM_ASSERT(recv != nullptr);
     ++tick_;
-    if (auto hit = umq_->find_and_remove(pattern)) {
+    auto hit = umq_->find_and_remove(pattern);
+    SEMPERM_AUDIT_ONLY(
+        umq_shadow_.expect_find_and_remove(pattern, hit, umq_->name());
+        umq_shadow_.expect_size(umq_->size(), umq_->name());
+        umq_->self_check();)
+    if (hit) {
       sample_umq();
       MatchRequest* msg = hit->req;
       umq_dwell_.record(msg->enqueued_tick(), tick_);
@@ -51,7 +58,11 @@ class MatchEngine {
       return msg;
     }
     recv->set_enqueued_tick(tick_);
-    prq_->append(PostedEntry::from(pattern, recv));
+    const PostedEntry entry = PostedEntry::from(pattern, recv);
+    prq_->append(entry);
+    SEMPERM_AUDIT_ONLY(prq_shadow_.on_append(entry, prq_->name());
+                       prq_shadow_.expect_size(prq_->size(), prq_->name());
+                       prq_->self_check();)
     sample_prq();
     return nullptr;
   }
@@ -64,7 +75,12 @@ class MatchEngine {
     SEMPERM_ASSERT_MSG(env.tag != kHoleTag && env.rank != kHoleRank,
                        "reserved identity used on the wire: " << env.to_string());
     ++tick_;
-    if (auto hit = prq_->find_and_remove(env)) {
+    auto hit = prq_->find_and_remove(env);
+    SEMPERM_AUDIT_ONLY(
+        prq_shadow_.expect_find_and_remove(env, hit, prq_->name());
+        prq_shadow_.expect_size(prq_->size(), prq_->name());
+        prq_->self_check();)
+    if (hit) {
       sample_prq();
       MatchRequest* recv = hit->req;
       prq_dwell_.record(recv->enqueued_tick(), tick_);
@@ -73,7 +89,11 @@ class MatchEngine {
       return recv;
     }
     msg->set_enqueued_tick(tick_);
-    umq_->append(UnexpectedEntry::from(env, msg));
+    const UnexpectedEntry entry = UnexpectedEntry::from(env, msg);
+    umq_->append(entry);
+    SEMPERM_AUDIT_ONLY(umq_shadow_.on_append(entry, umq_->name());
+                       umq_shadow_.expect_size(umq_->size(), umq_->name());
+                       umq_->self_check();)
     sample_umq();
     return nullptr;
   }
@@ -82,16 +102,39 @@ class MatchEngine {
   /// Returns false if the receive already matched (or was never posted).
   bool cancel_recv(const MatchRequest* recv) {
     SEMPERM_ASSERT(recv != nullptr);
-    return prq_->remove_by_request(recv);
+    const bool removed = prq_->remove_by_request(recv);
+    SEMPERM_AUDIT_ONLY(
+        prq_shadow_.expect_remove_by_request(recv, removed, prq_->name());
+        prq_shadow_.expect_size(prq_->size(), prq_->name());
+        prq_->self_check();)
+    return removed;
   }
 
   /// Probe the unexpected queue (MPI_Iprobe semantics): the envelope of
   /// the earliest buffered message the pattern would match, if any. Does
   /// not consume the message.
   std::optional<Envelope> probe(const Pattern& pattern) {
-    if (auto hit = umq_->peek(pattern)) return hit->envelope();
+    auto hit = umq_->peek(pattern);
+    SEMPERM_AUDIT_ONLY(umq_shadow_.expect_peek(pattern, hit, umq_->name());)
+    if (hit) return hit->envelope();
     return std::nullopt;
   }
+
+  /// On-demand audit of both queues against the shadow reference models
+  /// plus a structural self-check of each structure. No-op unless the
+  /// audit layer is compiled in (SEMPERM_AUDIT).
+  void audit() const {
+    SEMPERM_AUDIT_ONLY(prq_shadow_.expect_size(prq_->size(), prq_->name());
+                       umq_shadow_.expect_size(umq_->size(), umq_->name());
+                       prq_->self_check(); umq_->self_check();)
+  }
+
+#if SEMPERM_AUDIT
+  /// Test seam: desynchronise the UMQ shadow so the next audit must fail.
+  void audit_corrupt_umq_shadow_for_test(const UnexpectedEntry& entry) {
+    umq_shadow_.corrupt_for_test(entry);
+  }
+#endif
 
   Prq& prq() { return *prq_; }
   Umq& umq() { return *umq_; }
@@ -128,6 +171,10 @@ class MatchEngine {
 
   std::unique_ptr<Prq> prq_;
   std::unique_ptr<Umq> umq_;
+  // Shadow reference models (audited builds only): exact append-order
+  // mirrors of both queues, cross-checked on every operation.
+  SEMPERM_AUDIT_ONLY(check::MatchShadow<PostedEntry> prq_shadow_;
+                     check::MatchShadow<UnexpectedEntry> umq_shadow_;)
   std::unique_ptr<LengthSampler> prq_sampler_;
   std::unique_ptr<LengthSampler> umq_sampler_;
   DwellStats prq_dwell_;

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "check/audit.hpp"
 #include "common/assert.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
@@ -167,6 +168,34 @@ class FourDimQueue final : public QueueIface<Entry, Mem> {
   void reset_stats() override { stats_ = SearchStats{}; }
 
   const char* name() const override { return name_.c_str(); }
+
+  void self_check() const override {
+    // The global arrival list is authoritative: linkage, live count, and
+    // strictly increasing sequence numbers (total FIFO order).
+    std::size_t count = 0;
+    const Node* prev = nullptr;
+    for (const Node* n = global_.head; n != nullptr;
+         prev = n, n = n->g_next) {
+      if (n->g_prev != prev)
+        throw check::AuditError(name_ + " audit: broken global back-link");
+      if (prev != nullptr && n->seq <= prev->seq)
+        throw check::AuditError(name_ + " audit: arrival order not strictly "
+                                        "increasing (seq " +
+                                std::to_string(n->seq) + " after " +
+                                std::to_string(prev->seq) + ')');
+      ++count;
+      if (count > size_)
+        throw check::AuditError(name_ + " audit: global chain longer than "
+                                        "live count (cycle or stale node)");
+    }
+    if (prev != global_.tail)
+      throw check::AuditError(name_ + " audit: global tail pointer does not "
+                                      "terminate the chain");
+    if (count != size_)
+      throw check::AuditError(name_ + " audit: global chain length " +
+                              std::to_string(count) + " != live count " +
+                              std::to_string(size_));
+  }
 
   std::size_t digit_base_value() const { return base_; }
   std::size_t tables_allocated() const { return tables_allocated_; }

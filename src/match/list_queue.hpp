@@ -16,7 +16,9 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 
+#include "check/audit.hpp"
 #include "common/assert.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
@@ -133,6 +135,33 @@ class ListQueue final : public QueueIface<Entry, Mem> {
   void reset_stats() override { stats_ = SearchStats{}; }
 
   const char* name() const override { return "baseline-list"; }
+
+  void self_check() const override {
+    std::size_t count = 0;
+    const Node* prev = nullptr;
+    for (const Node* n = head_; n != nullptr; prev = n, n = n->next) {
+      if (n->prev != prev)
+        throw check::AuditError(
+            "baseline-list audit: broken back-link at node " +
+            std::to_string(count));
+      if (n->entry.is_hole())
+        throw check::AuditError(
+            "baseline-list audit: hole entry linked into the list at node " +
+            std::to_string(count));
+      ++count;
+      if (count > size_)
+        throw check::AuditError(
+            "baseline-list audit: chain longer than live count " +
+            std::to_string(size_) + " (cycle or stale node)");
+    }
+    if (prev != tail_)
+      throw check::AuditError("baseline-list audit: tail pointer does not "
+                              "terminate the chain");
+    if (count != size_)
+      throw check::AuditError("baseline-list audit: chain length " +
+                              std::to_string(count) +
+                              " != live count " + std::to_string(size_));
+  }
 
   /// Required pool block size for this queue's nodes.
   static constexpr std::size_t node_bytes() { return sizeof(Node); }

@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "check/audit.hpp"
 #include "common/assert.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
@@ -186,6 +187,51 @@ class LlaQueue final : public QueueIface<Entry, Mem> {
   std::size_t node_count() const { return node_count_; }
   /// Live holes currently embedded in used sections (diagnostics).
   std::size_t hole_count() const { return holes_; }
+
+  void self_check() const override {
+    std::size_t nodes = 0;
+    std::size_t live = 0;
+    std::size_t holes = 0;
+    const char* last = nullptr;
+    for (char* n = head_node_; n != nullptr; last = n, n = *next_slot(n)) {
+      ++nodes;
+      if (nodes > node_count_)
+        throw check::AuditError("lla audit: node chain longer than block "
+                                "count " + std::to_string(node_count_) +
+                                " (cycle or leaked node)");
+      const NodeHdr* h = hdr(n);
+      if (h->head > h->tail || h->tail > k_)
+        throw check::AuditError(
+            "lla audit: used section [" + std::to_string(h->head) + ", " +
+            std::to_string(h->tail) + ") malformed for K=" +
+            std::to_string(k_));
+      if (h->head == h->tail)
+        throw check::AuditError("lla audit: empty node left linked (head == "
+                                "tail == " + std::to_string(h->head) + ')');
+      const Entry* es = entries(n);
+      if (es[h->head].is_hole() || es[h->tail - 1].is_hole())
+        throw check::AuditError("lla audit: hole at the edge of the used "
+                                "section (edge deletions must swallow "
+                                "adjacent holes)");
+      for (std::uint32_t i = h->head; i < h->tail; ++i)
+        es[i].is_hole() ? ++holes : ++live;
+    }
+    if (nodes != node_count_)
+      throw check::AuditError("lla audit: block occupancy " +
+                              std::to_string(nodes) + " != block count " +
+                              std::to_string(node_count_));
+    if (last != tail_node_)
+      throw check::AuditError("lla audit: tail_node_ does not terminate the "
+                              "chain");
+    if (live != size_)
+      throw check::AuditError("lla audit: live element count " +
+                              std::to_string(live) + " != size() " +
+                              std::to_string(size_));
+    if (holes != holes_)
+      throw check::AuditError("lla audit: embedded hole count " +
+                              std::to_string(holes) + " != hole counter " +
+                              std::to_string(holes_));
+  }
 
  private:
   NodeHdr* hdr(char* n) const { return reinterpret_cast<NodeHdr*>(n); }

@@ -72,6 +72,14 @@ class QueueIface {
 
   /// Human-readable structure name for reports.
   virtual const char* name() const = 0;
+
+  /// Structural self-audit: walk the underlying storage and verify the
+  /// implementation's own invariants (link consistency, occupancy counts,
+  /// hole accounting). Throws semperm::check::AuditError on violation.
+  /// Performs NO modelled memory traffic — it is an auditor, not a
+  /// participant. Called by MatchEngine after every operation when the
+  /// audit layer is compiled in (SEMPERM_AUDIT), and directly by tests.
+  virtual void self_check() const {}
 };
 
 }  // namespace semperm::match

@@ -100,7 +100,9 @@ TEST_P(CachePropertyTest, AgreesWithReferenceModel) {
       const auto got = cache.fill(line, FillReason::kDemand);
       const auto want = ref.fill(line);
       ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
-      if (got) ASSERT_EQ(*got, *want) << "op " << op;
+      if (got) {
+        ASSERT_EQ(*got, *want) << "op " << op;
+      }
     } else if (dice < 0.97) {
       ASSERT_EQ(cache.contains(line), ref.contains(line)) << "op " << op;
     } else if (dice < 0.995) {

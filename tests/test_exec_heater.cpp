@@ -70,10 +70,11 @@ TEST(ExecHeaterTest, ColdPassCoverageMatchesAnalyticOnTemporalSweep) {
     EXPECT_NEAR(exec, analytic, 0.05);
     // Both models saturate the same way: full coverage at short depths,
     // budget-bound at long ones.
-    if (depth <= 1024)
+    if (depth <= 1024) {
       EXPECT_DOUBLE_EQ(analytic, 1.0);
-    else
+    } else {
       EXPECT_LT(analytic, 1.0);
+    }
   }
 }
 

@@ -154,7 +154,9 @@ TEST(SimMpi, ReduceSumAtRoot) {
   rt.run([&](Comm& c) {
     const double mine = static_cast<double>(c.rank() + 1);
     const double total = c.reduce_sum(2, mine);
-    if (c.rank() == 2) EXPECT_DOUBLE_EQ(total, 21.0);  // 1+2+...+6
+    if (c.rank() == 2) {
+      EXPECT_DOUBLE_EQ(total, 21.0);  // 1+2+...+6
+    }
   });
 }
 

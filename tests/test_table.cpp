@@ -18,7 +18,9 @@ TEST(Table, RenderAlignsColumns) {
   while (start < out.size()) {
     const auto end = out.find('\n', start);
     const std::size_t len = end - start;
-    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
     prev = len;
     start = end + 1;
   }

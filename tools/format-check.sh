@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies src/, tests/, bench/ and examples/
+# against the repo .clang-format without rewriting anything. Skips cleanly
+# (exit 0) when clang-format is not installed so local boxes without LLVM
+# aren't blocked; CI installs clang-format and gets the real check.
+set -u
+cd "$(dirname "$0")/.."
+
+FMT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "format-check: $FMT not installed, skipping (CI runs the real check)"
+  exit 0
+fi
+
+files=$(git ls-files 'src/**/*.hpp' 'src/**/*.cpp' 'tests/*.hpp' \
+                     'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+if [ -z "$files" ]; then
+  echo "format-check: no files found"
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+if "$FMT" --dry-run --Werror $files; then
+  echo "format-check: OK"
+else
+  echo "format-check: files above diverge from .clang-format" \
+       "(run: $FMT -i <file>)"
+  exit 1
+fi

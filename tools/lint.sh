@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Repo lint gate (no toolchain dependencies — pure grep/sed).
+#
+# Bans, across src/:
+#   1. raw `new` / `delete` expressions — all dynamic allocation goes
+#      through std::make_unique / containers / the arena. Placement new
+#      (`new (ptr) T`) is allowed: the arena and the LLA block store are
+#      built on it. `= delete;` declarations are allowed.
+#   2. rand()/srand() — all randomness goes through common/rng.hpp so runs
+#      stay reproducible.
+#   3. un-audited MESI state mutation — every write to a per-core `state`
+#      map outside the audited mutators must carry an explicit
+#      `// lint:allow-state-mutation` marker (the audited mutators carry it
+#      too, as documentation that the exemption is deliberate).
+#
+# Exits non-zero with the offending lines on any violation.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Source lines with comments stripped (file:line:code preserved).
+stripped() {
+  grep -rn --include='*.hpp' --include='*.cpp' '' src | sed 's@//.*@@'
+}
+
+# --- 1. raw new / delete ---------------------------------------------------
+raw_new=$(stripped | grep -E '[^[:alnum:]_.]new[[:space:]]+[[:alnum:]_:<]' \
+                   | grep -vE 'new[[:space:]]*\(')
+if [ -n "$raw_new" ]; then
+  echo "lint: raw 'new' expression (use std::make_unique, a container, or"
+  echo "the arena; placement new is exempt):"
+  echo "$raw_new"
+  fail=1
+fi
+
+# Direct operator-delete calls are the matched deallocation functions for
+# aligned operator-new allocations (the arena) — not delete expressions.
+raw_delete=$(stripped | grep -E '[^[:alnum:]_]delete[[:space:]]*[^;=[:space:]]' \
+                      | grep -vE '=[[:space:]]*delete' \
+                      | grep -vE 'operator[[:space:]]+delete')
+if [ -n "$raw_delete" ]; then
+  echo "lint: raw 'delete' expression:"
+  echo "$raw_delete"
+  fail=1
+fi
+
+# --- 2. rand()/srand() -----------------------------------------------------
+raw_rand=$(stripped | grep -E '[^[:alnum:]_](s?rand)[[:space:]]*\(')
+if [ -n "$raw_rand" ]; then
+  echo "lint: rand()/srand() is banned (use common/rng.hpp):"
+  echo "$raw_rand"
+  fail=1
+fi
+
+# --- 3. un-audited MESI state mutation -------------------------------------
+# Any direct mutation of a per-core MESI `state` map must be marked: the
+# audited mutators (set_state / drop_sharer) run the legality checker, and
+# anything else bypasses it.
+unaudited=$(grep -rn --include='*.hpp' --include='*.cpp' \
+                 -E '\.state\[[^]]*\][[:space:]]*=|\.state\.erase|\.state\.clear' \
+                 src/coherence \
+            | grep -v 'lint:allow-state-mutation')
+if [ -n "$unaudited" ]; then
+  echo "lint: MESI state mutated outside the audited mutators (route it"
+  echo "through set_state/drop_sharer, or mark a deliberate exemption with"
+  echo "// lint:allow-state-mutation):"
+  echo "$unaudited"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$fail"
