@@ -106,7 +106,8 @@ int main(int argc, char** argv) {
           "Layout ablations: address policy and hole management");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   run_policy_part(cli.flag("quick"), cli.flag("csv"));
   run_hole_part(cli.flag("quick"), cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
           "Prefetcher ablation for the 8-entries-per-array knee");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   struct Variant {
@@ -59,5 +60,5 @@ int main(int argc, char** argv) {
   bench::emit(
       "Prefetcher ablation: 1 B messages, depth 1024, Sandy Bridge (MiBps)",
       table, cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

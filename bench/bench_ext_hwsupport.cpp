@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
           "§6 extension: cache partition / dedicated network cache");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   const HwVariant variants[] = {
@@ -89,5 +90,5 @@ int main(int argc, char** argv) {
       "'none' at depth 1-8 (no short-list cost)\nand approach/beat 'HC' at "
       "depth 256+ (long-list gain without software overhead).\n",
       stdout);
-  return 0;
+  return bench::finish_report();
 }

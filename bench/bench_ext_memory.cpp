@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   cli.add_int("peers", 64, "Communicating sources (sparse halo-like set)");
   cli.add_int("msgs", 8, "Pending messages per source");
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const int peers = static_cast<int>(cli.get_int("peers"));
   const int msgs = static_cast<int>(cli.get_int("msgs"));
   const bool quick = cli.flag("quick");
@@ -101,5 +102,5 @@ int main(int argc, char** argv) {
   }
   bench::emit("Structure memory vs per-message match cost (64 sparse peers)",
               table, cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
   cli.add_int("recvs", 256, "Receives per thread per round");
   cli.add_int("rounds", 20, "Rounds per configuration");
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
   const int recvs = static_cast<int>(cli.get_int("recvs")) / (quick ? 4 : 1);
   const int rounds = static_cast<int>(cli.get_int("rounds")) / (quick ? 4 : 1);
@@ -136,5 +137,5 @@ int main(int argc, char** argv) {
   }
   bench::emit("Multithreaded matching contention (native, this machine)",
               table, cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

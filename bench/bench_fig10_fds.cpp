@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   Cli cli("bench_fig10_fds", "Figure 10: FDS factor speedup over baseline");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   Table table({"Process Count", "LLA Broadwell", "HC Nehalem", "LLA Nehalem",
@@ -76,5 +77,5 @@ int main(int argc, char** argv) {
   }
   bench::emit("Figure 10: FDS factor speedup over per-system baseline", table,
               cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   bench::add_standard_flags(cli);
   cli.add_int("stride", 0, "Rank sampling stride (0 = per-motif default)");
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
   const bool csv = cli.flag("csv");
   const auto stride = static_cast<int>(cli.get_int("stride"));
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
     halo.phases = 4;
   }
   report(motifs::run_halo3d(halo), csv);
-  return 0;
+  return bench::finish_report();
 }

@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
           "Figure 4: spatial locality on Sandy Bridge (simulated)");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   bench::run_osu_figure("Figure 4", cachesim::sandy_bridge(),
                         simmpi::qdr_infiniband(), bench::spatial_series(),
                         cli.flag("quick"), cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -13,8 +13,9 @@ int main(int argc, char** argv) {
           "Figure 5: spatial locality on Broadwell (simulated)");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   bench::run_osu_figure("Figure 5", cachesim::broadwell(), simmpi::omnipath(),
                         bench::spatial_series(), cli.flag("quick"),
                         cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

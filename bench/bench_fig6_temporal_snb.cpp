@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
           "Figure 6: temporal locality on Sandy Bridge (simulated)");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   bench::run_osu_figure("Figure 6", cachesim::sandy_bridge(),
                         simmpi::qdr_infiniband(), bench::temporal_series(),
                         cli.flag("quick"), cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

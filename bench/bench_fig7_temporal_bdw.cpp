@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
           "Figure 7: temporal locality on Broadwell (simulated)");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   bench::run_osu_figure("Figure 7", cachesim::broadwell(), simmpi::omnipath(),
                         bench::temporal_series(), cli.flag("quick"),
                         cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

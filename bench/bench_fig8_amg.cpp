@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   Cli cli("bench_fig8_amg", "Figure 8: AMG2013 weak scaling, baseline vs LLA");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   Table table({"Process Count", "Baseline (s)", "LLA (s)", "Improvement (%)",
@@ -34,5 +35,5 @@ int main(int argc, char** argv) {
   }
   bench::emit("Figure 8: AMG2013 scaling results (Broadwell)", table,
               cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

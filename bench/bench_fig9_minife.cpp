@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
           "Figure 9: MiniFE at 512 processes vs forced match-list length");
   bench::add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   Table table({"Match list Length", "Baseline (s)", "LLA (s)",
@@ -33,5 +34,5 @@ int main(int argc, char** argv) {
   }
   bench::emit("Figure 9: MiniFE, 512 processes, 1320^3 (Broadwell)", table,
               cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   bench::add_standard_flags(cli);
   cli.add_int("region-kib", 256, "Heated region size in KiB");
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
   const bool quick = cli.flag("quick");
 
   Table table({"Architecture", "engine", "cold (ns/access)",
@@ -58,5 +59,5 @@ int main(int argc, char** argv) {
   std::fputs(
       "Paper reference: SandyBridge 47.5 -> 22.9 ns, Broadwell 38.5 -> 22.8 ns\n",
       stdout);
-  return 0;
+  return bench::finish_report();
 }

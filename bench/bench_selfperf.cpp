@@ -1,0 +1,212 @@
+// Simulator self-performance: how fast is the simulator itself? (Not a
+// paper figure — this measures the SoA cachesim rewrite, DESIGN.md §10.)
+//
+// Scenarios, each reporting simulated cache lines per wall-clock second:
+//   l1_hit_stream            SoA cache, word-granular sweep of an
+//                            L1-resident buffer (MRU-dominant hits)
+//   l1_hit_stream_reference  the retained pre-rewrite implementation
+//                            (tests/reference_cache.hpp) on the same stream
+//   l1_lru_churn             SoA cache, cyclic sweep where every hit lands
+//                            on the LRU way (worst-case rotation)
+//   llc_miss_stream          sequential stream 4x a sliced LLC's capacity:
+//                            every access misses, fills, and evicts
+//   prefetch_heavy           full Hierarchy::simulate() over a sequential
+//                            stream with all prefetchers firing
+//   coherent_4core_mix       4-core CoherentHierarchy, private streams plus
+//                            a shared region with stores (MESI traffic)
+//
+// The l1_hit_stream / l1_hit_stream_reference pair embeds the rewrite's
+// acceptance ratio ("speedup_vs_reference" in the JSON metrics). Writes
+// BENCH_cachesim.json unless --json overrides the path; the CI perf-smoke
+// job compares it against bench/BENCH_cachesim.baseline.json.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "cachesim/arch.hpp"
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "coherence/coherent_hierarchy.hpp"
+#include "common/rng.hpp"
+#include "tests/reference_cache.hpp"
+
+namespace semperm::bench {
+namespace {
+
+using cachesim::FillReason;
+using cachesim::SetAssocCache;
+
+struct Score {
+  std::uint64_t lines = 0;
+  double seconds = 0.0;
+  double lines_per_sec() const { return seconds > 0 ? lines / seconds : 0; }
+};
+
+template <typename F>
+Score timed(std::uint64_t lines_per_rep, int reps, F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (int r = 0; r < reps; ++r) sink += body();
+  const auto t1 = std::chrono::steady_clock::now();
+  Score s;
+  s.lines = lines_per_rep * static_cast<std::uint64_t>(reps);
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (sink == 0xdead) s.seconds = 0;  // defeat dead-code elimination
+  return s;
+}
+
+// Word-granular sweep of 256 L1-resident lines: each line is read 4x in a
+// row (16 B words of a 64 B line), the dominant pattern the trace replayers
+// feed the simulator. 3/4 of hits land on the MRU way.
+std::vector<Addr> sweep_stream() {
+  std::vector<Addr> v;
+  for (Addr l = 0; l < 256; ++l)
+    for (int r = 0; r < 4; ++r) v.push_back(l);
+  return v;
+}
+
+// Cyclic sweep of the same working set, one touch per line: every hit
+// lands on the LRU way of its set, maximising rotation work.
+std::vector<Addr> churn_stream() {
+  std::vector<Addr> v;
+  for (Addr l = 0; l < 256; ++l) v.push_back(l);
+  return v;
+}
+
+Score run_l1_hit_stream(int reps) {
+  SetAssocCache c("L1", 32 * 1024, 8);
+  const std::vector<Addr> stream = sweep_stream();
+  for (Addr l : churn_stream()) c.fill(l, FillReason::kDemand);
+  return timed(stream.size(), reps, [&] {
+    return c.access_batch({stream.data(), stream.size()});
+  });
+}
+
+Score run_l1_hit_stream_reference(int reps) {
+  cachesim::testing::ReferenceSetAssocCache c("L1", 32 * 1024, 8);
+  const std::vector<Addr> stream = sweep_stream();
+  for (Addr l : churn_stream()) c.fill(l, FillReason::kDemand);
+  return timed(stream.size(), reps, [&] {
+    std::uint64_t hits = 0;
+    for (const Addr l : stream) hits += c.access(l) ? 1 : 0;
+    return hits;
+  });
+}
+
+Score run_l1_lru_churn(int reps) {
+  SetAssocCache c("L1", 32 * 1024, 8);
+  const std::vector<Addr> stream = churn_stream();
+  for (Addr l : stream) c.fill(l, FillReason::kDemand);
+  return timed(stream.size(), 4 * reps, [&] {
+    return c.access_batch({stream.data(), stream.size()});
+  });
+}
+
+Score run_llc_miss_stream(int reps) {
+  // Sliced (non-power-of-two) LLC geometry so the fastmod indexing path is
+  // the one being timed: 1152 sets x 16 ways = 1.125 MiB.
+  SetAssocCache llc("LLC", 1152 * 16 * kCacheLine, 16);
+  const std::size_t capacity = llc.set_count() * 16;
+  std::vector<Addr> stream;
+  for (Addr l = 0; l < 4 * capacity; ++l) stream.push_back(l);
+  return timed(stream.size(), reps, [&] {
+    std::uint64_t filled = 0;
+    for (const Addr l : stream) {
+      if (!llc.access(l)) {
+        llc.fill(l, FillReason::kDemand);
+        ++filled;
+      }
+    }
+    return filled;
+  });
+}
+
+Score run_prefetch_heavy(int reps) {
+  cachesim::Hierarchy h(cachesim::sandy_bridge());
+  std::vector<Addr> stream;
+  for (Addr l = 0; l < 16384; ++l) stream.push_back(l);  // 1 MiB sweep
+  return timed(stream.size(), reps, [&] {
+    return static_cast<std::uint64_t>(
+        h.simulate({stream.data(), stream.size()}));
+  });
+}
+
+Score run_coherent_4core_mix(int reps) {
+  constexpr unsigned kCores = 4;
+  coherence::CoherentHierarchy coh(cachesim::sandy_bridge(), kCores);
+  // Per-core private streams plus a shared region with 25% stores: a mix
+  // of silent hits, upgrades, and cross-core interventions.
+  constexpr Addr kShared = 1 << 20;
+  constexpr std::size_t kPerCore = 2048;
+  std::vector<Addr> stream;
+  std::vector<std::uint8_t> writes;
+  Rng rng(0xc0);
+  for (std::size_t i = 0; i < kCores * kPerCore; ++i) {
+    const bool shared = rng.chance(0.25);
+    stream.push_back(shared ? kShared + rng.below(512)
+                            : Addr{4096} * (i % kCores) + rng.below(1024));
+    writes.push_back(shared && rng.chance(0.5) ? 1 : 0);
+  }
+  return timed(stream.size(), reps, [&] {
+    std::uint64_t cycles = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      cycles += coh.access_line(static_cast<unsigned>(i % kCores), stream[i],
+                                writes[i] != 0);
+    }
+    return cycles;
+  });
+}
+
+}  // namespace
+}  // namespace semperm::bench
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  using bench::Score;
+  Cli cli("bench_selfperf",
+          "Simulator self-performance: lines/sec per cachesim scenario");
+  bench::add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
+  bench::default_json_path("BENCH_cachesim.json");
+  const bool quick = cli.flag("quick");
+  const int reps = quick ? 200 : 2000;
+
+  struct Scenario {
+    const char* name;
+    Score (*run)(int);
+    int reps;
+  };
+  const Scenario scenarios[] = {
+      {"l1_hit_stream", bench::run_l1_hit_stream, reps},
+      {"l1_hit_stream_reference", bench::run_l1_hit_stream_reference, reps},
+      {"l1_lru_churn", bench::run_l1_lru_churn, reps},
+      {"llc_miss_stream", bench::run_llc_miss_stream, quick ? 4 : 40},
+      {"prefetch_heavy", bench::run_prefetch_heavy, quick ? 20 : 200},
+      {"coherent_4core_mix", bench::run_coherent_4core_mix, quick ? 20 : 200},
+  };
+
+  Table table({"scenario", "lines", "seconds", "Mlines/s"});
+  double soa_rate = 0;
+  double ref_rate = 0;
+  for (const auto& s : scenarios) {
+    if (!bench::panel_enabled(s.name)) continue;
+    const Score score = s.run(s.reps);
+    table.add_row({s.name, Table::num(score.lines),
+                   Table::num(score.seconds, 3),
+                   Table::num(score.lines_per_sec() / 1e6, 1)});
+    bench::report_metric(std::string(s.name) + "_lines_per_sec",
+                         score.lines_per_sec());
+    if (std::string(s.name) == "l1_hit_stream")
+      soa_rate = score.lines_per_sec();
+    if (std::string(s.name) == "l1_hit_stream_reference")
+      ref_rate = score.lines_per_sec();
+  }
+  if (soa_rate > 0 && ref_rate > 0)
+    bench::report_metric("l1_hit_stream_speedup_vs_reference",
+                         soa_rate / ref_rate);
+  bench::emit("cachesim self-performance", table, cli.flag("csv"));
+  return bench::finish_report();
+}

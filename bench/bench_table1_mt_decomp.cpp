@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_int("trials", 10, "Trials to average search depth over");
   cli.add_string("queue", "baseline", "Queue structure under test");
   if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
 
   const bool quick = cli.flag("quick");
   Table table({"Decomp.", "Stencil", "tr", "ts", "Length", "Search depth",
@@ -43,5 +44,5 @@ int main(int argc, char** argv) {
       "Table 1: queue lengths, search depths and cross-core coherence "
       "(KNL, CoherentHierarchy)",
       table, cli.flag("csv"));
-  return 0;
+  return bench::finish_report();
 }

@@ -1,0 +1,132 @@
+#include "bench/bench_util.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace semperm::bench {
+
+namespace {
+
+// Per-process report state, latched by configure_report().
+struct ReportState {
+  std::string json_path;
+  std::string filter;
+  std::vector<std::pair<std::string, Table>> tables;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+ReportState& report() {
+  static ReportState state;
+  return state;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string report_json() {
+  const ReportState& r = report();
+  std::string out = "{\n  \"metrics\": {";
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(out, r.metrics[i].first);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ": %.6g", r.metrics[i].second);
+    out += buf;
+  }
+  out += r.metrics.empty() ? "},\n" : "\n  },\n";
+  out += "  \"tables\": [";
+  for (std::size_t t = 0; t < r.tables.size(); ++t) {
+    const auto& [title, table] = r.tables[t];
+    out += t == 0 ? "\n    {\n" : ",\n    {\n";
+    out += "      \"title\": ";
+    append_json_string(out, title);
+    out += ",\n      \"headers\": [";
+    const auto& headers = table.headers();
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_json_string(out, headers[i]);
+    }
+    out += "],\n      \"rows\": [";
+    for (std::size_t i = 0; i < table.rows(); ++i) {
+      out += i == 0 ? "\n        [" : ",\n        [";
+      const auto& row = table.row_data(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (j > 0) out += ", ";
+        append_json_string(out, row[j]);
+      }
+      out += ']';
+    }
+    out += table.rows() == 0 ? "]\n    }" : "\n      ]\n    }";
+  }
+  out += r.tables.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+void add_standard_flags(Cli& cli) {
+  cli.add_flag("quick", "Reduced sweep for smoke testing (fewer points/iterations)");
+  cli.add_flag("csv", "Emit CSV instead of aligned tables");
+  cli.add_string("json", "", "Also write every table and metric to this JSON file");
+  cli.add_string("filter", "",
+                 "Only compute/emit panels whose title contains this substring");
+}
+
+void configure_report(const Cli& cli) {
+  report().json_path = cli.get_string("json");
+  report().filter = cli.get_string("filter");
+}
+
+bool panel_enabled(const std::string& title) {
+  const std::string& f = report().filter;
+  return f.empty() || title.find(f) != std::string::npos;
+}
+
+void default_json_path(const std::string& path) {
+  if (report().json_path.empty()) report().json_path = path;
+}
+
+void report_metric(const std::string& name, double value) {
+  report().metrics.emplace_back(name, value);
+}
+
+void emit(const std::string& title, const Table& table, bool csv) {
+  if (!panel_enabled(title)) return;
+  std::fputs(banner(title).c_str(), stdout);
+  std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+  report().tables.emplace_back(title, table);
+}
+
+int finish_report() {
+  const ReportState& r = report();
+  if (r.json_path.empty()) return 0;
+  std::FILE* f = std::fopen(r.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n",
+                 r.json_path.c_str());
+    return 1;
+  }
+  const std::string json = report_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace semperm::bench

@@ -1,11 +1,12 @@
 // bench/bench_util.hpp
 //
 // Shared plumbing for the figure-reproduction binaries: standard sweeps,
-// table emission, and the --quick / --csv flags every bench accepts.
+// table emission, and the --quick / --csv / --json / --filter flags every
+// bench accepts. Tables funnel through emit(), which applies the panel
+// filter and records everything for the end-of-run JSON report.
 #pragma once
 
 #include <cstddef>
-#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,33 @@ inline std::vector<std::size_t> osu_search_depths(bool quick) {
   return depths;
 }
 
-/// Emit a table in the selected format, preceded by a banner.
-inline void emit(const std::string& title, const Table& table, bool csv) {
-  std::fputs(banner(title).c_str(), stdout);
-  std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
-}
-
 /// Register the standard bench flags.
-inline void add_standard_flags(Cli& cli) {
-  cli.add_flag("quick", "Reduced sweep for smoke testing (fewer points/iterations)");
-  cli.add_flag("csv", "Emit CSV instead of aligned tables");
-}
+void add_standard_flags(Cli& cli);
+
+/// Latch the parsed --csv/--json/--filter values for this process. Call
+/// once, right after cli.parse().
+void configure_report(const Cli& cli);
+
+/// Under --filter <substr>, is the panel/table `title` selected? Benches
+/// check this before computing an expensive panel; emit() re-checks it, so
+/// cheap callers may skip the guard.
+bool panel_enabled(const std::string& title);
+
+/// For benches with a canonical artifact (bench_selfperf writes
+/// BENCH_cachesim.json): the path used when --json was not given. Call
+/// after configure_report().
+void default_json_path(const std::string& path);
+
+/// Record a named scalar for the JSON report's "metrics" object (e.g. a
+/// throughput in lines/sec that a comparison script consumes).
+void report_metric(const std::string& name, double value);
+
+/// Emit a table in the selected format, preceded by a banner; records the
+/// table for the JSON report. Filtered-out titles are dropped silently.
+void emit(const std::string& title, const Table& table, bool csv);
+
+/// Write the --json report, if one was requested. Returns the process exit
+/// code, so mains can end with `return bench::finish_report();`.
+int finish_report();
 
 }  // namespace semperm::bench

@@ -54,27 +54,37 @@ void run_osu_figure(const std::string& figure_name,
                     bool csv) {
   std::vector<std::string> headers;
 
+  // Every panel is guarded by panel_enabled() so --filter skips the whole
+  // sweep, not just its printout.
+
   // Panel (a): message-size sweep at queue depth 1024.
-  headers = {"msg size"};
-  for (const auto& s : series) headers.push_back(s.label + " (MiBps)");
-  Table panel_a(headers);
-  for (std::size_t size : osu_message_sizes(quick)) {
-    std::vector<std::string> row{format_bytes(size)};
-    for (const auto& s : series) {
-      auto p = base_params(arch, net, s, quick);
-      p.msg_bytes = size;
-      p.queue_depth = 1024;
-      row.push_back(Table::num(workloads::run_osu_bw(p).bandwidth_mibps, 3));
+  const std::string title_a =
+      figure_name + "a: bandwidth vs message size (queue depth 1024)";
+  if (panel_enabled(title_a)) {
+    headers = {"msg size"};
+    for (const auto& s : series) headers.push_back(s.label + " (MiBps)");
+    Table panel_a(headers);
+    for (std::size_t size : osu_message_sizes(quick)) {
+      std::vector<std::string> row{format_bytes(size)};
+      for (const auto& s : series) {
+        auto p = base_params(arch, net, s, quick);
+        p.msg_bytes = size;
+        p.queue_depth = 1024;
+        row.push_back(Table::num(workloads::run_osu_bw(p).bandwidth_mibps, 3));
+      }
+      panel_a.add_row(std::move(row));
     }
-    panel_a.add_row(std::move(row));
+    emit(title_a, panel_a, csv);
   }
-  emit(figure_name + "a: bandwidth vs message size (queue depth 1024)",
-       panel_a, csv);
 
   // Panels (b) and (c): search-depth sweeps at 1 B and 4 KiB.
   for (const auto& [panel, bytes] :
        std::vector<std::pair<std::string, std::size_t>>{{"b", 1},
                                                         {"c", 4096}}) {
+    const std::string title = figure_name + panel +
+                              ": bandwidth vs search depth (" +
+                              format_bytes(bytes) + " messages)";
+    if (!panel_enabled(title)) continue;
     headers = {"PRQ search length"};
     for (const auto& s : series) headers.push_back(s.label + " (MiBps)");
     Table table(headers);
@@ -89,33 +99,34 @@ void run_osu_figure(const std::string& figure_name,
       }
       table.add_row(std::move(row));
     }
-    emit(figure_name + panel + ": bandwidth vs search depth (" +
-             format_bytes(bytes) + " messages)",
-         table, csv);
+    emit(title, table, csv);
   }
 
   // Hierarchy counters: per-level prefetch coverage and writeback traffic
   // for every series at the 4 KiB / depth-1024 operating point, so the
   // ablation benches report them uniformly.
-  Table counters({"series", "level", "hits", "misses", "pf fills",
-                  "pf used", "pf coverage", "writebacks"});
-  for (const auto& s : series) {
-    auto p = base_params(arch, net, s, quick);
-    p.msg_bytes = 4096;
-    p.queue_depth = 1024;
-    const auto r = workloads::run_osu_bw(p);
-    for (const auto& lvl : r.hier.levels) {
-      counters.add_row({s.label, lvl.name,
-                        Table::num(lvl.demand_hits),
-                        Table::num(lvl.demand_misses),
-                        Table::num(lvl.prefetch_fills),
-                        Table::num(lvl.prefetch_hits),
-                        Table::num(lvl.prefetch_coverage(), 3),
-                        Table::num(lvl.writebacks)});
+  const std::string title_counters =
+      figure_name + " hierarchy counters (4 KiB messages, depth 1024)";
+  if (panel_enabled(title_counters)) {
+    Table counters({"series", "level", "hits", "misses", "pf fills",
+                    "pf used", "pf coverage", "writebacks"});
+    for (const auto& s : series) {
+      auto p = base_params(arch, net, s, quick);
+      p.msg_bytes = 4096;
+      p.queue_depth = 1024;
+      const auto r = workloads::run_osu_bw(p);
+      for (const auto& lvl : r.hier.levels) {
+        counters.add_row({s.label, lvl.name,
+                          Table::num(lvl.demand_hits),
+                          Table::num(lvl.demand_misses),
+                          Table::num(lvl.prefetch_fills),
+                          Table::num(lvl.prefetch_hits),
+                          Table::num(lvl.prefetch_coverage(), 3),
+                          Table::num(lvl.writebacks)});
+      }
     }
+    emit(title_counters, counters, csv);
   }
-  emit(figure_name + " hierarchy counters (4 KiB messages, depth 1024)",
-       counters, csv);
 }
 
 }  // namespace semperm::bench

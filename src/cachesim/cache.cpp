@@ -1,7 +1,5 @@
 #include "cachesim/cache.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
 
 namespace semperm::cachesim {
@@ -11,60 +9,24 @@ SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
     : name_(std::move(name)), size_bytes_(size_bytes), assoc_(assoc) {
   SEMPERM_ASSERT(assoc_ > 0);
   SEMPERM_ASSERT(size_bytes_ % (static_cast<std::size_t>(assoc_) * kCacheLine) == 0);
-  const std::size_t set_count = size_bytes_ / (assoc_ * kCacheLine);
   // Non-power-of-two set counts are common for sliced LLCs (e.g. 18-slice
-  // Broadwell); index by modulo, as slice-hashing hardware effectively does.
-  set_count_ = set_count;
-  sets_.resize(set_count);
-  for (auto& s : sets_) s.reserve(assoc_);
-}
-
-SetAssocCache::Set& SetAssocCache::set_for(Addr line) {
-  return sets_[static_cast<std::size_t>(line) % set_count_];
-}
-
-const SetAssocCache::Set& SetAssocCache::set_for(Addr line) const {
-  return sets_[static_cast<std::size_t>(line) % set_count_];
-}
-
-void SetAssocCache::purge(Set& set) {
-  std::erase_if(set, [this](const Way& w) { return w.epoch != epoch_; });
-}
-
-bool SetAssocCache::access(Addr line) {
-  Set& set = set_for(line);
-  purge(set);
-  SEMPERM_AUDIT_ONLY(++audit_accesses_;)
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].line == line) {
-      ++stats_.demand_hits;
-      if (set[i].reason == FillReason::kPrefetch) {
-        ++stats_.prefetch_hits;
-        set[i].reason = FillReason::kDemand;  // count first use only
-      } else if (set[i].reason == FillReason::kHeater) {
-        ++stats_.heater_hits;
-        set[i].reason = FillReason::kDemand;
-      }
-      // Move to MRU position.
-      Way hit = set[i];
-      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-      set.insert(set.begin(), hit);
-      SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
-                                            set_count_);
-                         audit_stats();)
-      return true;
-    }
+  // Broadwell); index by modulo, as slice-hashing hardware effectively does
+  // (a mask when possible, divide-free Lemire fastmod otherwise).
+  set_count_ = size_bytes_ / (assoc_ * kCacheLine);
+  if ((set_count_ & (set_count_ - 1)) == 0) {
+    set_mask_ = static_cast<Addr>(set_count_ - 1);
+  } else {
+    fastmod_magic_ = fastmod_magic(set_count_);
   }
-  ++stats_.demand_misses;
-  SEMPERM_AUDIT_ONLY(audit_stats();)
-  return false;
+  tags_.assign(set_count_ * assoc_, 0);
+  meta_.assign(set_count_ * assoc_, pack(kStaleEpoch, FillReason::kDemand,
+                                         LineClass::kNormal, false));
 }
 
-bool SetAssocCache::contains(Addr line) const {
-  const Set& set = set_for(line);
-  return std::any_of(set.begin(), set.end(), [this, line](const Way& w) {
-    return w.epoch == epoch_ && w.line == line;
-  });
+std::size_t SetAssocCache::access_batch(std::span<const Addr> lines) {
+  std::size_t hits = 0;
+  for (const Addr line : lines) hits += access(line) ? 1 : 0;
+  return hits;
 }
 
 void SetAssocCache::set_partition(unsigned reserved_ways) {
@@ -82,107 +44,121 @@ std::optional<Addr> SetAssocCache::fill(Addr line, FillReason reason,
 
 std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     Addr line, FillReason reason, LineClass cls, bool dirty) {
-  Set& set = set_for(line);
-  purge(set);
+  const std::size_t s = set_index(line);
+  Addr* tags = set_tags(s);
+  Meta* meta = set_meta(s);
   SEMPERM_AUDIT_ONLY(++audit_fill_calls_;)
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].line == line) {
-      // Refresh LRU position; heater touches re-mark the line so coverage
-      // accounting reflects the most recent provider.
-      Way w = set[i];
-      if (reason == FillReason::kHeater) {
-        SEMPERM_AUDIT_ONLY(if (w.reason != FillReason::kHeater)
-                               ++audit_heater_remarks_;)
-        w.reason = FillReason::kHeater;
-      }
-      w.cls = cls;
-      SEMPERM_AUDIT_ONLY(if (dirty && !w.dirty) ++audit_dirty_marks_;)
-      w.dirty = w.dirty || dirty;
-      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-      set.insert(set.begin(), w);
-      SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
-                                            set_count_);
-                         audit_stats();)
-      return std::nullopt;
+  if (const std::size_t i = find_way(tags, meta, line); i < assoc_) {
+    // Refresh LRU position; heater touches re-mark the line so coverage
+    // accounting reflects the most recent provider.
+    Meta m = meta[i];
+    if (reason == FillReason::kHeater) {
+      SEMPERM_AUDIT_ONLY(if (reason_of(m) != FillReason::kHeater)
+                             ++audit_heater_remarks_;)
+      m = (m & ~kReasonMask) |
+          (static_cast<Meta>(FillReason::kHeater) << kReasonShift);
     }
+    m = cls == LineClass::kNetwork ? (m | kNetworkBit) : (m & ~kNetworkBit);
+    SEMPERM_AUDIT_ONLY(if (dirty && !is_dirty(m)) ++audit_dirty_marks_;)
+    if (dirty) m |= kDirtyBit;
+    move_to_front(tags, meta, i, line, m);
+    SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
+    return std::nullopt;
   }
   if (reason == FillReason::kPrefetch) ++stats_.prefetch_fills;
   if (reason == FillReason::kHeater) ++stats_.heater_fills;
 
+  // Pick the insertion hole: the first stale way, or the evicted victim's
+  // slot. Stale ways act as free capacity — they are exactly what the
+  // eager purge used to erase.
   std::optional<EvictedWay> evicted;
+  std::size_t hole = assoc_;
   if (reserved_ways_ == 0) {
     // Unpartitioned: one LRU pool.
-    if (set.size() >= assoc_) {
-      evicted = EvictedWay{set.back().line, set.back().dirty};
-      set.pop_back();
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < assoc_; ++i) {
+      if (way_live(meta[i]))
+        ++live;
+      else if (hole == assoc_)
+        hole = i;
+    }
+    if (live >= assoc_) {
+      hole = assoc_ - 1;  // every way live: the last one is the LRU
+      evicted = EvictedWay{tags[hole], is_dirty(meta[hole])};
       ++stats_.evictions;
     }
   } else {
     // Partitioned: each class evicts within its own way quota.
-    const std::size_t quota = cls == LineClass::kNetwork
-                                  ? reserved_ways_
-                                  : assoc_ - reserved_ways_;
+    const bool network = cls == LineClass::kNetwork;
+    const std::size_t quota =
+        network ? reserved_ways_ : assoc_ - reserved_ways_;
     std::size_t in_class = 0;
-    for (const Way& w : set)
-      if (w.cls == cls) ++in_class;
-    if (in_class >= quota) {
-      // Evict the LRU way of this class.
-      for (std::size_t i = set.size(); i-- > 0;) {
-        if (set[i].cls == cls) {
-          evicted = EvictedWay{set[i].line, set[i].dirty};
-          set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-          ++stats_.evictions;
-          break;
+    std::size_t victim = assoc_;
+    for (std::size_t i = 0; i < assoc_; ++i) {
+      if (way_live(meta[i])) {
+        if (is_network(meta[i]) == network) {
+          ++in_class;
+          victim = i;  // ends at the LRU-most live way of this class
         }
+      } else if (hole == assoc_) {
+        hole = i;
       }
+    }
+    if (in_class >= quota) {
+      hole = victim;
+      evicted = EvictedWay{tags[hole], is_dirty(meta[hole])};
+      ++stats_.evictions;
     }
   }
   if (evicted && evicted->dirty) ++stats_.writebacks;
   SEMPERM_AUDIT_ONLY(if (dirty) ++audit_dirty_marks_;)
-  set.insert(set.begin(), Way{line, epoch_, reason, cls, dirty});
-  SEMPERM_AUDIT_ONLY(audit_set(set, static_cast<std::size_t>(line) %
-                                        set_count_);
-                     audit_stats();)
+  SEMPERM_ASSERT_MSG(hole < assoc_, name_ << " has no way left for line "
+                                          << line << " (partition overfull)");
+  move_to_front(tags, meta, hole, line, pack(epoch_, reason, cls, dirty));
+  SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
   return evicted;
 }
 
+bool SetAssocCache::touch_fill(Addr line, FillReason reason, LineClass cls) {
+  const std::size_t s = set_index(line);
+  const bool resident = find_way(set_tags(s), set_meta(s), line) < assoc_;
+  fill_line(line, reason, cls);
+  return resident;
+}
+
 bool SetAssocCache::mark_dirty(Addr line) {
-  Set& set = set_for(line);
-  for (Way& w : set) {
-    if (w.epoch == epoch_ && w.line == line) {
-      SEMPERM_AUDIT_ONLY(if (!w.dirty) ++audit_dirty_marks_;)
-      w.dirty = true;
-      return true;
-    }
-  }
-  return false;
+  const std::size_t s = set_index(line);
+  Meta* meta = set_meta(s);
+  const std::size_t i = find_way(set_tags(s), meta, line);
+  if (i == assoc_) return false;
+  SEMPERM_AUDIT_ONLY(if (!is_dirty(meta[i])) ++audit_dirty_marks_;)
+  meta[i] |= kDirtyBit;
+  return true;
 }
 
 bool SetAssocCache::line_dirty(Addr line) const {
-  const Set& set = set_for(line);
-  for (const Way& w : set)
-    if (w.epoch == epoch_ && w.line == line) return w.dirty;
-  return false;
+  const std::size_t s = set_index(line);
+  const Meta* meta = set_meta(s);
+  const std::size_t i = find_way(set_tags(s), meta, line);
+  return i < assoc_ && is_dirty(meta[i]);
 }
 
 void SetAssocCache::invalidate(Addr line) {
-  Set& set = set_for(line);
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    if (set[i].epoch == epoch_ && set[i].line == line) {
-      if (set[i].dirty) ++stats_.writebacks;
-      set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
-      return;
-    }
-  }
+  const std::size_t s = set_index(line);
+  Meta* meta = set_meta(s);
+  const std::size_t i = find_way(set_tags(s), meta, line);
+  if (i == assoc_) return;
+  if (is_dirty(meta[i])) ++stats_.writebacks;
+  meta[i] = pack(kStaleEpoch, FillReason::kDemand, LineClass::kNormal, false);
 }
 
 void SetAssocCache::flush() {
   // Dirty residents are written back by the flush (the epoch bump is lazy,
   // so account for them eagerly here).
-  for (const auto& set : sets_)
-    for (const Way& w : set)
-      if (w.epoch == epoch_ && w.dirty) ++stats_.writebacks;
+  for (const Meta m : meta_)
+    if (way_live(m) && is_dirty(m)) ++stats_.writebacks;
   ++epoch_;
+  SEMPERM_ASSERT(epoch_ < kStaleEpoch);
 }
 
 void SetAssocCache::pollute(std::size_t bytes) {
@@ -196,20 +172,21 @@ void SetAssocCache::pollute(std::size_t bytes) {
   // The compute stream is ordinary traffic: with a partition configured it
   // competes only for the normal ways and cannot displace network lines.
   const std::size_t normal_capacity = assoc_ - reserved_ways_;
-  for (auto& set : sets_) {
-    purge(set);
+  for (std::size_t s = 0; s < set_count_; ++s) {
+    Meta* meta = set_meta(s);
     // The stream's lines and the residents compete for the normal ways;
     // only the overflow (LRU-first) is displaced. A set holding few lines
     // keeps them all — this is how a large LLC retains match state.
     std::size_t normal = 0;
-    for (const Way& w : set)
-      if (w.cls == LineClass::kNormal) ++normal;
+    for (std::size_t i = 0; i < assoc_; ++i)
+      if (way_live(meta[i]) && !is_network(meta[i])) ++normal;
     if (normal + per_set <= normal_capacity) continue;
     std::size_t drop = normal + per_set - normal_capacity;
-    for (std::size_t i = set.size(); i-- > 0 && drop > 0;) {
-      if (set[i].cls == LineClass::kNormal) {
-        if (set[i].dirty) ++stats_.writebacks;
-        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+    for (std::size_t i = assoc_; i-- > 0 && drop > 0;) {
+      if (way_live(meta[i]) && !is_network(meta[i])) {
+        if (is_dirty(meta[i])) ++stats_.writebacks;
+        meta[i] = pack(kStaleEpoch, FillReason::kDemand, LineClass::kNormal,
+                       false);
         --drop;
       }
     }
@@ -218,48 +195,54 @@ void SetAssocCache::pollute(std::size_t bytes) {
 
 std::size_t SetAssocCache::resident_lines_filled_by(FillReason reason) const {
   std::size_t n = 0;
-  for (const auto& s : sets_)
-    n += static_cast<std::size_t>(std::count_if(
-        s.begin(), s.end(), [this, reason](const Way& w) {
-          return w.epoch == epoch_ && w.reason == reason;
-        }));
+  for (const Meta m : meta_)
+    if (way_live(m) && reason_of(m) == reason) ++n;
   return n;
 }
 
 std::size_t SetAssocCache::resident_lines() const {
   std::size_t n = 0;
-  for (const auto& s : sets_)
-    n += static_cast<std::size_t>(
-        std::count_if(s.begin(), s.end(),
-                      [this](const Way& w) { return w.epoch == epoch_; }));
+  for (const Meta m : meta_)
+    if (way_live(m)) ++n;
   return n;
+}
+
+void SetAssocCache::reset_stats() {
+  stats_ = CacheStats{};
+  SEMPERM_AUDIT_ONLY(
+      audit_accesses_ = 0; audit_fill_calls_ = 0; audit_dirty_marks_ = 0;
+      audit_heater_remarks_ = 0; audit_prefetch_base_ = 0;
+      audit_heater_base_ = 0; audit_prev_stats_ = CacheStats{};
+      // Resident state survives a stats reset: dirty lines will still be
+      // written back and prefetched/heated lines still earn coverage
+      // hits, so the conservation bounds must start from what is already
+      // in the cache, not from zero.
+      for (const Meta m : meta_) {
+        if (!way_live(m)) continue;
+        if (is_dirty(m)) ++audit_dirty_marks_;
+        if (reason_of(m) == FillReason::kPrefetch) ++audit_prefetch_base_;
+        if (reason_of(m) == FillReason::kHeater) ++audit_heater_base_;
+      })
 }
 
 #if SEMPERM_AUDIT
 
-void SetAssocCache::audit_set(const Set& set, std::size_t set_idx) const {
-  SEMPERM_AUDIT_CHECK(set.size() <= assoc_,
-                      name_ << " set " << set_idx << " holds " << set.size()
-                            << " ways, associativity is " << assoc_);
+void SetAssocCache::audit_set(std::size_t set_idx) const {
+  const Addr* tags = set_tags(set_idx);
+  const Meta* meta = set_meta(set_idx);
   std::size_t network_ways = 0;
   std::size_t normal_ways = 0;
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    const Way& w = set[i];
-    // The per-op hooks audit just-purged sets, so every way is current.
-    SEMPERM_AUDIT_CHECK(w.epoch == epoch_,
-                        name_ << " set " << set_idx << " way " << i
-                              << " carries stale epoch " << w.epoch
-                              << " (current " << epoch_ << ')');
-    SEMPERM_AUDIT_CHECK(static_cast<std::size_t>(w.line) % set_count_ ==
-                            set_idx,
-                        name_ << " line " << w.line
+  for (std::size_t i = 0; i < assoc_; ++i) {
+    if (!way_live(meta[i])) continue;
+    SEMPERM_AUDIT_CHECK(set_index(tags[i]) == set_idx,
+                        name_ << " line " << tags[i]
                               << " indexed into the wrong set " << set_idx);
-    w.cls == LineClass::kNetwork ? ++network_ways : ++normal_ways;
-    for (std::size_t j = i + 1; j < set.size(); ++j)
-      SEMPERM_AUDIT_CHECK(set[j].line != w.line,
+    is_network(meta[i]) ? ++network_ways : ++normal_ways;
+    for (std::size_t j = i + 1; j < assoc_; ++j)
+      SEMPERM_AUDIT_CHECK(!(way_live(meta[j]) && tags[j] == tags[i]),
                           name_ << " set " << set_idx
                                 << " LRU stack is not a permutation: line "
-                                << w.line << " appears twice");
+                                << tags[i] << " appears twice");
   }
   if (reserved_ways_ > 0) {
     SEMPERM_AUDIT_CHECK(network_ways <= reserved_ways_,
@@ -318,25 +301,37 @@ void SetAssocCache::audit_stats() const {
 }
 
 void SetAssocCache::audit() const {
-  for (std::size_t idx = 0; idx < sets_.size(); ++idx) {
-    // The full walk tolerates stale epochs (flush() purges lazily): audit
-    // only the live ways, which is what audit_set() expects.
-    Set live;
-    for (const Way& w : sets_[idx])
-      if (w.epoch == epoch_) live.push_back(w);
-    audit_set(live, idx);
-  }
+  for (std::size_t idx = 0; idx < set_count_; ++idx) audit_set(idx);
   audit_stats();
   SEMPERM_AUDIT_CHECK(resident_lines() <= set_count_ * assoc_,
                       name_ << " resident lines exceed capacity");
 }
 
 void SetAssocCache::audit_corrupt_lru_for_test(Addr line) {
-  Set& set = set_for(line);
-  purge(set);
-  SEMPERM_ASSERT_MSG(!set.empty(), "cannot corrupt an empty set");
-  set.push_back(set.front());  // duplicate MRU way: stack no longer a
-                               // permutation
+  const std::size_t s = set_index(line);
+  Addr* tags = set_tags(s);
+  Meta* meta = set_meta(s);
+  std::size_t mru = assoc_;
+  for (std::size_t i = 0; i < assoc_; ++i) {
+    if (way_live(meta[i])) {
+      mru = i;
+      break;
+    }
+  }
+  SEMPERM_ASSERT_MSG(mru < assoc_, "cannot corrupt an empty set");
+  // Duplicate the MRU way into another slot (a stale hole if one exists):
+  // the stack is no longer a permutation.
+  std::size_t target = assoc_;
+  for (std::size_t i = 0; i < assoc_; ++i) {
+    if (i != mru && !way_live(meta[i])) {
+      target = i;
+      break;
+    }
+  }
+  if (target == assoc_) target = (mru == assoc_ - 1) ? 0 : assoc_ - 1;
+  SEMPERM_ASSERT_MSG(target != mru, "cannot corrupt a 1-way set");
+  tags[target] = tags[mru];
+  meta[target] = meta[mru];
 }
 
 #else

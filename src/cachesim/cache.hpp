@@ -6,10 +6,20 @@
 // cache answers hit/miss, tracking which resident lines arrived via
 // prefetch so the hierarchy can attribute "prefetch covered this demand
 // access" statistics (the mechanism behind the paper's Fig. 4/5 analysis).
+//
+// Storage is a flat structure-of-arrays (DESIGN.md §10): one contiguous
+// tag array plus one packed 64-bit metadata word per way, both indexed
+// [set * assoc + way]. Each set's block is kept in LRU order (way 0 = MRU)
+// by rotating POD words, so the per-access cost is a short contiguous tag
+// scan plus at most one memmove — no per-access allocation, no erase_if.
+// flush() is an O(1) epoch bump; ways from flushed epochs are treated as
+// holes by every scan (the single `way_live` predicate) and their slots
+// are reclaimed lazily by later fills.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,19 +61,76 @@ struct CacheStats {
   }
 };
 
+/// Magic constant for fastmod64: ceil(2^128 / d), d > 1 and not a power of
+/// two (power-of-two divisors take the mask path instead).
+inline unsigned __int128 fastmod_magic(std::uint64_t d) {
+  return ~static_cast<unsigned __int128>(0) / d + 1;
+}
+
+/// Exact n % d without a divide (Lemire, Kaser & Kurz, "Faster remainder by
+/// direct computation", 2019): with M = ceil(2^128 / d), the remainder is
+/// the high 64 bits of (M * n mod 2^128) * d. Bit-identical to `n % d` for
+/// every 64-bit n, so sliced non-power-of-two LLCs keep the exact set
+/// mapping (and therefore the exact simulated statistics) of the modulo
+/// implementation it replaces.
+inline std::uint64_t fastmod64(std::uint64_t n, std::uint64_t d,
+                               unsigned __int128 M) {
+  const unsigned __int128 lowbits = M * n;
+  const unsigned __int128 top =
+      static_cast<unsigned __int128>(static_cast<std::uint64_t>(lowbits >> 64)) *
+      d;
+  const unsigned __int128 bottom =
+      static_cast<unsigned __int128>(static_cast<std::uint64_t>(lowbits)) * d;
+  return static_cast<std::uint64_t>((top + (bottom >> 64)) >> 64);
+}
+
 class SetAssocCache {
  public:
   /// `size_bytes` total capacity, `assoc` ways. size must be a multiple of
-  /// assoc * 64 and yield a power-of-two set count.
+  /// assoc * 64; any set count (power-of-two or sliced) is accepted.
   SetAssocCache(std::string name, std::size_t size_bytes, unsigned assoc);
 
   /// Demand access to `line` (a cache-line index, not a byte address).
   /// Returns true on hit. On hit the line becomes most-recently-used and
-  /// prefetch/heater coverage is recorded.
-  bool access(Addr line);
+  /// prefetch/heater coverage is recorded. Defined inline: this is the hot
+  /// path, and keeping it visible lets access_batch() and the hierarchy's
+  /// streaming loop collapse it into straight-line code.
+  bool access(Addr line) {
+    const std::size_t s = set_index(line);
+    Addr* tags = set_tags(s);
+    Meta* meta = set_meta(s);
+    SEMPERM_AUDIT_ONLY(++audit_accesses_;)
+    const std::size_t i = find_way(tags, meta, line);
+    if (i == assoc_) {
+      ++stats_.demand_misses;
+      SEMPERM_AUDIT_ONLY(audit_stats();)
+      return false;
+    }
+    ++stats_.demand_hits;
+    Meta m = meta[i];
+    const FillReason r = reason_of(m);
+    if (r != FillReason::kDemand) {
+      if (r == FillReason::kPrefetch)
+        ++stats_.prefetch_hits;
+      else
+        ++stats_.heater_hits;
+      m &= ~kReasonMask;  // count first use only: re-mark kDemand
+    }
+    move_to_front(tags, meta, i, line, m);
+    SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
+    return true;
+  }
+
+  /// Demand-access every line in `lines` (identical per-line semantics to
+  /// access(), amortising the call overhead for streaming callers).
+  /// Returns the number of hits.
+  std::size_t access_batch(std::span<const Addr> lines);
 
   /// Probe without updating LRU or statistics.
-  bool contains(Addr line) const;
+  bool contains(Addr line) const {
+    const std::size_t s = set_index(line);
+    return find_way(set_tags(s), set_meta(s), line) < assoc_;
+  }
 
   /// An eviction produced by fill_line: which line left, and whether it was
   /// dirty (the caller owns the resulting writeback, e.g. to the next level).
@@ -87,6 +154,13 @@ class SetAssocCache {
                                       LineClass cls = LineClass::kNormal,
                                       bool dirty = false);
 
+  /// contains() + fill() fused into one set walk: returns true if the line
+  /// was already resident before the (LRU-refreshing) fill. Statistics are
+  /// identical to the unfused pair; heater streams use this to count cold
+  /// lines without probing the set twice.
+  bool touch_fill(Addr line, FillReason reason,
+                  LineClass cls = LineClass::kNormal);
+
   /// Set the dirty bit of a resident line (a write-back cache records the
   /// store; the data moves only on displacement). Returns false if absent.
   bool mark_dirty(Addr line);
@@ -105,7 +179,7 @@ class SetAssocCache {
 
   /// Drop everything (the paper's modified micro-benchmarks clear the cache
   /// between iterations to emulate a compute phase, §4.1). O(1): bumps an
-  /// epoch; stale ways are lazily purged on the next touch of their set.
+  /// epoch; stale ways become holes that later fills reclaim.
   void flush();
 
   /// Model a compute phase streaming `bytes` of unrelated data through the
@@ -117,30 +191,13 @@ class SetAssocCache {
   void pollute(std::size_t bytes);
 
   const CacheStats& stats() const { return stats_; }
-  void reset_stats() {
-    stats_ = CacheStats{};
-    SEMPERM_AUDIT_ONLY(
-        audit_accesses_ = 0; audit_fill_calls_ = 0; audit_dirty_marks_ = 0;
-        audit_heater_remarks_ = 0; audit_prefetch_base_ = 0;
-        audit_heater_base_ = 0; audit_prev_stats_ = CacheStats{};
-        // Resident state survives a stats reset: dirty lines will still be
-        // written back and prefetched/heated lines still earn coverage
-        // hits, so the conservation bounds must start from what is already
-        // in the cache, not from zero.
-        for (const auto& set : sets_)
-          for (const auto& w : set) {
-            if (w.epoch != epoch_) continue;
-            if (w.dirty) ++audit_dirty_marks_;
-            if (w.reason == FillReason::kPrefetch) ++audit_prefetch_base_;
-            if (w.reason == FillReason::kHeater) ++audit_heater_base_;
-          })
-  }
+  void reset_stats();
 
   /// Full structural + accounting audit (see DESIGN.md § Invariant audits):
-  /// every set is a valid LRU stack (distinct lines of the current epoch,
-  /// correctly indexed, within associativity and partition quotas) and the
-  /// counters obey their conservation laws (hits + misses == accesses,
-  /// evictions bounded by fills, writebacks bounded by dirty transitions,
+  /// every set is a valid LRU stack (distinct live lines, correctly
+  /// indexed, within associativity and partition quotas) and the counters
+  /// obey their conservation laws (hits + misses == accesses, evictions
+  /// bounded by fills, writebacks bounded by dirty transitions,
   /// prefetch/heater coverage bounded by fills, all counters monotone).
   /// Throws semperm::check::AuditError. No-op unless SEMPERM_AUDIT. The
   /// per-access hooks audit only the touched set (O(assoc)); this walks
@@ -156,7 +213,16 @@ class SetAssocCache {
   const std::string& name() const { return name_; }
   std::size_t size_bytes() const { return size_bytes_; }
   unsigned associativity() const { return assoc_; }
-  std::size_t set_count() const { return sets_.size(); }
+  std::size_t set_count() const { return set_count_; }
+
+  /// Set index of `line`: a mask for power-of-two set counts, Lemire
+  /// fastmod (exact `line % set_count`, no divide) for sliced LLCs.
+  std::size_t set_index(Addr line) const {
+    return fastmod_magic_ == 0
+               ? static_cast<std::size_t>(line & set_mask_)
+               : static_cast<std::size_t>(
+                     fastmod64(line, set_count_, fastmod_magic_));
+  }
 
   /// Number of currently valid lines (for occupancy reporting).
   std::size_t resident_lines() const;
@@ -167,24 +233,71 @@ class SetAssocCache {
   std::size_t resident_lines_filled_by(FillReason reason) const;
 
  private:
-  struct Way {
-    Addr line = 0;
-    std::uint64_t epoch = 0;
-    FillReason reason = FillReason::kDemand;
-    LineClass cls = LineClass::kNormal;
-    bool dirty = false;
-  };
-  // Each set is kept in LRU order: front = most recent.
-  using Set = std::vector<Way>;
+  // Packed per-way metadata word: [63:8] fill epoch, [3:2] FillReason,
+  // [1] LineClass, [0] dirty. A way is live iff its epoch field equals the
+  // cache's current epoch; flush() bumps the epoch, invalidate() stamps the
+  // never-current kStaleEpoch.
+  using Meta = std::uint64_t;
+  static constexpr Meta kDirtyBit = 1;
+  static constexpr Meta kNetworkBit = 2;
+  static constexpr unsigned kReasonShift = 2;
+  static constexpr Meta kReasonMask = Meta{3} << kReasonShift;
+  static constexpr unsigned kEpochShift = 8;
+  static constexpr std::uint64_t kStaleEpoch =
+      (std::uint64_t{1} << (64 - kEpochShift)) - 1;
 
-  Set& set_for(Addr line);
-  const Set& set_for(Addr line) const;
-  /// Drop ways from flushed epochs.
-  void purge(Set& set);
+  static Meta pack(std::uint64_t epoch, FillReason reason, LineClass cls,
+                   bool dirty) {
+    return (epoch << kEpochShift) |
+           (static_cast<Meta>(reason) << kReasonShift) |
+           (cls == LineClass::kNetwork ? kNetworkBit : 0) | (dirty ? 1 : 0);
+  }
+  static FillReason reason_of(Meta m) {
+    return static_cast<FillReason>((m & kReasonMask) >> kReasonShift);
+  }
+  static bool is_network(Meta m) { return (m & kNetworkBit) != 0; }
+  static bool is_dirty(Meta m) { return (m & kDirtyBit) != 0; }
+
+  /// THE validity predicate: every scan — access, contains, fills,
+  /// footprint and coverage accounting — filters stale-epoch ways through
+  /// this one test, so they all agree after flush()/reset().
+  bool way_live(Meta m) const { return (m >> kEpochShift) == epoch_; }
+
+  /// Find the live way holding `line` in the set block, or assoc_ if the
+  /// line is not resident. One short scan over the contiguous tag array;
+  /// stale-epoch ways are filtered lazily right here in the tag compare (a
+  /// stale hole may keep its leftover tag), so no eager purge ever runs.
+  std::size_t find_way(const Addr* tags, const Meta* meta, Addr line) const {
+    for (std::size_t i = 0; i < assoc_; ++i)
+      if (tags[i] == line && way_live(meta[i])) return i;
+    return assoc_;
+  }
+
+  /// Rotate ways [0, i] of a set block right by one and write (`line`, `m`)
+  /// at the MRU slot — the in-set move-to-front of POD words. i < assoc is
+  /// small, so the inline backward copy beats a libc memmove call.
+  static void move_to_front(Addr* tags, Meta* meta, std::size_t i, Addr line,
+                            Meta m) {
+    for (std::size_t j = i; j > 0; --j) {
+      tags[j] = tags[j - 1];
+      meta[j] = meta[j - 1];
+    }
+    tags[0] = line;
+    meta[0] = m;
+  }
+
+  Addr* set_tags(std::size_t set) { return tags_.data() + set * assoc_; }
+  const Addr* set_tags(std::size_t set) const {
+    return tags_.data() + set * assoc_;
+  }
+  Meta* set_meta(std::size_t set) { return meta_.data() + set * assoc_; }
+  const Meta* set_meta(std::size_t set) const {
+    return meta_.data() + set * assoc_;
+  }
 
 #if SEMPERM_AUDIT
-  /// Audit one (just-purged) set: O(assoc²) duplicate scan + quota checks.
-  void audit_set(const Set& set, std::size_t set_idx) const;
+  /// Audit one set: O(assoc²) duplicate scan + quota checks over live ways.
+  void audit_set(std::size_t set_idx) const;
   /// O(1) counter conservation + monotonicity checks.
   void audit_stats() const;
 #endif
@@ -193,9 +306,12 @@ class SetAssocCache {
   std::size_t size_bytes_;
   unsigned assoc_;
   std::size_t set_count_;
+  Addr set_mask_ = 0;                  // set_count - 1 when a power of two
+  unsigned __int128 fastmod_magic_ = 0;  // nonzero selects the fastmod path
   std::uint64_t epoch_ = 0;
   unsigned reserved_ways_ = 0;
-  std::vector<Set> sets_;
+  std::vector<Addr> tags_;  // [set * assoc + way]
+  std::vector<Meta> meta_;  // [set * assoc + way], parallel to tags_
   CacheStats stats_;
   // Audit-only shadow counters (mutable: audits run from const context).
   // audit_accesses_ counts access() calls; audit_fill_calls_ counts

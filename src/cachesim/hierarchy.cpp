@@ -52,6 +52,13 @@ Cycles Hierarchy::access(Addr addr, std::size_t bytes, bool write) {
   return total;
 }
 
+Cycles Hierarchy::simulate(std::span<const Addr> lines, bool write) {
+  Cycles total = 0;
+  for (const Addr line : lines) total += access_line(line, write);
+  stats_.accesses += lines.size();
+  return total;
+}
+
 Cycles Hierarchy::access_line(Addr line, bool write) {
   // Write-allocate, write-back: stores have identical timing to loads; the
   // dirty bit records the deferred writeback charged on displacement.
@@ -162,8 +169,8 @@ std::uint64_t Hierarchy::heater_touch(Addr addr, std::size_t bytes) {
     const LineClass cls = !network_ranges_.empty() && is_network_line(line)
                               ? LineClass::kNetwork
                               : LineClass::kNormal;
-    if (!llc.contains(line)) ++cold;
-    llc.fill(line, FillReason::kHeater, cls);
+    // Fused probe+fill: one set walk per heated line.
+    if (!llc.touch_fill(line, FillReason::kHeater, cls)) ++cold;
   }
   return cold;
 }

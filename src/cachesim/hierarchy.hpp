@@ -21,6 +21,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,13 @@ class Hierarchy {
 
   /// Demand access to a single cache line index.
   Cycles access_line(Addr line, bool write = false);
+
+  /// Stream a batch of cache-line indices through the hierarchy: identical
+  /// modelled state and per-level statistics to calling access_line() per
+  /// element (each element counts as one access), without the per-line
+  /// call/dispatch overhead. This is the entry point trace replayers, the
+  /// motifs, and the heater use to stream lines.
+  Cycles simulate(std::span<const Addr> lines, bool write = false);
 
   /// Clear all cache levels and prefetcher state (emulated compute phase /
   /// cache clear between iterations, paper §4.1).

@@ -32,6 +32,12 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Structured access for machine-readable emitters (JSON reports).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row_data(std::size_t i) const {
+    return rows_.at(i);
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

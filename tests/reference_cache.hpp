@@ -1,0 +1,263 @@
+// tests/reference_cache.hpp
+//
+// The pre-SoA, list-based SetAssocCache, retained verbatim (minus the
+// audit hooks) as the golden reference for the flat structure-of-arrays
+// rewrite. tests/test_cache_golden.cpp replays randomized traces through
+// both implementations and requires bit-identical statistics, eviction
+// decisions, and resident sets; bench/bench_selfperf.cpp runs it on the
+// same streams to report the rewrite's speedup. Do not "optimise" this
+// file: its value is being the old implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace semperm::cachesim::testing {
+
+/// The seed repo's AoS cache: per set, a vector of Way records kept in LRU
+/// order, eagerly purged of stale epochs on every touch.
+class ReferenceSetAssocCache {
+ public:
+  ReferenceSetAssocCache(std::string name, std::size_t size_bytes,
+                         unsigned assoc)
+      : name_(std::move(name)), size_bytes_(size_bytes), assoc_(assoc) {
+    SEMPERM_ASSERT(assoc_ > 0);
+    SEMPERM_ASSERT(size_bytes_ %
+                       (static_cast<std::size_t>(assoc_) * kCacheLine) ==
+                   0);
+    set_count_ = size_bytes_ / (assoc_ * kCacheLine);
+    sets_.resize(set_count_);
+    for (auto& s : sets_) s.reserve(assoc_);
+  }
+
+  bool access(Addr line) {
+    Set& set = set_for(line);
+    purge(set);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (set[i].line == line) {
+        ++stats_.demand_hits;
+        if (set[i].reason == FillReason::kPrefetch) {
+          ++stats_.prefetch_hits;
+          set[i].reason = FillReason::kDemand;  // count first use only
+        } else if (set[i].reason == FillReason::kHeater) {
+          ++stats_.heater_hits;
+          set[i].reason = FillReason::kDemand;
+        }
+        Way hit = set[i];
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        set.insert(set.begin(), hit);
+        return true;
+      }
+    }
+    ++stats_.demand_misses;
+    return false;
+  }
+
+  bool contains(Addr line) const {
+    const Set& set = set_for(line);
+    return std::any_of(set.begin(), set.end(), [this, line](const Way& w) {
+      return w.epoch == epoch_ && w.line == line;
+    });
+  }
+
+  struct EvictedWay {
+    Addr line;
+    bool dirty;
+  };
+
+  std::optional<Addr> fill(Addr line, FillReason reason,
+                           LineClass cls = LineClass::kNormal) {
+    const auto evicted = fill_line(line, reason, cls);
+    if (!evicted) return std::nullopt;
+    return evicted->line;
+  }
+
+  std::optional<EvictedWay> fill_line(Addr line, FillReason reason,
+                                      LineClass cls = LineClass::kNormal,
+                                      bool dirty = false) {
+    Set& set = set_for(line);
+    purge(set);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (set[i].line == line) {
+        Way w = set[i];
+        if (reason == FillReason::kHeater) w.reason = FillReason::kHeater;
+        w.cls = cls;
+        w.dirty = w.dirty || dirty;
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        set.insert(set.begin(), w);
+        return std::nullopt;
+      }
+    }
+    if (reason == FillReason::kPrefetch) ++stats_.prefetch_fills;
+    if (reason == FillReason::kHeater) ++stats_.heater_fills;
+
+    std::optional<EvictedWay> evicted;
+    if (reserved_ways_ == 0) {
+      if (set.size() >= assoc_) {
+        evicted = EvictedWay{set.back().line, set.back().dirty};
+        set.pop_back();
+        ++stats_.evictions;
+      }
+    } else {
+      const std::size_t quota = cls == LineClass::kNetwork
+                                    ? reserved_ways_
+                                    : assoc_ - reserved_ways_;
+      std::size_t in_class = 0;
+      for (const Way& w : set)
+        if (w.cls == cls) ++in_class;
+      if (in_class >= quota) {
+        for (std::size_t i = set.size(); i-- > 0;) {
+          if (set[i].cls == cls) {
+            evicted = EvictedWay{set[i].line, set[i].dirty};
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+            ++stats_.evictions;
+            break;
+          }
+        }
+      }
+    }
+    if (evicted && evicted->dirty) ++stats_.writebacks;
+    set.insert(set.begin(), Way{line, epoch_, reason, cls, dirty});
+    return evicted;
+  }
+
+  /// The fused probe+fill, expressed over the reference primitives.
+  bool touch_fill(Addr line, FillReason reason,
+                  LineClass cls = LineClass::kNormal) {
+    const bool resident = contains(line);
+    fill_line(line, reason, cls);
+    return resident;
+  }
+
+  bool mark_dirty(Addr line) {
+    Set& set = set_for(line);
+    for (Way& w : set) {
+      if (w.epoch == epoch_ && w.line == line) {
+        w.dirty = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool line_dirty(Addr line) const {
+    const Set& set = set_for(line);
+    for (const Way& w : set)
+      if (w.epoch == epoch_ && w.line == line) return w.dirty;
+    return false;
+  }
+
+  void set_partition(unsigned reserved_ways) {
+    SEMPERM_ASSERT_MSG(reserved_ways < assoc_,
+                       "partition must leave at least one normal way");
+    reserved_ways_ = reserved_ways;
+  }
+
+  void invalidate(Addr line) {
+    Set& set = set_for(line);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (set[i].epoch == epoch_ && set[i].line == line) {
+        if (set[i].dirty) ++stats_.writebacks;
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  void flush() {
+    for (const auto& set : sets_)
+      for (const Way& w : set)
+        if (w.epoch == epoch_ && w.dirty) ++stats_.writebacks;
+    ++epoch_;
+  }
+
+  void pollute(std::size_t bytes) {
+    const std::size_t per_set =
+        (bytes / kCacheLine + set_count_ - 1) / set_count_;
+    if (reserved_ways_ == 0 && per_set >= assoc_) {
+      flush();
+      return;
+    }
+    const std::size_t normal_capacity = assoc_ - reserved_ways_;
+    for (auto& set : sets_) {
+      purge(set);
+      std::size_t normal = 0;
+      for (const Way& w : set)
+        if (w.cls == LineClass::kNormal) ++normal;
+      if (normal + per_set <= normal_capacity) continue;
+      std::size_t drop = normal + per_set - normal_capacity;
+      for (std::size_t i = set.size(); i-- > 0 && drop > 0;) {
+        if (set[i].cls == LineClass::kNormal) {
+          if (set[i].dirty) ++stats_.writebacks;
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+          --drop;
+        }
+      }
+    }
+  }
+
+  std::size_t resident_lines() const {
+    std::size_t n = 0;
+    for (const auto& s : sets_)
+      n += static_cast<std::size_t>(
+          std::count_if(s.begin(), s.end(),
+                        [this](const Way& w) { return w.epoch == epoch_; }));
+    return n;
+  }
+
+  std::size_t resident_lines_filled_by(FillReason reason) const {
+    std::size_t n = 0;
+    for (const auto& s : sets_)
+      n += static_cast<std::size_t>(std::count_if(
+          s.begin(), s.end(), [this, reason](const Way& w) {
+            return w.epoch == epoch_ && w.reason == reason;
+          }));
+    return n;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  const std::string& name() const { return name_; }
+  std::size_t size_bytes() const { return size_bytes_; }
+  unsigned associativity() const { return assoc_; }
+  std::size_t set_count() const { return set_count_; }
+
+ private:
+  struct Way {
+    Addr line = 0;
+    std::uint64_t epoch = 0;
+    FillReason reason = FillReason::kDemand;
+    LineClass cls = LineClass::kNormal;
+    bool dirty = false;
+  };
+  using Set = std::vector<Way>;
+
+  Set& set_for(Addr line) {
+    return sets_[static_cast<std::size_t>(line) % set_count_];
+  }
+  const Set& set_for(Addr line) const {
+    return sets_[static_cast<std::size_t>(line) % set_count_];
+  }
+  void purge(Set& set) {
+    std::erase_if(set, [this](const Way& w) { return w.epoch != epoch_; });
+  }
+
+  std::string name_;
+  std::size_t size_bytes_;
+  unsigned assoc_;
+  std::size_t set_count_;
+  std::uint64_t epoch_ = 0;
+  unsigned reserved_ways_ = 0;
+  std::vector<Set> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace semperm::cachesim::testing

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a bench_selfperf JSON report against a checked-in baseline.
+
+Usage: perf_compare.py BASELINE CURRENT [--max-regress 2.0]
+
+Every *_lines_per_sec metric present in the baseline must exist in the
+current report and must not be slower than baseline/max-regress. The bound
+is deliberately loose (2x by default): it catches "the simulator got
+pathologically slower" without tripping on runner-to-runner variance.
+Metrics only in the current report (new scenarios) are reported, not
+compared. Exit code 0 = ok, 1 = regression or missing metric.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=2.0,
+                    help="fail if current < baseline / this factor")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f).get("metrics", {})
+    with open(args.current) as f:
+        cur = json.load(f).get("metrics", {})
+
+    failures = []
+    for name, base_rate in sorted(base.items()):
+        if not name.endswith("_lines_per_sec"):
+            continue
+        if name not in cur:
+            failures.append(f"{name}: missing from current report")
+            continue
+        cur_rate = cur[name]
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        verdict = "ok"
+        if cur_rate < base_rate / args.max_regress:
+            verdict = f"REGRESSION (>{args.max_regress:g}x slower)"
+            failures.append(f"{name}: {base_rate:.3g} -> {cur_rate:.3g}")
+        print(f"{name:44s} {base_rate:12.4g} -> {cur_rate:12.4g} "
+              f"({ratio:5.2f}x)  {verdict}")
+
+    for name in sorted(set(cur) - set(base)):
+        if name.endswith("_lines_per_sec"):
+            print(f"{name:44s} {'new':>12s} -> {cur[name]:12.4g}")
+
+    if failures:
+        print("\nperf-smoke failed:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nperf-smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
