@@ -9,18 +9,99 @@
 // reproduce natively wherever the depth's working set spills a cache level.
 //
 // Also prints the Fig.-2 packing report for the 24-byte / 16-byte entries.
+//
+// Reporting goes through the shared bench_util funnel: --json / --filter /
+// --quick / --trace work like in every other bench main. Because the Cli
+// parser would reject google-benchmark's own --benchmark_* flags, the
+// funnel flags are pre-scanned out of argv here and the rest is handed to
+// benchmark::Initialize. --filter selects benchmarks by name substring;
+// --trace records on the wall clock (this binary never simulates).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
 #include "match/factory.hpp"
 #include "memlayout/layout.hpp"
 
 namespace {
 
 using namespace semperm;
+
+/// Remove `--name value` / `--name=value` from argv, returning the value
+/// (empty if absent).
+std::string take_string_flag(int& argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  const std::string prefix = bare + "=";
+  std::string value;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == bare && i + 1 < argc) {
+      value = argv[++i];
+      continue;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  return value;
+}
+
+/// Remove `--name` from argv, returning whether it was present.
+bool take_bool_flag(int& argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  bool present = false;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) {
+      present = true;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  return present;
+}
+
+/// Console output as usual, plus every finished run recorded as a row for
+/// the bench_util --json report.
+class FunnelReporter : public benchmark::ConsoleReporter {
+ public:
+  FunnelReporter()
+      : table_({"benchmark", "ns/op", "items/s", "search_depth"}) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      const auto items = run.counters.find("items_per_second");
+      const auto depth = run.counters.find("search_depth");
+      table_.add_row({run.benchmark_name(),
+                      Table::num(run.GetAdjustedRealTime()),
+                      items == run.counters.end()
+                          ? std::string("-")
+                          : Table::num(items->second.value),
+                      depth == run.counters.end()
+                          ? std::string("-")
+                          : Table::num(depth->second.value)});
+    }
+  }
+
+  const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+};
 
 struct QueueFixture {
   NativeMem mem;
@@ -108,20 +189,52 @@ void print_layout_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Funnel flags come out of argv before google-benchmark sees it. The
+  // filter selects benchmarks (not panels), so the report itself keeps an
+  // empty panel filter and the results table is always emitted.
+  const std::string json_path = take_string_flag(argc, argv, "json");
+  const std::string filter = take_string_flag(argc, argv, "filter");
+  const std::string trace_path = take_string_flag(argc, argv, "trace");
+  const std::string trace_csv = take_string_flag(argc, argv, "trace-csv");
+  const std::string sample_str = take_string_flag(argc, argv, "trace-sample");
+  const bool quick = take_bool_flag(argc, argv, "quick");
+  const bool csv = take_bool_flag(argc, argv, "csv");
+  bench::configure_report(json_path, /*filter=*/"");
+  std::uint64_t sample_every = 1;
+  if (!sample_str.empty()) {
+    const long long parsed = std::atoll(sample_str.c_str());
+    if (parsed > 0) sample_every = static_cast<std::uint64_t>(parsed);
+  }
+  bench::configure_trace(trace_path, trace_csv, sample_every,
+                         /*wall_clock=*/true);
+
   print_layout_report();
+  const auto selected = [&filter](const std::string& name) {
+    return filter.empty() || name.find(filter) != std::string::npos;
+  };
   const std::vector<std::string> labels = {"baseline", "lla-2",  "lla-8",
                                            "lla-32",   "ompi-64", "hash-256"};
   for (const auto& label : labels) {
-    auto* bench = benchmark::RegisterBenchmark(
-        ("match/" + label).c_str(),
-        [label](benchmark::State& st) { bm_match_at_depth(st, label); });
-    bench->Arg(0)->Arg(16)->Arg(256)->Arg(4096);
-    benchmark::RegisterBenchmark(
-        ("append_remove/" + label).c_str(),
-        [label](benchmark::State& st) { bm_append_remove(st, label); });
+    if (const std::string name = "match/" + label; selected(name)) {
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [label](benchmark::State& st) { bm_match_at_depth(st, label); });
+      if (quick)
+        bench->Arg(0)->Arg(256)->MinTime(0.01);
+      else
+        bench->Arg(0)->Arg(16)->Arg(256)->Arg(4096);
+    }
+    if (const std::string name = "append_remove/" + label; selected(name)) {
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [label](benchmark::State& st) { bm_append_remove(st, label); });
+      if (quick) bench->MinTime(0.01);
+    }
   }
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  FunnelReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  bench::emit("Native queue micro-benchmarks", reporter.table(), csv);
+  return bench::finish_report();
 }

@@ -1,7 +1,15 @@
 #include "bench/bench_util.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#if SEMPERM_TRACE
+#include "obs/export.hpp"
+#include "obs/session.hpp"
+#endif
 
 namespace semperm::bench {
 
@@ -11,6 +19,9 @@ namespace {
 struct ReportState {
   std::string json_path;
   std::string filter;
+  std::string trace_json_path;
+  std::string trace_csv_path;
+  bool trace_active = false;
   std::vector<std::pair<std::string, Table>> tables;
   std::vector<std::pair<std::string, double>> metrics;
 };
@@ -42,7 +53,19 @@ void append_json_string(std::string& out, const std::string& s) {
 
 std::string report_json() {
   const ReportState& r = report();
-  std::string out = "{\n  \"metrics\": {";
+  std::string out = "{\n  \"metrics_registry\": ";
+  out += obs::MetricsRegistry::global().to_json();
+  out += ",\n";
+#if SEMPERM_TRACE
+  if (r.trace_active) {
+    out += "  \"timeseries\": ";
+    out += obs::timeseries_json_fragment();
+    out += ",\n  \"trace_sinks\": ";
+    out += obs::sink_accounting_json_fragment();
+    out += ",\n";
+  }
+#endif
+  out += "  \"metrics\": {";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
     append_json_string(out, r.metrics[i].first);
@@ -87,11 +110,49 @@ void add_standard_flags(Cli& cli) {
   cli.add_string("json", "", "Also write every table and metric to this JSON file");
   cli.add_string("filter", "",
                  "Only compute/emit panels whose title contains this substring");
+  cli.add_string("trace", "",
+                 "Write a Chrome-trace/Perfetto JSON timeline to this file");
+  cli.add_string("trace-csv", "",
+                 "Write the counter-track timeseries as CSV to this file");
+  cli.add_int("trace-sample", 1,
+              "Keep every Nth span/instant trace event (counters always kept)");
 }
 
 void configure_report(const Cli& cli) {
   report().json_path = cli.get_string("json");
   report().filter = cli.get_string("filter");
+  const std::int64_t sample = cli.get_int("trace-sample");
+  configure_trace(cli.get_string("trace"), cli.get_string("trace-csv"),
+                  sample > 0 ? static_cast<std::uint64_t>(sample) : 1);
+}
+
+void configure_report(const std::string& json_path, const std::string& filter) {
+  report().json_path = json_path;
+  report().filter = filter;
+}
+
+void configure_trace(const std::string& trace_json_path,
+                     const std::string& timeseries_csv_path,
+                     std::uint64_t sample_every, bool wall_clock) {
+  ReportState& r = report();
+  r.trace_json_path = trace_json_path;
+  r.trace_csv_path = timeseries_csv_path;
+  if (trace_json_path.empty() && timeseries_csv_path.empty()) return;
+#if SEMPERM_TRACE
+  obs::TraceConfig cfg;
+  cfg.sample_every = sample_every == 0 ? 1 : sample_every;
+  cfg.domain =
+      wall_clock ? obs::ClockDomain::kWall : obs::ClockDomain::kSimulated;
+  obs::TraceSession::instance().start(cfg);
+  r.trace_active = true;
+#else
+  (void)sample_every;
+  (void)wall_clock;
+  std::fprintf(stderr,
+               "warning: --trace requested but tracing is compiled out; "
+               "rebuild with -DSEMPERM_TRACE=ON (no timeline will be "
+               "written)\n");
+#endif
 }
 
 bool panel_enabled(const std::string& title) {
@@ -116,7 +177,33 @@ void emit(const std::string& title, const Table& table, bool csv) {
 
 int finish_report() {
   const ReportState& r = report();
-  if (r.json_path.empty()) return 0;
+  int rc = 0;
+#if SEMPERM_TRACE
+  if (r.trace_active) {
+    obs::TraceSession::instance().stop();
+    if (!r.trace_json_path.empty()) {
+      std::ofstream os(r.trace_json_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     r.trace_json_path.c_str());
+        rc = 1;
+      } else {
+        obs::chrome_trace_json(os);
+      }
+    }
+    if (!r.trace_csv_path.empty()) {
+      std::ofstream os(r.trace_csv_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot write timeseries to %s\n",
+                     r.trace_csv_path.c_str());
+        rc = 1;
+      } else {
+        obs::timeseries_csv(os);
+      }
+    }
+  }
+#endif
+  if (r.json_path.empty()) return rc;
   std::FILE* f = std::fopen(r.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write JSON report to %s\n",
@@ -126,7 +213,7 @@ int finish_report() {
   const std::string json = report_json();
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
-  return 0;
+  return rc;
 }
 
 }  // namespace semperm::bench

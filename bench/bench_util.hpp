@@ -1,12 +1,16 @@
 // bench/bench_util.hpp
 //
 // Shared plumbing for the figure-reproduction binaries: standard sweeps,
-// table emission, and the --quick / --csv / --json / --filter flags every
-// bench accepts. Tables funnel through emit(), which applies the panel
-// filter and records everything for the end-of-run JSON report.
+// table emission, and the --quick / --csv / --json / --filter /
+// --trace / --trace-sample flags every bench accepts. Tables funnel
+// through emit(), which applies the panel filter and records everything
+// for the end-of-run JSON report; traces funnel through
+// configure_trace()/finish_report(), which bracket one TraceSession per
+// process and write the Chrome-trace JSON + timeseries outputs.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,9 +39,26 @@ inline std::vector<std::size_t> osu_search_depths(bool quick) {
 /// Register the standard bench flags.
 void add_standard_flags(Cli& cli);
 
-/// Latch the parsed --csv/--json/--filter values for this process. Call
-/// once, right after cli.parse().
+/// Latch the parsed --csv/--json/--filter/--trace* values for this
+/// process and, if a trace output was requested, start the process-wide
+/// trace session. Call once, right after cli.parse().
 void configure_report(const Cli& cli);
+
+/// Variant for benches that do their own argv handling (the Google
+/// Benchmark mains): latch report settings without a Cli.
+void configure_report(const std::string& json_path, const std::string& filter);
+
+/// Start a trace session recording to `trace_json_path` (Chrome-trace
+/// JSON) and/or `timeseries_csv_path` (counter-track CSV), keeping
+/// every `sample_every`-th span/instant event. With `wall_clock` the
+/// exported timeline is ordered on the wall clock instead of simulated
+/// cycles (native-structure benches, whose work is never simulated).
+/// Prints a warning and records nothing when tracing is compiled out.
+/// configure_report(cli) calls this from the standard flags; only
+/// benches bypassing Cli need it directly.
+void configure_trace(const std::string& trace_json_path,
+                     const std::string& timeseries_csv_path,
+                     std::uint64_t sample_every, bool wall_clock = false);
 
 /// Under --filter <substr>, is the panel/table `title` selected? Benches
 /// check this before computing an expensive panel; emit() re-checks it, so
@@ -57,8 +78,9 @@ void report_metric(const std::string& name, double value);
 /// table for the JSON report. Filtered-out titles are dropped silently.
 void emit(const std::string& title, const Table& table, bool csv);
 
-/// Write the --json report, if one was requested. Returns the process exit
-/// code, so mains can end with `return bench::finish_report();`.
+/// Stop the trace session (writing the requested trace outputs) and
+/// write the --json report, if one was requested. Returns the process
+/// exit code, so mains can end with `return bench::finish_report();`.
 int finish_report();
 
 }  // namespace semperm::bench

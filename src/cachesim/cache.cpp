@@ -4,6 +4,8 @@
 
 namespace semperm::cachesim {
 
+namespace obs = semperm::obs;
+
 SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
                              unsigned assoc)
     : name_(std::move(name)), size_bytes_(size_bytes), assoc_(assoc) {
@@ -21,6 +23,7 @@ SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
   tags_.assign(set_count_ * assoc_, 0);
   meta_.assign(set_count_ * assoc_, pack(kStaleEpoch, FillReason::kDemand,
                                          LineClass::kNormal, false));
+  SEMPERM_TRACE_ONLY(trace_track_ = obs::intern_track(name_);)
 }
 
 std::size_t SetAssocCache::access_batch(std::span<const Addr> lines) {
@@ -114,6 +117,29 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
   SEMPERM_AUDIT_ONLY(if (dirty) ++audit_dirty_marks_;)
   SEMPERM_ASSERT_MSG(hole < assoc_, name_ << " has no way left for line "
                                           << line << " (partition overfull)");
+  // Timeline probes: evictions of heater-owned lines get their own event
+  // name so occupancy-loss analysis can separate them from ordinary
+  // churn. meta[hole] still holds the victim's word here.
+  SEMPERM_TRACE_ONLY(
+      if (obs::trace_on()) {
+        if (evicted) {
+          SEMPERM_TRACE_INSTANT(obs::Category::kCache,
+                                reason_of(meta[hole]) == FillReason::kHeater
+                                    ? "evict_heated"
+                                    : "evict",
+                                trace_track_, evicted->line,
+                                evicted->dirty ? 1.0 : 0.0);
+          if (evicted->dirty)
+            SEMPERM_TRACE_INSTANT(obs::Category::kCache, "writeback",
+                                  trace_track_, evicted->line, 0.0);
+        }
+        SEMPERM_TRACE_INSTANT(obs::Category::kCache,
+                              reason == FillReason::kHeater ? "fill_heater"
+                              : reason == FillReason::kPrefetch
+                                  ? "fill_prefetch"
+                                  : "fill_demand",
+                              trace_track_, line, 0.0);
+      })
   move_to_front(tags, meta, hole, line, pack(epoch_, reason, cls, dirty));
   SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
   return evicted;
@@ -149,19 +175,30 @@ void SetAssocCache::invalidate(Addr line) {
   const std::size_t i = find_way(set_tags(s), meta, line);
   if (i == assoc_) return;
   if (is_dirty(meta[i])) ++stats_.writebacks;
+  SEMPERM_TRACE_INSTANT(obs::Category::kCache, "invalidate", trace_track_,
+                        line, is_dirty(meta[i]) ? 1.0 : 0.0);
   meta[i] = pack(kStaleEpoch, FillReason::kDemand, LineClass::kNormal, false);
 }
 
 void SetAssocCache::flush() {
   // Dirty residents are written back by the flush (the epoch bump is lazy,
   // so account for them eagerly here).
+  SEMPERM_TRACE_ONLY(std::uint64_t flush_writebacks = 0;)
   for (const Meta m : meta_)
-    if (way_live(m) && is_dirty(m)) ++stats_.writebacks;
+    if (way_live(m) && is_dirty(m)) {
+      ++stats_.writebacks;
+      SEMPERM_TRACE_ONLY(++flush_writebacks;)
+    }
+  SEMPERM_TRACE_INSTANT(obs::Category::kCache, "flush", trace_track_,
+                        resident_lines(),
+                        static_cast<double>(flush_writebacks));
   ++epoch_;
   SEMPERM_ASSERT(epoch_ < kStaleEpoch);
 }
 
 void SetAssocCache::pollute(std::size_t bytes) {
+  SEMPERM_TRACE_INSTANT(obs::Category::kCache, "pollute", trace_track_, bytes,
+                        static_cast<double>(resident_lines()));
   // Lines the stream pushes through each set.
   const std::size_t per_set =
       (bytes / kCacheLine + set_count_ - 1) / set_count_;

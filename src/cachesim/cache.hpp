@@ -25,6 +25,7 @@
 
 #include "check/audit.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace semperm::cachesim {
 
@@ -328,6 +329,9 @@ class SetAssocCache {
                      mutable std::uint64_t audit_prefetch_base_ = 0;
                      mutable std::uint64_t audit_heater_base_ = 0;
                      mutable CacheStats audit_prev_stats_;)
+  // Trace-only: this cache's interned timeline-track id (its name_),
+  // stamped onto fill/evict/writeback probe events.
+  SEMPERM_TRACE_ONLY(std::uint16_t trace_track_ = 0;)
 };
 
 }  // namespace semperm::cachesim

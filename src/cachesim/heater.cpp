@@ -7,8 +7,11 @@
 
 namespace semperm::cachesim {
 
+namespace obs = semperm::obs;
+
 SimHeater::SimHeater(Hierarchy& hierarchy, SimHeaterConfig config)
     : hier_(&hierarchy), config_(config) {
+  SEMPERM_TRACE_ONLY(trace_track_ = obs::intern_track("SimHeater");)
   if (config_.capacity_bytes == 0) {
     const unsigned llc = hier_->level_count() - 1;
     capacity_ = hier_->level(llc).size_bytes() / 2;
@@ -95,6 +98,13 @@ Cycles SimHeater::mutation_cost() {
 }
 
 std::uint64_t SimHeater::refresh() {
+  // The pass runs on the (modeled) heater core, so it does not advance
+  // the application thread's clock — the span's end timestamp is the
+  // analytic pass duration instead.
+  SEMPERM_TRACE_ONLY(
+      const std::uint64_t pass_start = obs::trace_on() ? obs::sim_now() : 0;)
+  SEMPERM_TRACE_SPAN_BEGIN(obs::Category::kHeater, "heater_pass", trace_track_,
+                           registered_bytes_);
   double budget = static_cast<double>(capacity_) * coverage();
   std::uint64_t fetched = 0;
   for (const Region& r : regions_) {
@@ -107,6 +117,18 @@ std::uint64_t SimHeater::refresh() {
     budget -= static_cast<double>(take);
   }
   refreshed_lines_ += fetched;
+  SEMPERM_TRACE_ONLY(
+      if (obs::trace_on()) {
+        SEMPERM_TRACE_SPAN_END_AT(obs::Category::kHeater, "heater_pass",
+                                  trace_track_, fetched, coverage(),
+                                  pass_start + pass_cycles());
+        const unsigned llc = hier_->level_count() - 1;
+        SEMPERM_TRACE_COUNTER(
+            obs::Category::kHeater, "heated_lines_resident",
+            obs::intern_track(hier_->level(llc).name()),
+            static_cast<double>(hier_->level(llc).resident_lines_filled_by(
+                FillReason::kHeater)));
+      })
   return fetched;
 }
 

@@ -137,6 +137,8 @@ class SimHeater : public HeaterModel {
   std::size_t live_ = 0;
   std::size_t registered_bytes_ = 0;
   std::uint64_t refreshed_lines_ = 0;
+  // Trace-only: the heater's timeline track for pass spans.
+  SEMPERM_TRACE_ONLY(std::uint16_t trace_track_ = 0;)
 };
 
 }  // namespace semperm::cachesim

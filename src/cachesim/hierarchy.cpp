@@ -73,6 +73,7 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
   if (network && netcache_ != nullptr && netcache_->access(line)) {
     if (write) netcache_->mark_dirty(line);
     stats_.total_cycles += arch_.network_cache.hit_latency;
+    SEMPERM_TRACE_CLOCK_ADVANCE(arch_.network_cache.hit_latency);
     return arch_.network_cache.hit_latency;
   }
 
@@ -90,6 +91,8 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
   if (serving_level == level_count()) {
     cost = arch_.dram_latency;
     ++stats_.dram_fetches;
+    SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCache, "dram_fetch", 0,
+                          line, 0.0);
   }
   obs.l1_hit = (serving_level == 0);
   obs.l2_hit = (serving_level == 1);
@@ -117,6 +120,9 @@ Cycles Hierarchy::access_line(Addr line, bool write) {
 
   run_prefetchers(obs);
   stats_.total_cycles += cost;
+  // The access paths are where simulated time passes: keep the tracing
+  // clock in step with the cycle accounting.
+  SEMPERM_TRACE_CLOCK_ADVANCE(cost);
   SEMPERM_AUDIT_CHECK(stats_.dram_fetches <= stats_.lines_touched,
                       arch_.name << " DRAM fetches exceed line accesses");
   SEMPERM_AUDIT_CHECK(stats_.accesses <= stats_.lines_touched,

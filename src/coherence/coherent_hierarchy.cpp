@@ -14,6 +14,22 @@ using cachesim::FillReason;
 using cachesim::LineClass;
 using cachesim::PrefetchRequest;
 
+#if SEMPERM_TRACE
+namespace {
+/// Static event names for every MESI transition, so the probe can hand
+/// the ring a string-literal pointer (it never copies names).
+const char* mesi_transition_name(MesiState from, MesiState to) {
+  static const char* const kNames[4][4] = {
+      {"mesi I->I", "mesi I->S", "mesi I->E", "mesi I->M"},
+      {"mesi S->I", "mesi S->S", "mesi S->E", "mesi S->M"},
+      {"mesi E->I", "mesi E->S", "mesi E->E", "mesi E->M"},
+      {"mesi M->I", "mesi M->S", "mesi M->E", "mesi M->M"},
+  };
+  return kNames[static_cast<unsigned>(from)][static_cast<unsigned>(to)];
+}
+}  // namespace
+#endif
+
 CoherentHierarchy::CoreStack::CoreStack(const ArchProfile& a)
     : l1("L1", a.l1.size_bytes, a.l1.assoc),
       l2("L2", a.l2.size_bytes, a.l2.assoc),
@@ -57,11 +73,27 @@ void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
 #if SEMPERM_AUDIT
   check::require_mesi_transition(state(core, line), st, core, line);
 #endif
+  SEMPERM_TRACE_ONLY(
+      if (semperm::obs::trace_on()) {
+        const MesiState from = state(core, line);
+        if (from != st)
+          SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence,
+                                mesi_transition_name(from, st), 0, line,
+                                static_cast<double>(core));
+      })
   cores_[core].state[line] = st;  // lint:allow-state-mutation
   directory_[line].sharers |= bit(core);
 }
 
 void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
+  SEMPERM_TRACE_ONLY(
+      if (semperm::obs::trace_on()) {
+        const MesiState from = state(core, line);
+        if (from != MesiState::kInvalid)
+          SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence,
+                                mesi_transition_name(from, MesiState::kInvalid),
+                                0, line, static_cast<double>(core));
+      })
   cores_[core].state.erase(line);  // lint:allow-state-mutation
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
@@ -133,6 +165,9 @@ void CoherentHierarchy::on_llc_evict(const SetAssocCache::EvictedWay& ev) {
     cores_[c].l2.invalidate(ev.line);
     drop_sharer(c, ev.line);
     ++coh_.back_invalidations;
+    SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence,
+                          "back_invalidation", 0, ev.line,
+                          static_cast<double>(c));
   }
 }
 
@@ -182,6 +217,8 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
       if (state(core, line) == MesiState::kShared) {
         ++coh_.snoops;
         ++coh_.upgrades;
+        SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "upgrade", 0,
+                              line, static_cast<double>(core));
         cost += arch_.snoop_latency;
         invalidate_remotes(core, line);
       }
@@ -198,6 +235,8 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
       ++coh_.snoops;
       ++coh_.interventions;
       ++coh_.dirty_writebacks;
+      SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "intervention",
+                            0, line, static_cast<double>(owner));
       cost = arch_.intervention_latency;
       llc_fill(line, FillReason::kDemand, /*dirty=*/true);
       if (write) {
@@ -301,6 +340,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
   run_prefetchers(core, obs);
   SEMPERM_AUDIT_ONLY(audit_line(line);)
   cs.stats.total_cycles += cost;
+  SEMPERM_TRACE_CLOCK_ADVANCE(cost);
   return cost;
 }
 
@@ -371,6 +411,8 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
     ++coh_.snoops;
     ++coh_.interventions;
     ++coh_.dirty_writebacks;
+    SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "intervention",
+                          0, line, static_cast<double>(owner));
     set_state(static_cast<unsigned>(owner), line, MesiState::kShared);
     t.cycles = arch_.intervention_latency;
     llc_fill(line, FillReason::kHeater, /*dirty=*/true);
@@ -385,6 +427,7 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
   }
   SEMPERM_AUDIT_ONLY(audit_line(line);)
   cs.stats.total_cycles += t.cycles;
+  SEMPERM_TRACE_CLOCK_ADVANCE(t.cycles);
   return t;
 }
 

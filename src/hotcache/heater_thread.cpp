@@ -5,6 +5,7 @@
 #include "common/affinity.hpp"
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace semperm::hotcache {
 
@@ -55,6 +56,10 @@ std::uint64_t HeaterThread::touch(const std::byte* base, std::size_t len) {
 }
 
 void HeaterThread::run_single_pass() {
+  // Native heater passes live on the wall clock (their traffic is never
+  // simulated); the coverage counter tracks bytes re-heated per pass.
+  SEMPERM_TRACE_SPAN_BEGIN(semperm::obs::Category::kHeater, "heater_pass", 0,
+                           registry_.slot_high_water());
   const std::size_t hw = registry_.slot_high_water();
   std::size_t budget = config_.max_bytes_per_pass
                            ? config_.max_bytes_per_pass
@@ -73,11 +78,16 @@ void HeaterThread::run_single_pass() {
   passes_.fetch_add(1, std::memory_order_relaxed);
   lines_touched_.fetch_add(lines, std::memory_order_relaxed);
   bytes_touched_.fetch_add(bytes, std::memory_order_relaxed);
+  SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kHeater, "heater_pass", 0,
+                         lines, static_cast<double>(bytes));
+  SEMPERM_TRACE_COUNTER(semperm::obs::Category::kHeater, "heated_bytes_pass",
+                        0, static_cast<double>(bytes));
 }
 
 void HeaterThread::thread_main() {
   if (config_.pin_cpu >= 0)
     pinned_.store(pin_current_thread(config_.pin_cpu), std::memory_order_relaxed);
+  SEMPERM_TRACE_THREAD_NAME("heater");
   while (!stop_requested_.load(std::memory_order_acquire)) {
     if (!paused_.load(std::memory_order_acquire)) run_single_pass();
     std::unique_lock<std::mutex> lock(wake_mutex_);

@@ -24,6 +24,7 @@
 #include "match/queue_iface.hpp"
 #include "match/request.hpp"
 #include "match/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace semperm::match {
 
@@ -36,6 +37,10 @@ class MatchEngine {
   MatchEngine(std::unique_ptr<Prq> prq, std::unique_ptr<Umq> umq)
       : prq_(std::move(prq)), umq_(std::move(umq)) {
     SEMPERM_ASSERT(prq_ && umq_);
+    SEMPERM_TRACE_ONLY(prq_track_ = semperm::obs::intern_track(
+                           std::string("prq/") + prq_->name());
+                       umq_track_ = semperm::obs::intern_track(
+                           std::string("umq/") + umq_->name());)
   }
 
   /// Post a receive. If a buffered unexpected message matches, returns its
@@ -44,7 +49,21 @@ class MatchEngine {
   MatchRequest* post_recv(const Pattern& pattern, MatchRequest* recv) {
     SEMPERM_ASSERT(recv != nullptr);
     ++tick_;
+    // Match-attempt span: arg on the B event is the queue depth searched;
+    // the E event carries the live entries inspected (arg) and hit (value).
+    SEMPERM_TRACE_ONLY(const std::uint64_t trace_inspected0 =
+                           semperm::obs::trace_on()
+                               ? umq_->stats().entries_inspected
+                               : 0;)
+    SEMPERM_TRACE_SPAN_BEGIN(semperm::obs::Category::kMatch, "match_attempt",
+                             umq_track_, umq_->size());
     auto hit = umq_->find_and_remove(pattern);
+    SEMPERM_TRACE_SPAN_END(
+        semperm::obs::Category::kMatch, "match_attempt", umq_track_,
+        umq_->stats().entries_inspected - trace_inspected0,
+        hit ? 1.0 : 0.0);
+    SEMPERM_TRACE_COUNTER(semperm::obs::Category::kMatch, "depth", umq_track_,
+                          static_cast<double>(umq_->size()));
     SEMPERM_AUDIT_ONLY(
         umq_shadow_.expect_find_and_remove(pattern, hit, umq_->name());
         umq_shadow_.expect_size(umq_->size(), umq_->name());
@@ -60,6 +79,8 @@ class MatchEngine {
     recv->set_enqueued_tick(tick_);
     const PostedEntry entry = PostedEntry::from(pattern, recv);
     prq_->append(entry);
+    SEMPERM_TRACE_COUNTER(semperm::obs::Category::kMatch, "depth", prq_track_,
+                          static_cast<double>(prq_->size()));
     SEMPERM_AUDIT_ONLY(prq_shadow_.on_append(entry, prq_->name());
                        prq_shadow_.expect_size(prq_->size(), prq_->name());
                        prq_->self_check();)
@@ -75,7 +96,19 @@ class MatchEngine {
     SEMPERM_ASSERT_MSG(env.tag != kHoleTag && env.rank != kHoleRank,
                        "reserved identity used on the wire: " << env.to_string());
     ++tick_;
+    SEMPERM_TRACE_ONLY(const std::uint64_t trace_inspected0 =
+                           semperm::obs::trace_on()
+                               ? prq_->stats().entries_inspected
+                               : 0;)
+    SEMPERM_TRACE_SPAN_BEGIN(semperm::obs::Category::kMatch, "match_attempt",
+                             prq_track_, prq_->size());
     auto hit = prq_->find_and_remove(env);
+    SEMPERM_TRACE_SPAN_END(
+        semperm::obs::Category::kMatch, "match_attempt", prq_track_,
+        prq_->stats().entries_inspected - trace_inspected0,
+        hit ? 1.0 : 0.0);
+    SEMPERM_TRACE_COUNTER(semperm::obs::Category::kMatch, "depth", prq_track_,
+                          static_cast<double>(prq_->size()));
     SEMPERM_AUDIT_ONLY(
         prq_shadow_.expect_find_and_remove(env, hit, prq_->name());
         prq_shadow_.expect_size(prq_->size(), prq_->name());
@@ -91,6 +124,8 @@ class MatchEngine {
     msg->set_enqueued_tick(tick_);
     const UnexpectedEntry entry = UnexpectedEntry::from(env, msg);
     umq_->append(entry);
+    SEMPERM_TRACE_COUNTER(semperm::obs::Category::kMatch, "depth", umq_track_,
+                          static_cast<double>(umq_->size()));
     SEMPERM_AUDIT_ONLY(umq_shadow_.on_append(entry, umq_->name());
                        umq_shadow_.expect_size(umq_->size(), umq_->name());
                        umq_->self_check();)
@@ -180,6 +215,8 @@ class MatchEngine {
   DwellStats prq_dwell_;
   DwellStats umq_dwell_;
   std::uint64_t tick_ = 0;
+  // Trace-only: per-queue timeline tracks ("prq/<structure>", ...).
+  SEMPERM_TRACE_ONLY(std::uint16_t prq_track_ = 0; std::uint16_t umq_track_ = 0;)
 };
 
 }  // namespace semperm::match

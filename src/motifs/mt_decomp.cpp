@@ -88,8 +88,13 @@ MtDecompResult run_mt_decomp(const MtDecompParams& params) {
     shadow_list.reserve(analysis.edges.size());
     const auto charge_lock = [&](unsigned core) {
       coh_cycles += coh->access_line(core, kShadowLockLine, /*write=*/true);
-      if (lock_holder >= 0 && lock_holder != static_cast<int>(core))
+      if (lock_holder >= 0 && lock_holder != static_cast<int>(core)) {
         ++lock_transfers;
+        SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence,
+                              "lock_transfer", 0,
+                              static_cast<std::uint64_t>(lock_holder),
+                              static_cast<double>(core));
+      }
       lock_holder = static_cast<int>(core);
     };
 

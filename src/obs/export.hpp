@@ -1,0 +1,43 @@
+// semperm/obs/export.hpp
+//
+// Exporters for a stopped TraceSession:
+//  - chrome_trace_json: Perfetto/Chrome-trace JSON ("traceEvents" array
+//    of B/E spans, instant events, counter tracks, thread-name
+//    metadata). Load in ui.perfetto.dev or chrome://tracing.
+//  - timeseries_csv: flat "ts,tid,cat,track,name,value" rows from the
+//    counter events — the machine-readable occupancy-over-time feed.
+//  - timeseries_json_fragment: the same counter feed as a JSON array,
+//    embedded by bench_util into its --json report under "timeseries".
+//
+// All exporters consume TraceSession::snapshot() (merged + sorted), so
+// call them after stop(). Timestamps: Chrome-trace wants microseconds;
+// in the simulated domain we map 1 cycle -> 1 "us" so Perfetto's
+// timeline reads directly in cycles; in the wall domain ns/1000.
+#pragma once
+
+#include "obs/trace.hpp"
+
+#if SEMPERM_TRACE
+
+#include <ostream>
+#include <string>
+
+namespace semperm::obs {
+
+/// Write the full Chrome-trace JSON document for the current snapshot.
+void chrome_trace_json(std::ostream& os);
+
+/// Write counter-event rows as CSV (with a header row).
+void timeseries_csv(std::ostream& os);
+
+/// Counter events as a JSON array literal, e.g.
+///   [{"ts":123,"tid":0,"cat":"cache","track":"llc","name":"heated_lines_resident","value":512.0}, ...]
+std::string timeseries_json_fragment();
+
+/// Per-sink accounting (attempts/stored/sampled_out/dropped) as a JSON
+/// array literal — embedded next to the timeseries for drop auditing.
+std::string sink_accounting_json_fragment();
+
+}  // namespace semperm::obs
+
+#endif  // SEMPERM_TRACE

@@ -1,0 +1,195 @@
+#include "obs/session.hpp"
+
+namespace semperm::obs {
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kCache:
+      return "cache";
+    case Category::kCoherence:
+      return "coherence";
+    case Category::kMatch:
+      return "match";
+    case Category::kHeater:
+      return "heater";
+    case Category::kMpi:
+      return "mpi";
+    case Category::kApp:
+      return "app";
+  }
+  return "?";
+}
+
+}  // namespace semperm::obs
+
+#if SEMPERM_TRACE
+
+#include <algorithm>
+#include <chrono>
+
+namespace semperm::obs {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ThreadSinkCache {
+  TraceSink* sink = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+ThreadSinkCache& tls_cache() {
+  thread_local ThreadSinkCache cache;
+  return cache;
+}
+
+}  // namespace
+
+void TraceSink::record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_;
+  // Counters are exempt from sampling so occupancy tracks stay dense.
+  if (cfg_.sample_every > 1 && ev.kind != EventKind::kCounter &&
+      attempts_ % cfg_.sample_every != 1) {
+    ++sampled_out_;
+    return;
+  }
+  if (events_.size() >= cfg_.ring_capacity) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+TraceSession& TraceSession::instance() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::start(const TraceConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+  next_tid_ = 0;
+  cfg_ = cfg;
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  if (cfg_.sample_every == 0) cfg_.sample_every = 1;
+  wall_origin_ns_ = wall_now_ns();
+  ++epoch_;
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void TraceSession::stop() {
+  detail::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+TraceSink& TraceSession::this_thread_sink() {
+  auto& cache = tls_cache();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (cache.sink == nullptr || cache.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks_.push_back(std::make_unique<TraceSink>(cfg_, next_tid_++));
+    cache.sink = sinks_.back().get();
+    cache.epoch = epoch;
+  }
+  return *cache.sink;
+}
+
+void TraceSession::set_this_thread_name(std::string_view name) {
+  TraceSink& sink = this_thread_sink();
+  std::lock_guard<std::mutex> lock(sink.mu_);
+  sink.thread_name_.assign(name);
+}
+
+std::vector<MergedEvent> TraceSession::snapshot() {
+  std::vector<MergedEvent> merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& sink : sinks_) {
+    std::lock_guard<std::mutex> sink_lock(sink->mu_);
+    merged.reserve(merged.size() + sink->events_.size());
+    for (const TraceEvent& ev : sink->events_)
+      merged.push_back(MergedEvent{ev, sink->tid()});
+  }
+  const bool by_sim = cfg_.domain == ClockDomain::kSimulated;
+  std::stable_sort(merged.begin(), merged.end(),
+                   [by_sim](const MergedEvent& a, const MergedEvent& b) {
+                     const std::uint64_t ta = by_sim ? a.ev.sim : a.ev.wall_ns;
+                     const std::uint64_t tb = by_sim ? b.ev.sim : b.ev.wall_ns;
+                     if (ta != tb) return ta < tb;
+                     return a.tid < b.tid;
+                   });
+  return merged;
+}
+
+std::vector<SinkSummary> TraceSession::summaries() {
+  std::vector<SinkSummary> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(sinks_.size());
+  for (auto& sink : sinks_) {
+    std::lock_guard<std::mutex> sink_lock(sink->mu_);
+    out.push_back(SinkSummary{sink->tid(), sink->thread_name_,
+                              sink->attempts_, sink->events_.size(),
+                              sink->sampled_out_, sink->dropped_});
+  }
+  return out;
+}
+
+void TraceSession::clear() {
+  stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+  next_tid_ = 0;
+  ++epoch_;
+}
+
+std::uint16_t TraceSession::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i)
+    if (tracks_[i] == name) return static_cast<std::uint16_t>(i + 1);
+  if (tracks_.size() >= 0xFFFE) return 0;  // interning table full
+  tracks_.emplace_back(name);
+  return static_cast<std::uint16_t>(tracks_.size());
+}
+
+std::string TraceSession::track_name(std::uint16_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > tracks_.size()) return "";
+  return tracks_[id - 1];
+}
+
+std::vector<std::string> TraceSession::track_table() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
+void emit_event(EventKind kind, Category cat, const char* name,
+                std::uint16_t track, std::uint64_t arg, double value,
+                std::uint64_t sim_override) {
+  TraceSession& session = TraceSession::instance();
+  TraceEvent ev;
+  ev.sim = sim_override == kStampNow ? sim_now() : sim_override;
+  ev.wall_ns = wall_now_ns() - session.wall_origin_ns();
+  ev.arg = arg;
+  ev.value = value;
+  ev.name = name;
+  ev.track = track;
+  ev.kind = kind;
+  ev.cat = cat;
+  session.this_thread_sink().record(ev);
+}
+
+std::uint16_t intern_track(std::string_view name) {
+  return TraceSession::instance().intern(name);
+}
+
+void set_thread_name(std::string_view name) {
+  TraceSession::instance().set_this_thread_name(name);
+}
+
+}  // namespace semperm::obs
+
+#endif  // SEMPERM_TRACE

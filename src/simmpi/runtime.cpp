@@ -2,9 +2,11 @@
 
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace semperm::simmpi {
 
@@ -141,6 +143,9 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([this, r, &rank_main, &first_error, &error_mutex] {
       try {
+        SEMPERM_TRACE_ONLY(
+            if (semperm::obs::trace_on()) semperm::obs::set_thread_name(
+                "rank " + std::to_string(r));)
         Comm comm(this, r, /*ctx_ptp=*/0, /*ctx_coll=*/1);
         rank_main(comm);
       } catch (...) {
@@ -175,6 +180,8 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
                     std::uint16_t ctx) {
   SEMPERM_ASSERT(dest >= 0 && dest < size());
   SEMPERM_ASSERT(tag >= 0 && tag != match::kHoleTag);
+  SEMPERM_TRACE_SPAN_BEGIN(semperm::obs::Category::kMpi, "send", 0,
+                           data.size());
   const match::Envelope env{tag, static_cast<std::int16_t>(rank_), ctx};
   if (data.size() <= rt_->options_.eager_threshold) {
     Runtime::WireMessage msg;
@@ -182,6 +189,8 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
     msg.origin = rank_;
     msg.payload.assign(data.begin(), data.end());
     rt_->deliver(dest, std::move(msg));
+    SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kMpi, "send", 0,
+                           data.size(), static_cast<double>(dest));
     return;
   }
 
@@ -211,6 +220,8 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
   payload.origin = rank_;
   payload.payload.assign(data.begin(), data.end());
   rt_->deliver(dest, std::move(payload));
+  SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kMpi, "send", 0, data.size(),
+                         static_cast<double>(dest));
 }
 
 void Comm::send(int dest, int tag, std::span<const std::byte> data) {
@@ -231,6 +242,8 @@ Request Comm::isend(int dest, int tag, std::span<const std::byte> data) {
 
 Status Comm::recv_ctx(int source, int tag, std::span<std::byte> buffer,
                       std::uint16_t ctx) {
+  SEMPERM_TRACE_SPAN_BEGIN(semperm::obs::Category::kMpi, "recv", 0,
+                           buffer.size());
   Runtime::RankState& st = rt_->state(rank_);
   std::unique_lock<std::mutex> lock(st.mutex);
   rt_->drain_locked(rank_, st);
@@ -269,6 +282,8 @@ Status Comm::recv_ctx(int source, int tag, std::span<std::byte> buffer,
   status.source = reqp->matched().rank;
   status.tag = reqp->matched().tag;
   status.bytes = static_cast<std::size_t>(reqp->cookie());
+  SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kMpi, "recv", 0, status.bytes,
+                         static_cast<double>(status.source));
   return status;
 }
 

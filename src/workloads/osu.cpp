@@ -9,6 +9,8 @@
 #include "cachesim/mem_model.hpp"
 #include "common/assert.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace semperm::workloads {
 
@@ -40,6 +42,13 @@ struct Bench {
   std::unique_ptr<cachesim::SimHeater> heater;
   std::vector<match::MatchRequest> depth_requests;
   const OsuParams& params;
+  // Registry handles are stable for the process lifetime; cache them so
+  // per-iteration updates skip the by-name lookup.
+  obs::Counter& iterations_metric =
+      obs::MetricsRegistry::global().counter("osu.iterations");
+  obs::Gauge& heated_lines_metric =
+      obs::MetricsRegistry::global().gauge("osu.llc_heated_lines");
+  std::uint64_t iteration_no = 0;
 
   explicit Bench(const OsuParams& p)
       : hier(p.arch), mem(hier), bundle(make_bundle(p)), params(p) {
@@ -95,16 +104,29 @@ struct Bench {
   }
 
   void begin_iteration() {
+    ++iteration_no;
+    SEMPERM_TRACE_INSTANT(obs::Category::kApp, "iteration", 0, iteration_no,
+                          0.0);
     if (params.clear_cache_between_iterations) {
+      SEMPERM_TRACE_SPAN_BEGIN(obs::Category::kApp, "compute_phase", 0,
+                               params.compute_working_set_bytes);
       if (params.compute_working_set_bytes == 0)
         hier.flush_all();
       else
         hier.pollute(params.compute_working_set_bytes);
+      SEMPERM_TRACE_SPAN_END(obs::Category::kApp, "compute_phase", 0,
+                             params.compute_working_set_bytes, 0.0);
     }
     // The heater ran during the emulated compute phase: by the time the
     // communication phase starts, registered regions are LLC-resident
     // again (up to the heater's capacity budget).
     if (heater) heater->refresh();
+    iterations_metric.add(1);
+    heated_lines_metric.set(static_cast<double>(
+        hier.level(hier.level_count() - 1)
+            .resident_lines_filled_by(cachesim::FillReason::kHeater)));
+    SEMPERM_TRACE_ONLY(if (obs::trace_on())
+                           obs::MetricsRegistry::global().sample(obs::sim_now());)
   }
 };
 

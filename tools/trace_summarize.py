@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome-trace JSON timeline emitted by a --trace bench run.
+
+Usage: trace_summarize.py TRACE.json [--bins 20] [--json]
+
+Validates the document (well-formed JSON, a "traceEvents" array, every
+event carrying ph/name/ts), then reports:
+
+  * per-name event counts, split by phase kind
+  * span statistics (count, total/mean/max duration) per span name,
+    paired B/E per (tid, name) with a stack so nested spans work
+  * counter-track statistics (min/mean/max, final value) per track
+  * occupancy over time: the "heated_lines_resident" counter bucketed
+    into --bins time bins (mean per bin) — the Fig. 6 timeline view
+  * eviction-cause breakdown: "evict" vs "evict_heated" instants per
+    cache-level track
+
+With --json the summary is printed as a JSON document instead of text
+(the round-trip tests consume this). Exit code 0 = valid trace, 1 =
+malformed input or structural violation (unbalanced spans are reported
+but only fail validation with --strict).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg: str) -> int:
+    print(f"trace_summarize: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(doc):
+    """Return (events, errors). Structural problems end up in errors."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [], ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [], ['missing "traceEvents" array']
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "name"):
+            if key not in ev:
+                errors.append(f"event {i}: missing {key!r}")
+        if ev.get("ph") != "M" and "ts" not in ev:
+            errors.append(f"event {i}: missing 'ts'")
+    return events, errors
+
+
+def span_stats(events, errors):
+    """Pair B/E per (tid, name); returns {name: stats dict}."""
+    stacks = defaultdict(list)  # (tid, name) -> [begin ts, ...]
+    durations = defaultdict(list)
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        key = (ev.get("tid"), ev.get("name"))
+        if ph == "B":
+            stacks[key].append(ev["ts"])
+        elif not stacks[key]:
+            errors.append(f"unbalanced E for {key[1]!r} on tid {key[0]}")
+        else:
+            durations[ev["name"]].append(ev["ts"] - stacks[key].pop())
+    for (tid, name), pending in stacks.items():
+        if pending:
+            errors.append(
+                f"{len(pending)} unclosed B for {name!r} on tid {tid}")
+    out = {}
+    for name, ds in sorted(durations.items()):
+        out[name] = {
+            "count": len(ds),
+            "total": sum(ds),
+            "mean": sum(ds) / len(ds),
+            "max": max(ds),
+        }
+    return out
+
+
+def counter_stats(events):
+    """Per counter name: series of (ts, value) plus aggregates."""
+    series = defaultdict(list)
+    for ev in events:
+        if ev.get("ph") != "C":
+            continue
+        args = ev.get("args", {})
+        value = next(iter(args.values()), None) if args else None
+        if value is None:
+            continue
+        series[ev["name"]].append((ev["ts"], float(value)))
+    out = {}
+    for name, pts in sorted(series.items()):
+        vals = [v for _, v in pts]
+        out[name] = {
+            "samples": len(pts),
+            "min": min(vals),
+            "mean": sum(vals) / len(vals),
+            "max": max(vals),
+            "final": pts[-1][1],
+            "series": pts,
+        }
+    return out
+
+
+def occupancy_bins(counters, bins):
+    """Bucket heated-occupancy counters into time bins (mean per bin)."""
+    out = {}
+    for name, st in counters.items():
+        if "heated_lines_resident" not in name:
+            continue
+        pts = st["series"]
+        t0, t1 = pts[0][0], pts[-1][0]
+        width = (t1 - t0) / bins if t1 > t0 else 1.0
+        grouped = defaultdict(list)
+        for ts, v in pts:
+            b = min(int((ts - t0) / width), bins - 1)
+            grouped[b].append(v)
+        out[name] = [
+            {"bin": b, "t_start": t0 + b * width,
+             "mean": sum(vs) / len(vs), "n": len(vs)}
+            for b, vs in sorted(grouped.items())
+        ]
+    return out
+
+
+def eviction_breakdown(events):
+    """Per track: how many evictions hit heated vs ordinary lines."""
+    out = defaultdict(lambda: {"evict": 0, "evict_heated": 0,
+                               "writeback": 0})
+    for ev in events:
+        if ev.get("ph") != "i":
+            continue
+        name = ev.get("name", "")
+        track, _, leaf = name.rpartition("/")
+        if leaf in ("evict", "evict_heated", "writeback"):
+            out[track or "?"][leaf] += 1
+    return {k: dict(v) for k, v in sorted(out.items())}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--bins", type=int, default=20,
+                    help="time bins for the occupancy-over-time view")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON")
+    ap.add_argument("--strict", action="store_true",
+                    help="unbalanced spans fail validation too")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {args.trace}: {e}")
+
+    events, errors = validate(doc)
+    if errors:
+        for e in errors[:20]:
+            print(f"trace_summarize: {e}", file=sys.stderr)
+        return 1
+
+    counts = defaultdict(lambda: defaultdict(int))
+    for ev in events:
+        counts[ev.get("name", "?")][ev.get("ph", "?")] += 1
+
+    span_errors = []
+    spans = span_stats(events, span_errors)
+    counters = counter_stats(events)
+    occupancy = occupancy_bins(counters, max(args.bins, 1))
+    evictions = eviction_breakdown(events)
+
+    summary = {
+        "events": len(events),
+        "counts": {n: dict(p) for n, p in sorted(counts.items())},
+        "spans": spans,
+        "counters": {n: {k: v for k, v in st.items() if k != "series"}
+                     for n, st in counters.items()},
+        "occupancy_over_time": occupancy,
+        "eviction_breakdown": evictions,
+        "span_errors": span_errors,
+    }
+
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"{len(events)} events, {len(spans)} span names, "
+              f"{len(counters)} counter tracks")
+        print("\n-- event counts --")
+        for name, phases in sorted(counts.items()):
+            per = ", ".join(f"{p}:{n}" for p, n in sorted(phases.items()))
+            print(f"  {name:40s} {per}")
+        if spans:
+            print("\n-- spans (ts units) --")
+            for name, st in spans.items():
+                print(f"  {name:40s} n={st['count']:<8d} "
+                      f"mean={st['mean']:.1f} max={st['max']:.1f}")
+        if counters:
+            print("\n-- counters --")
+            for name, st in counters.items():
+                print(f"  {name:40s} n={st['samples']:<8d} "
+                      f"min={st['min']:.0f} mean={st['mean']:.1f} "
+                      f"max={st['max']:.0f} final={st['final']:.0f}")
+        if occupancy:
+            print("\n-- heated occupancy over time --")
+            for name, rows in occupancy.items():
+                print(f"  {name}:")
+                for row in rows:
+                    print(f"    bin {row['bin']:3d} @ {row['t_start']:12.0f}: "
+                          f"mean {row['mean']:.1f} ({row['n']} samples)")
+        if evictions:
+            print("\n-- eviction causes --")
+            for track, kinds in evictions.items():
+                print(f"  {track:24s} evict={kinds['evict']} "
+                      f"evict_heated={kinds['evict_heated']} "
+                      f"writeback={kinds['writeback']}")
+        if span_errors:
+            print("\n-- span warnings --")
+            for e in span_errors[:20]:
+                print(f"  {e}")
+
+    if span_errors and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
