@@ -32,6 +32,8 @@ void run_policy_part(bool quick, bool csv) {
       for (auto policy : {memlayout::AddressPolicy::kScattered,
                           memlayout::AddressPolicy::kSequential}) {
         workloads::OsuParams p;
+        p.seed = bench::bench_seed(p.seed);
+        p.fault = bench::fault_plan();
         p.queue = match::QueueConfig::from_label(label);
         p.queue.node_policy = policy;
         p.msg_bytes = 1;

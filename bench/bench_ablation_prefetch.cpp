@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
     for (const char* label :
          {"baseline", "lla-2", "lla-4", "lla-8", "lla-16", "lla-32"}) {
       workloads::OsuParams p;
+      p.seed = bench::bench_seed(p.seed);
+      p.fault = bench::fault_plan();
       p.arch = cachesim::sandy_bridge();
       p.arch.prefetch.l1_next_line = v.next_line;
       p.arch.prefetch.l2_adjacent_pair = v.pair;

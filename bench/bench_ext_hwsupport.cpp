@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{Table::num(std::uint64_t{depth})};
       for (const auto& v : variants) {
         workloads::OsuParams p;
+        p.seed = bench::bench_seed(p.seed);
+        p.fault = bench::fault_plan();
         p.arch = configure(v);
         p.queue = match::QueueConfig::from_label(queue);
         p.heater = v.heater;

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     // Broadwell cluster runs stop at 1024 (paper §4.5).
     if (procs <= 1024) {
       auto base = apps::fds_params(procs, apps::FdsSystem::kBroadwell);
+      base.seed = bench::bench_seed(base.seed);
       if (quick) base.phases /= 5;
       auto v = base;
       v.queue = lla;
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
     }
 
     auto base = apps::fds_params(procs, apps::FdsSystem::kNehalem);
+    base.seed = bench::bench_seed(base.seed);
     if (quick) base.phases /= 5;
     {
       auto v = base;

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
 
   std::fputs(banner("Figure 1a: AMR match list sizes - 64K").c_str(), stdout);
   motifs::AmrParams amr;
+  amr.seed = bench::bench_seed(amr.seed);
   if (stride > 0) amr.sample_stride = stride;
   if (quick) {
     amr.sample_stride = 1024;
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   std::fputs(banner("Figure 1b: Sweep3D match list sizes - 128K").c_str(),
              stdout);
   motifs::Sweep3dParams sweep;
+  sweep.seed = bench::bench_seed(sweep.seed);
   if (stride > 0) sweep.sample_stride = stride;
   if (quick) {
     sweep.sample_stride = 4096;
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   std::fputs(banner("Figure 1c: Halo3D match list sizes - 256K").c_str(),
              stdout);
   motifs::Halo3dParams halo;
+  halo.seed = bench::bench_seed(halo.seed);
   if (stride > 0) halo.sample_stride = stride;
   if (quick) {
     halo.sample_stride = 8192;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                "baseline match share (%)"});
   for (int procs : {128, 256, 512, 1024}) {
     auto base = apps::amg_params(procs);
+    base.seed = bench::bench_seed(base.seed);
     if (quick) base.phases /= 10;
     auto lla = base;
     // The application studies use the first spatial-locality level

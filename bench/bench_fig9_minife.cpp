@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
                "Improvement (%)", "baseline match share (%)"});
   for (std::size_t length : {128, 512, 2048}) {
     auto base = apps::minife_params(length);
+    base.seed = bench::bench_seed(base.seed);
     if (quick) base.phases /= 10;
     auto lla = base;
     lla.queue = match::QueueConfig::from_label("lla-2");

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                "heater LLC lines", "invals", "intervs"});
   for (const char* arch_name : {"sandybridge", "broadwell", "nehalem"}) {
     workloads::HeaterUbenchParams p;
+    p.seed = bench::bench_seed(p.seed);
     p.arch = cachesim::arch_by_name(arch_name);
     p.region_bytes = static_cast<std::size_t>(cli.get_int("region-kib")) * 1024;
     if (quick) {

@@ -1,8 +1,16 @@
 #include "bench/bench_util.hpp"
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <utility>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -15,7 +23,9 @@ namespace semperm::bench {
 
 namespace {
 
-// Per-process report state, latched by configure_report().
+// Per-process report state, latched by configure_report(). `mu` guards
+// tables/metrics against the harness guard thread flushing a partial
+// report while the bench main is still emitting.
 struct ReportState {
   std::string json_path;
   std::string filter;
@@ -24,6 +34,13 @@ struct ReportState {
   bool trace_active = false;
   std::vector<std::pair<std::string, Table>> tables;
   std::vector<std::pair<std::string, double>> metrics;
+  std::mutex mu;
+  std::atomic<bool> finished{false};
+  std::int64_t seed_flag = -1;  // <0 = not given
+  std::uint64_t resolved_seed = 0;
+  bool seed_set = false;
+  fault::FaultPlan plan;
+  bool plan_set = false;
 };
 
 ReportState& report() {
@@ -51,9 +68,24 @@ void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
-std::string report_json() {
+// Caller holds r.mu (or is the sole remaining thread).
+std::string report_json(bool partial) {
   const ReportState& r = report();
-  std::string out = "{\n  \"metrics_registry\": ";
+  std::string out = "{\n  \"partial\": ";
+  out += partial ? "true" : "false";
+  out += ",\n";
+  if (r.seed_set) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  \"seed\": %llu,\n",
+                  static_cast<unsigned long long>(r.resolved_seed));
+    out += buf;
+  }
+  if (r.plan_set) {
+    out += "  \"fault\": ";
+    append_json_string(out, r.plan.to_string());
+    out += ",\n";
+  }
+  out += "  \"metrics_registry\": ";
   out += obs::MetricsRegistry::global().to_json();
   out += ",\n";
 #if SEMPERM_TRACE
@@ -102,6 +134,71 @@ std::string report_json() {
   return out;
 }
 
+/// Crash-safe report write: temp file in the same directory, fsync-free
+/// (we guard against truncation, not power loss), atomic rename into
+/// place. A reader never observes a half-written report.
+bool write_report_atomic(const std::string& path, const std::string& json) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Flush whatever has been emitted so far as a `"partial": true` report.
+/// Runs on the guard thread (a normal thread, NOT a signal handler — the
+/// guard receives signals synchronously via sigtimedwait, so unrestricted
+/// code is safe here).
+void flush_partial_report(const char* why) {
+  ReportState& r = report();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.json_path.empty()) return;
+  if (write_report_atomic(r.json_path, report_json(/*partial=*/true)))
+    std::fprintf(stderr, "bench harness: %s — partial report flushed to %s\n",
+                 why, r.json_path.c_str());
+  else
+    std::fprintf(stderr, "bench harness: %s — partial report write FAILED\n",
+                 why);
+}
+
+/// Watchdog + signal guard: SIGTERM/SIGINT are blocked process-wide (the
+/// mask is inherited by every thread spawned later) and received
+/// synchronously here, so a kill or a timeout flushes the partial report
+/// no matter what the bench main is stuck on. Timeout exits 124 (the
+/// timeout(1) convention, asserted by the harness smoke test).
+void start_guard_thread(std::int64_t timeout_s) {
+  static std::atomic<bool> started{false};
+  if (started.exchange(true)) return;
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  std::thread([timeout_s, set] {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeout_s > 0 ? timeout_s : 0);
+    for (;;) {
+      if (report().finished.load(std::memory_order_acquire)) return;
+      timespec wait{};
+      wait.tv_nsec = 100'000'000;  // poll the deadline at 10 Hz
+      const int sig = sigtimedwait(&set, nullptr, &wait);
+      if (sig == SIGTERM || sig == SIGINT) {
+        flush_partial_report(sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        std::_Exit(128 + sig);
+      }
+      if (timeout_s > 0 && std::chrono::steady_clock::now() >= deadline) {
+        flush_partial_report("watchdog timeout");
+        std::_Exit(124);
+      }
+    }
+  }).detach();
+}
+
 }  // namespace
 
 void add_standard_flags(Cli& cli) {
@@ -116,14 +213,53 @@ void add_standard_flags(Cli& cli) {
                  "Write the counter-track timeseries as CSV to this file");
   cli.add_int("trace-sample", 1,
               "Keep every Nth span/instant trace event (counters always kept)");
+  cli.add_int("seed", -1,
+              "RNG seed for every stochastic element (default: per-bench)");
+  cli.add_string("fault", "",
+                 "Fault-injection spec, e.g. drop=0.01,dup=0.005,seed=7 "
+                 "(sites: drop dup reorder delay stall; also site@seq and "
+                 "site@start+len)");
+  cli.add_int("timeout-s", 0,
+              "Watchdog: flush a partial report and exit 124 after this "
+              "many seconds (0 = no timeout)");
+  cli.add_flag("debug-hang",
+               "Test hook: hang forever after setup (exercises the "
+               "watchdog/partial-report path)");
 }
 
 void configure_report(const Cli& cli) {
-  report().json_path = cli.get_string("json");
-  report().filter = cli.get_string("filter");
+  ReportState& r = report();
+  r.json_path = cli.get_string("json");
+  r.filter = cli.get_string("filter");
+  r.seed_flag = cli.get_int("seed");
+  const std::string fault_spec = cli.get_string("fault");
+  if (!fault_spec.empty()) {
+    try {
+      r.plan = fault::FaultPlan::parse(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+    // The global --seed also seeds the plan unless the spec pinned one.
+    if (r.seed_flag >= 0 && fault_spec.find("seed=") == std::string::npos)
+      r.plan.seed = static_cast<std::uint64_t>(r.seed_flag);
+    r.plan_set = true;
+    if (!fault::kFaultEnabled)
+      std::fprintf(stderr,
+                   "warning: --fault requested but the fault plane is "
+                   "compiled out; rebuild with -DSEMPERM_FAULT=ON "
+                   "(nothing will be injected)\n");
+  }
+  const std::int64_t timeout_s = cli.get_int("timeout-s");
+  if (timeout_s > 0 || !r.json_path.empty())
+    start_guard_thread(timeout_s);
   const std::int64_t sample = cli.get_int("trace-sample");
   configure_trace(cli.get_string("trace"), cli.get_string("trace-csv"),
                   sample > 0 ? static_cast<std::uint64_t>(sample) : 1);
+  if (cli.flag("debug-hang")) {
+    std::fprintf(stderr, "bench harness: --debug-hang, sleeping forever\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
 }
 
 void configure_report(const std::string& json_path, const std::string& filter) {
@@ -155,6 +291,20 @@ void configure_trace(const std::string& trace_json_path,
 #endif
 }
 
+std::uint64_t bench_seed(std::uint64_t bench_default) {
+  ReportState& r = report();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.resolved_seed = r.seed_flag >= 0 ? static_cast<std::uint64_t>(r.seed_flag)
+                                     : bench_default;
+  r.seed_set = true;
+  return r.resolved_seed;
+}
+
+const fault::FaultPlan* fault_plan() {
+  ReportState& r = report();
+  return r.plan_set ? &r.plan : nullptr;
+}
+
 bool panel_enabled(const std::string& title) {
   const std::string& f = report().filter;
   return f.empty() || title.find(f) != std::string::npos;
@@ -165,18 +315,25 @@ void default_json_path(const std::string& path) {
 }
 
 void report_metric(const std::string& name, double value) {
-  report().metrics.emplace_back(name, value);
+  ReportState& r = report();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.metrics.emplace_back(name, value);
 }
 
 void emit(const std::string& title, const Table& table, bool csv) {
   if (!panel_enabled(title)) return;
   std::fputs(banner(title).c_str(), stdout);
   std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
-  report().tables.emplace_back(title, table);
+  ReportState& r = report();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.tables.emplace_back(title, table);
 }
 
 int finish_report() {
-  const ReportState& r = report();
+  ReportState& r = report();
+  // Retire the guard: from here the run counts as complete, and a late
+  // timeout/signal must not overwrite the final report with a partial.
+  r.finished.store(true, std::memory_order_release);
   int rc = 0;
 #if SEMPERM_TRACE
   if (r.trace_active) {
@@ -204,15 +361,12 @@ int finish_report() {
   }
 #endif
   if (r.json_path.empty()) return rc;
-  std::FILE* f = std::fopen(r.json_path.c_str(), "w");
-  if (f == nullptr) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (!write_report_atomic(r.json_path, report_json(/*partial=*/false))) {
     std::fprintf(stderr, "cannot write JSON report to %s\n",
                  r.json_path.c_str());
     return 1;
   }
-  const std::string json = report_json();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
   return rc;
 }
 

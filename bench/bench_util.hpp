@@ -17,6 +17,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 
 namespace semperm::bench {
 
@@ -60,6 +61,17 @@ void configure_trace(const std::string& trace_json_path,
                      const std::string& timeseries_csv_path,
                      std::uint64_t sample_every, bool wall_clock = false);
 
+/// The run's RNG seed: the --seed flag when given, else `bench_default`.
+/// The resolved value is echoed in the --json report ("seed" field), so
+/// a randomized CI run is reproducible from its artifact.
+std::uint64_t bench_seed(std::uint64_t bench_default);
+
+/// The parsed --fault plan, or nullptr when no spec was given. When a
+/// spec was given but the fault plane is compiled out (SEMPERM_FAULT=0)
+/// the plan is still returned — injection sites simply no-op — and a
+/// warning is printed at parse time. Valid for the process lifetime.
+const fault::FaultPlan* fault_plan();
+
 /// Under --filter <substr>, is the panel/table `title` selected? Benches
 /// check this before computing an expensive panel; emit() re-checks it, so
 /// cheap callers may skip the guard.
@@ -79,8 +91,10 @@ void report_metric(const std::string& name, double value);
 void emit(const std::string& title, const Table& table, bool csv);
 
 /// Stop the trace session (writing the requested trace outputs) and
-/// write the --json report, if one was requested. Returns the process
-/// exit code, so mains can end with `return bench::finish_report();`.
+/// write the --json report, if one was requested. The report is written
+/// to a temporary file and renamed into place, so a crash mid-write
+/// never leaves a truncated artifact. Returns the process exit code, so
+/// mains can end with `return bench::finish_report();`.
 int finish_report();
 
 }  // namespace semperm::bench

@@ -42,6 +42,10 @@ workloads::OsuParams base_params(const cachesim::ArchProfile& arch,
   p.heater = spec.heater;
   p.iterations = quick ? 2 : 6;
   p.warmup_iterations = 1;
+  // Global --seed / --fault plumbing: every figure bench inherits the
+  // run's resolved seed and chaos plan (both echoed in the JSON report).
+  p.seed = bench_seed(p.seed);
+  p.fault = fault_plan();
   return p;
 }
 

@@ -1,0 +1,153 @@
+#include "fault/heater_watchdog.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace semperm::fault {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+HeaterWatchdog::HeaterWatchdog(hotcache::HeaterThread& heater,
+                               WatchdogConfig config)
+    : heater_(heater),
+      config_(config),
+      configured_budget_(heater.effective_budget()) {}
+
+HeaterWatchdog::~HeaterWatchdog() { stop(); }
+
+void HeaterWatchdog::start() {
+  if (running()) return;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void HeaterWatchdog::stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void HeaterWatchdog::apply_level_locked(int level) {
+  // Each level includes the levers of the ones below it.
+  const std::size_t degraded_budget =
+      configured_budget_ != 0
+          ? (configured_budget_ / 2 != 0 ? configured_budget_ / 2 : 1)
+          : config_.fallback_degraded_budget;
+  heater_.set_budget_override(level >= 1 ? degraded_budget : 0);
+  heater_.set_priority_ceiling(level >= 2 ? config_.essential_ceiling
+                                          : std::uint8_t{255});
+  if (level >= 3) {
+    if (!heater_.paused()) heater_.pause();
+    paused_by_watchdog_ = true;
+    probation_checks_ = 0;
+  } else if (paused_by_watchdog_) {
+    heater_.resume();
+    paused_by_watchdog_ = false;
+  }
+  level_.store(level, std::memory_order_release);
+  obs::MetricsRegistry::global().gauge("heater.degradation_level").set(level);
+}
+
+int HeaterWatchdog::check_once(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (baseline_ns_ == 0) baseline_ns_ = now_ns;
+  const int lvl = level_.load(std::memory_order_relaxed);
+  if (!heater_.running()) return lvl;  // nothing to observe or protect
+  if (heater_.paused()) {
+    // Either the application paused the heater (a legitimate compute
+    // phase — not our business) or we did at L3. At L3, a paused heater
+    // produces no passes, so staleness can never clear on its own:
+    // after the recovery streak, resume on probation at L2 and let the
+    // normal signal decide.
+    if (!paused_by_watchdog_) return lvl;
+    if (++probation_checks_ >= config_.recover_after_checks) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      apply_level_locked(2);
+      baseline_ns_ = now_ns;  // fresh staleness reference after resume
+      stale_streak_ = 0;
+      healthy_streak_ = 0;
+      SEMPERM_TRACE_INSTANT(obs::Category::kHeater, "watchdog_recover", 0, 2,
+                            0.0);
+    }
+    return level_.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t last = heater_.last_pass_end_ns();
+  const std::uint64_t ref = last != 0 ? last : baseline_ns_;
+  const bool stale =
+      now_ns > ref && now_ns - ref > config_.stale_threshold_ns;
+  if (stale) {
+    stale_checks_.fetch_add(1, std::memory_order_relaxed);
+    healthy_streak_ = 0;
+    if (++stale_streak_ >= config_.degrade_after_checks) {
+      stale_streak_ = 0;
+      if (lvl < 3) {
+        degradations_.fetch_add(1, std::memory_order_relaxed);
+        apply_level_locked(lvl + 1);
+        SEMPERM_TRACE_INSTANT(obs::Category::kHeater, "watchdog_degrade", 0,
+                              static_cast<std::uint64_t>(lvl + 1), 0.0);
+      }
+    }
+  } else {
+    stale_streak_ = 0;
+    if (++healthy_streak_ >= config_.recover_after_checks) {
+      healthy_streak_ = 0;
+      if (lvl > 0) {
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+        apply_level_locked(lvl - 1);
+        SEMPERM_TRACE_INSTANT(obs::Category::kHeater, "watchdog_recover", 0,
+                              static_cast<std::uint64_t>(lvl - 1), 0.0);
+      }
+    }
+  }
+  return level_.load(std::memory_order_relaxed);
+}
+
+void HeaterWatchdog::reset() {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  apply_level_locked(0);
+  baseline_ns_ = 0;
+  stale_streak_ = 0;
+  healthy_streak_ = 0;
+  probation_checks_ = 0;
+}
+
+WatchdogStats HeaterWatchdog::stats() const {
+  WatchdogStats s;
+  s.level = level_.load(std::memory_order_acquire);
+  s.checks = checks_.load(std::memory_order_relaxed);
+  s.stale_checks = stale_checks_.load(std::memory_order_relaxed);
+  s.degradations = degradations_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HeaterWatchdog::thread_main() {
+  SEMPERM_TRACE_THREAD_NAME("heater_watchdog");
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    check_once(steady_now_ns());
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait_for(
+        lock, std::chrono::nanoseconds(config_.check_period_ns),
+        [this] { return stop_requested_.load(std::memory_order_acquire); });
+  }
+}
+
+}  // namespace semperm::fault

@@ -23,10 +23,14 @@
 
 namespace semperm::hotcache {
 
-/// A snapshot of one region, as read by the heater.
+/// A snapshot of one region, as read by the heater. `priority` orders
+/// regions for graceful degradation: 0 is the most important; a
+/// degraded heater (fault/heater_watchdog) stops heating regions whose
+/// priority exceeds its current ceiling.
 struct RegionView {
   const std::byte* base = nullptr;
   std::size_t len = 0;
+  std::uint8_t priority = 0;
 };
 
 class RegionRegistry {
@@ -38,9 +42,11 @@ class RegionRegistry {
   RegionRegistry(const RegionRegistry&) = delete;
   RegionRegistry& operator=(const RegionRegistry&) = delete;
 
-  /// Register [base, base+len). Returns a slot handle.
-  /// Throws std::runtime_error when the registry is full.
-  std::size_t register_region(const void* base, std::size_t len);
+  /// Register [base, base+len) at `priority` (0 = most important).
+  /// Returns a slot handle. Throws std::runtime_error when the registry
+  /// is full.
+  std::size_t register_region(const void* base, std::size_t len,
+                              std::uint8_t priority = 0);
 
   /// Tombstone a slot. The memory must stay readable (see header comment).
   void unregister_region(std::size_t handle);
@@ -69,10 +75,12 @@ class RegionRegistry {
     // be a data race under the C++ memory model (and ThreadSanitizer).
     std::atomic<const std::byte*> base{nullptr};
     std::atomic<std::size_t> len{0};
+    std::atomic<std::uint8_t> priority{0};
     std::atomic<bool> live{false};
   };
 
-  void write_slot(Slot& s, const void* base, std::size_t len, bool live);
+  void write_slot(Slot& s, const void* base, std::size_t len,
+                  std::uint8_t priority, bool live);
 
   std::vector<Slot> slots_;
   std::atomic<std::size_t> high_water_{0};

@@ -40,6 +40,10 @@ struct Rank {
   double clock_ns = 0.0;
   Cycles charged_cycles = 0;
   std::size_t pc = 0;  // program counter
+  /// The current blocked receive, still posted in the PRQ. Pointers into
+  /// `requests` (a deque) stay valid across the emplace_backs absorb()
+  /// does.
+  match::MatchRequest* pending_recv = nullptr;
   bool done = false;
   RankResult result;
 };
@@ -116,29 +120,32 @@ ClusterResult run_cluster(const std::vector<Program>& programs,
         ++rank.pc;
         progressed = true;
       } else {  // kRecv
-        rank.requests.emplace_back(match::RequestKind::kRecv,
-                                   rank.requests.size());
-        match::MatchRequest* recv = &rank.requests.back();
-        rank.bundle->post_recv(
-            match::Pattern::make(op.peer < 0 ? match::kAnySource : op.peer,
-                                 op.tag, 0),
-            recv);
-        charge(rank);
-        // Absorb arrivals until this receive matches.
-        while (!recv->complete()) {
-          if (rank.inbox.empty()) {
-            // Cancel the post so a later pass can retry it cleanly.
-            if (!recv->complete()) {
-              SEMPERM_ASSERT(rank.bundle->cancel_recv(recv));
-              rank.requests.pop_back();
-              return progressed;  // blocked: wait for senders to run
-            }
-            break;
-          }
+        // Post once; a blocked receive stays in the PRQ across cooperative
+        // passes. (The old cancel-and-retry path re-posted on every pass,
+        // re-searching the UMQ and re-charging its cycles each time — and
+        // once arrivals had been absorbed, its pop_back destroyed the last
+        // absorbed unexpected request, which the UMQ could still
+        // reference, instead of the cancelled receive.)
+        if (rank.pending_recv == nullptr) {
+          rank.requests.emplace_back(match::RequestKind::kRecv,
+                                     rank.requests.size());
+          match::MatchRequest* recv = &rank.requests.back();
+          rank.bundle->post_recv(
+              match::Pattern::make(op.peer < 0 ? match::kAnySource : op.peer,
+                                   op.tag, 0),
+              recv);
+          charge(rank);
+          rank.pending_recv = recv;
+        }
+        // Absorb arrivals until the pending receive matches.
+        while (!rank.pending_recv->complete()) {
+          if (rank.inbox.empty())
+            return progressed;  // blocked: wait for senders to run
           const Arrival arrival = rank.inbox.top();
           rank.inbox.pop();
           absorb(rank, arrival);
         }
+        rank.pending_recv = nullptr;
         ++rank.result.recvs;
         ++rank.pc;
         progressed = true;
@@ -176,6 +183,8 @@ ClusterResult run_cluster(const std::vector<Program>& programs,
   }
   result.mean_prq_search_depth = prq_total.mean_inspected();
   result.mean_umq_search_depth = umq_total.mean_inspected();
+  result.prq_stats = prq_total;
+  result.umq_stats = umq_total;
   return result;
 }
 

@@ -69,6 +69,12 @@ struct ClusterResult {
   double total_match_ns = 0.0;
   double mean_prq_search_depth = 0.0;  // aggregated over ranks
   double mean_umq_search_depth = 0.0;  // aggregated over ranks
+  /// Full aggregated engine stats (searches, entries inspected, slots
+  /// scanned) summed over every rank's PRQ/UMQ, so callers can audit
+  /// exact search counts — a blocked receive stays posted across
+  /// cooperative passes and is searched exactly once.
+  match::SearchStats prq_stats;
+  match::SearchStats umq_stats;
   std::vector<RankResult> ranks;
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace semperm::simmpi {
@@ -19,6 +20,13 @@ constexpr std::int32_t kDupTag = 4000;
 constexpr std::int32_t kGatherTag = 5000;
 constexpr std::int32_t kScatterTag = 6000;
 constexpr std::int32_t kAlltoallTag = 7000;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 // --------------------------------------------------------------------
@@ -31,10 +39,15 @@ Runtime::Runtime(int nranks, match::QueueConfig qcfg, RuntimeOptions options)
   if (qcfg_.kind == match::QueueKind::kOmpiBins ||
       qcfg_.kind == match::QueueKind::kFourDim)
     qcfg_.bins = static_cast<std::size_t>(nranks_);
+  transport_active_ = fault::kFaultEnabled && options_.fault_plan != nullptr &&
+                      options_.fault_plan->network_active();
   ranks_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     auto st = std::make_unique<RankState>();
     st->bundle = match::make_engine(native_mem_, space_, qcfg_);
+    st->self = r;
+    if (transport_active_)
+      st->transport = std::make_unique<Transport>(*options_.fault_plan);
     ranks_.push_back(std::move(st));
   }
 }
@@ -66,7 +79,8 @@ void Runtime::accept_rendezvous(RankState& st, UnexpectedHolder& holder,
   WireMessage cts;
   cts.kind = WireKind::kCts;
   cts.rdv_id = holder.rdv_id;
-  deliver(holder.origin, std::move(cts));
+  cts.origin = st.self;
+  transmit_locked(st, holder.origin, std::move(cts));
 }
 
 void Runtime::drain_locked(int rank, RankState& st) {
@@ -76,62 +90,267 @@ void Runtime::drain_locked(int rank, RankState& st) {
     std::lock_guard<std::mutex> lock(st.mailbox_mutex);
     batch.swap(st.mailbox);
   }
-  for (WireMessage& msg : batch) {
-    switch (msg.kind) {
-      case WireKind::kCts: {
-        st.cts_received.insert(msg.rdv_id);
-        continue;
-      }
-      case WireKind::kRdvData: {
-        const auto it = st.rdv_pending.find(msg.rdv_id);
-        SEMPERM_ASSERT_MSG(it != st.rdv_pending.end(),
-                           "rendezvous data without a pending receive");
-        match::MatchRequest* recv = it->second;
-        SEMPERM_ASSERT_MSG(msg.payload.size() <= recv->bytes(),
-                           "rendezvous payload overflows receive buffer");
-        if (!msg.payload.empty())
-          std::memcpy(recv->buffer(), msg.payload.data(), msg.payload.size());
-        recv->set_cookie(msg.payload.size());
-        recv->mark_complete();
-        st.rdv_pending.erase(it);
-        continue;
-      }
-      case WireKind::kEager:
-      case WireKind::kRts:
-        break;
+  if (fault::kFaultEnabled && st.transport) {
+    std::vector<WireMessage> ready;
+    for (WireMessage& msg : batch) {
+      ready.clear();
+      transport_rx_locked(st, std::move(msg), ready);
+      for (WireMessage& m : ready) protocol_deliver_locked(st, m);
     }
-    auto holder = std::make_unique<UnexpectedHolder>();
-    holder->req = match::MatchRequest(match::RequestKind::kUnexpected,
-                                      st.next_seq++);
-    holder->payload = std::move(msg.payload);
-    holder->env = msg.env;
-    holder->is_rdv = msg.kind == WireKind::kRts;
-    holder->rdv_id = msg.rdv_id;
-    holder->origin = msg.origin;
-    match::MatchRequest* recv =
-        st.bundle->incoming(msg.env, &holder->req);
-    if (recv != nullptr) {
-      if (holder->is_rdv) {
-        // Matching happened on the RTS; the payload follows after CTS.
-        accept_rendezvous(st, *holder, recv);
-        recv->unmark_complete();
-        continue;  // holder dies: the RTS is consumed
-      }
-      // Eager: copy straight into the posted buffer.
-      SEMPERM_ASSERT_MSG(holder->payload.size() <= recv->bytes(),
-                         "message (" << holder->payload.size()
-                                     << " B) overflows receive buffer ("
-                                     << recv->bytes() << " B)");
-      if (!holder->payload.empty())
-        std::memcpy(recv->buffer(), holder->payload.data(),
-                    holder->payload.size());
-      recv->set_cookie(holder->payload.size());
-      // holder dies here; the message is consumed.
+    return;
+  }
+  for (WireMessage& msg : batch) protocol_deliver_locked(st, msg);
+}
+
+void Runtime::protocol_deliver_locked(RankState& st, WireMessage& msg) {
+  switch (msg.kind) {
+    case WireKind::kAck:
+      SEMPERM_ASSERT_MSG(false, "transport ack reached the protocol layer");
+      return;
+    case WireKind::kCts: {
+      st.cts_received.insert(msg.rdv_id);
+      return;
+    }
+    case WireKind::kRdvData: {
+      const auto it = st.rdv_pending.find(msg.rdv_id);
+      SEMPERM_ASSERT_MSG(it != st.rdv_pending.end(),
+                         "rendezvous data without a pending receive");
+      match::MatchRequest* recv = it->second;
+      SEMPERM_ASSERT_MSG(msg.payload.size() <= recv->bytes(),
+                         "rendezvous payload overflows receive buffer");
+      if (!msg.payload.empty())
+        std::memcpy(recv->buffer(), msg.payload.data(), msg.payload.size());
+      recv->set_cookie(msg.payload.size());
+      recv->mark_complete();
+      st.rdv_pending.erase(it);
+      return;
+    }
+    case WireKind::kEager:
+    case WireKind::kRts:
+      break;
+  }
+  auto holder = std::make_unique<UnexpectedHolder>();
+  holder->req = match::MatchRequest(match::RequestKind::kUnexpected,
+                                    st.next_seq++);
+  holder->payload = std::move(msg.payload);
+  holder->env = msg.env;
+  holder->is_rdv = msg.kind == WireKind::kRts;
+  holder->rdv_id = msg.rdv_id;
+  holder->origin = msg.origin;
+  match::MatchRequest* recv =
+      st.bundle->incoming(msg.env, &holder->req);
+  if (recv != nullptr) {
+    if (holder->is_rdv) {
+      // Matching happened on the RTS; the payload follows after CTS.
+      accept_rendezvous(st, *holder, recv);
+      recv->unmark_complete();
+      return;  // holder dies: the RTS is consumed
+    }
+    // Eager: copy straight into the posted buffer.
+    SEMPERM_ASSERT_MSG(holder->payload.size() <= recv->bytes(),
+                       "message (" << holder->payload.size()
+                                   << " B) overflows receive buffer ("
+                                   << recv->bytes() << " B)");
+    if (!holder->payload.empty())
+      std::memcpy(recv->buffer(), holder->payload.data(),
+                  holder->payload.size());
+    recv->set_cookie(holder->payload.size());
+    // holder dies here; the message is consumed.
+  } else {
+    // Buffered as unexpected (an RTS buffers with no payload — the
+    // reason the 16-byte UMQ entries need no payload storage).
+    st.unexpected.emplace(&holder->req, std::move(holder));
+  }
+}
+
+// --------------------------------------------------------------------
+// Reliability transport
+// --------------------------------------------------------------------
+
+void Runtime::transmit(int src, int dst, WireMessage&& msg) {
+  if (fault::kFaultEnabled && transport_active_) {
+    RankState& st = state(src);
+    std::lock_guard<std::mutex> lock(st.mutex);
+    transmit_locked(st, dst, std::move(msg));
+    return;
+  }
+  deliver(dst, std::move(msg));
+}
+
+void Runtime::transmit_locked(RankState& st, int dst, WireMessage&& msg) {
+  if (!(fault::kFaultEnabled && st.transport)) {
+    deliver(dst, std::move(msg));
+    return;
+  }
+  Transport& t = *st.transport;
+  PairTx& tx = t.tx[dst];
+  msg.origin = st.self;
+  msg.wire_seq = tx.next_wire_seq++;
+  t.stats.frames_sent += 1;
+  wire_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now = steady_now_ns();
+  PairTx::Unacked u;
+  u.msg = msg;  // copy kept for retransmission
+  u.next_retx_ns = now + options_.retransmit_timeout_ns;
+  u.attempts = 0;
+  tx.unacked.emplace(msg.wire_seq, std::move(u));
+  // Reorder-held predecessors release behind this frame: snapshot them
+  // before the attempt so a hold decided for THIS frame stays held.
+  std::vector<HeldFrame> releasing;
+  for (auto it = tx.held.begin(); it != tx.held.end();) {
+    if (it->release_on_next_send) {
+      releasing.push_back(std::move(*it));
+      it = tx.held.erase(it);
     } else {
-      // Buffered as unexpected (an RTS buffers with no payload — the
-      // reason the 16-byte UMQ entries need no payload storage).
-      st.unexpected.emplace(&holder->req, std::move(holder));
+      ++it;
     }
+  }
+  attempt_transmit_locked(st, dst, tx, msg, /*attempt=*/0);
+  for (HeldFrame& h : releasing) {
+    wire_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    deliver(dst, std::move(h.msg));
+  }
+}
+
+void Runtime::attempt_transmit_locked(RankState& st, int dst, PairTx& tx,
+                                      const WireMessage& frame,
+                                      std::uint32_t attempt) {
+  Transport& t = *st.transport;
+  if (attempt > 0) t.stats.retransmissions += 1;
+  const fault::FaultDecision d =
+      t.injector.decide(st.self, dst, frame.wire_seq, attempt);
+  if (d.drop) {
+    t.stats.wire_drops += 1;  // the retransmit timer recovers it
+    return;
+  }
+  if (d.reorder || d.delay_ns != 0) {
+    HeldFrame h;
+    h.msg = frame;
+    h.release_on_next_send = d.reorder;
+    h.release_at_ns =
+        steady_now_ns() + (d.reorder ? options_.reorder_hold_ns : d.delay_ns);
+    tx.held.push_back(std::move(h));
+    wire_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    deliver(dst, WireMessage(frame));
+  }
+  if (d.duplicate) {
+    t.stats.dup_copies += 1;
+    deliver(dst, WireMessage(frame));
+  }
+}
+
+void Runtime::transport_rx_locked(RankState& st, WireMessage&& msg,
+                                  std::vector<WireMessage>& ready) {
+  Transport& t = *st.transport;
+  if (msg.kind == WireKind::kAck) {
+    // Cumulative: everything at or below the acked seq is delivered.
+    PairTx& tx = t.tx[msg.origin];
+    auto it = tx.unacked.begin();
+    while (it != tx.unacked.end() && it->first <= msg.wire_seq) {
+      wire_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      it = tx.unacked.erase(it);
+    }
+    return;
+  }
+  SEMPERM_ASSERT_MSG(msg.wire_seq != 0,
+                     "unsequenced frame on an active transport");
+  const int src = msg.origin;
+  PairRx& rx = t.rx[src];
+  if (msg.wire_seq < rx.expected) {
+    // Stale duplicate (retransmission raced the ack, or an injected
+    // copy). Re-ack: the original ack may have been lost.
+    t.stats.dup_suppressed += 1;
+    send_ack_locked(st, src, rx.expected - 1);
+    return;
+  }
+  if (msg.wire_seq > rx.expected) {
+    // Out of order: park it (drop injected extra copies of parked seqs).
+    if (rx.parked.emplace(msg.wire_seq, std::move(msg)).second)
+      t.stats.parked += 1;
+    else
+      t.stats.dup_suppressed += 1;
+    return;
+  }
+  // In order: hand over, then unpark the run it unblocked.
+  ready.push_back(std::move(msg));
+  t.stats.delivered += 1;
+  rx.expected += 1;
+  for (auto it = rx.parked.begin();
+       it != rx.parked.end() && it->first == rx.expected;
+       it = rx.parked.erase(it)) {
+    ready.push_back(std::move(it->second));
+    t.stats.delivered += 1;
+    rx.expected += 1;
+  }
+  send_ack_locked(st, src, rx.expected - 1);
+}
+
+void Runtime::send_ack_locked(RankState& st, int to, std::uint64_t ack_seq) {
+  Transport& t = *st.transport;
+  PairRx& rx = t.rx[to];
+  t.stats.acks_sent += 1;
+  if (t.injector.drop_ack(st.self, to, rx.ack_no++)) {
+    // A lost ack costs a retransmission, which re-acks on arrival.
+    t.stats.ack_drops += 1;
+    return;
+  }
+  WireMessage ack;
+  ack.kind = WireKind::kAck;
+  ack.origin = st.self;
+  ack.wire_seq = ack_seq;
+  deliver(to, std::move(ack));
+}
+
+void Runtime::service_transport_locked(RankState& st) {
+  Transport& t = *st.transport;
+  const std::uint64_t now = steady_now_ns();
+  for (auto& [dst, tx] : t.tx) {
+    // Force-release held frames whose deadline passed (a reorder hold
+    // with no successor, or an elapsed delay spike).
+    for (auto it = tx.held.begin(); it != tx.held.end();) {
+      if (now >= it->release_at_ns) {
+        wire_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+        deliver(dst, std::move(it->msg));
+        it = tx.held.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [seq, u] : tx.unacked) {
+      if (now < u.next_retx_ns) continue;
+      u.attempts += 1;
+      attempt_transmit_locked(st, dst, tx, u.msg, u.attempts);
+      // Capped exponential backoff on the retransmit timer.
+      const std::uint64_t shift = u.attempts < 6 ? u.attempts : 6;
+      std::uint64_t rto = options_.retransmit_timeout_ns << shift;
+      if (rto > options_.retransmit_backoff_cap_ns)
+        rto = options_.retransmit_backoff_cap_ns;
+      u.next_retx_ns = now + rto;
+    }
+  }
+}
+
+void Runtime::quiesce(int rank) {
+  // rank_main returned, but frames this rank sent may still be unacked,
+  // and peers may still retransmit to it. Keep the transport breathing
+  // until the whole runtime has no unacked or held frame left.
+  RankState& st = state(rank);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      drain_locked(rank, st);
+      service_transport_locked(st);
+    }
+    if (wire_outstanding_.load(std::memory_order_acquire) == 0) {
+      std::lock_guard<std::mutex> mlock(st.mailbox_mutex);
+      if (st.mailbox.empty()) return;
+      continue;  // late duplicates still queued: drain them
+    }
+    std::unique_lock<std::mutex> mlock(st.mailbox_mutex);
+    if (!st.mailbox.empty()) continue;
+    st.cv.wait_for(mlock,
+                   std::chrono::nanoseconds(options_.transport_poll_ns));
   }
 }
 
@@ -148,6 +367,7 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
                 "rank " + std::to_string(r));)
         Comm comm(this, r, /*ctx_ptp=*/0, /*ctx_coll=*/1);
         rank_main(comm);
+        if (fault::kFaultEnabled && transport_active_) quiesce(r);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -155,6 +375,13 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+  if (fault::kFaultEnabled && transport_active_) {
+    const fault::WireStats ws = wire_stats();
+    auto& mr = obs::MetricsRegistry::global();
+    mr.counter("simmpi.retransmissions").add(ws.retransmissions);
+    mr.counter("simmpi.dup_suppressed").add(ws.dup_suppressed);
+    mr.counter("simmpi.wire_drops").add(ws.wire_drops);
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -167,6 +394,20 @@ match::SearchStats Runtime::aggregate_prq_stats() const {
 match::SearchStats Runtime::aggregate_umq_stats() const {
   match::SearchStats total;
   for (const auto& st : ranks_) total.merge(st->bundle.engine->umq().stats());
+  return total;
+}
+
+fault::WireStats Runtime::wire_stats() const {
+  fault::WireStats total;
+  for (const auto& st : ranks_)
+    if (st->transport) total.merge(st->transport->stats);
+  return total;
+}
+
+fault::FaultStats Runtime::fault_stats() const {
+  fault::FaultStats total;
+  for (const auto& st : ranks_)
+    if (st->transport) total.merge(st->transport->injector.stats());
   return total;
 }
 
@@ -188,7 +429,7 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
     msg.env = env;
     msg.origin = rank_;
     msg.payload.assign(data.begin(), data.end());
-    rt_->deliver(dest, std::move(msg));
+    rt_->transmit(rank_, dest, std::move(msg));
     SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kMpi, "send", 0,
                            data.size(), static_cast<double>(dest));
     return;
@@ -207,7 +448,7 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
   rts.env = env;
   rts.rdv_id = id;
   rts.origin = rank_;
-  rt_->deliver(dest, std::move(rts));
+  rt_->transmit(rank_, dest, std::move(rts));
   rt_->wait_progress(rank_, st,
                      [&] { return st.cts_received.count(id) != 0; });
   {
@@ -219,7 +460,7 @@ void Comm::send_ctx(int dest, int tag, std::span<const std::byte> data,
   payload.rdv_id = id;
   payload.origin = rank_;
   payload.payload.assign(data.begin(), data.end());
-  rt_->deliver(dest, std::move(payload));
+  rt_->transmit(rank_, dest, std::move(payload));
   SEMPERM_TRACE_SPAN_END(semperm::obs::Category::kMpi, "send", 0, data.size(),
                          static_cast<double>(dest));
 }

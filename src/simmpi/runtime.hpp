@@ -26,6 +26,18 @@
 // MPI's per-(source, destination, communicator) non-overtaking order holds
 // because mailboxes are FIFO and the matching engine searches in arrival
 // order.
+//
+// Reliability sublayer (DESIGN.md §12): when a fault plan with active
+// network sites is installed (RuntimeOptions::fault_plan) and the fault
+// plane is compiled in, every wire frame carries a per-(src, dst) sequence
+// number and moves through a go-back-nothing transport: receivers deliver
+// strictly in sequence (parking out-of-order frames, discarding
+// duplicates, cumulative-acking progress) and senders buffer frames until
+// acked, retransmitting on a capped-exponential-backoff timer. The
+// protocol layer above — matching, rendezvous, collectives — observes a
+// per-pair frame stream bit-identical to a fault-free run, which is the
+// property the chaos tests pin. Without a plan (or compiled out,
+// SEMPERM_FAULT=0) frames take the direct deliver() path unchanged.
 #pragma once
 
 #include <condition_variable>
@@ -41,7 +53,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+#include <map>
+
 #include "common/mem_policy.hpp"
+#include "fault/fault.hpp"
 #include "match/engine.hpp"
 #include "match/factory.hpp"
 #include "simmpi/network_model.hpp"
@@ -156,6 +173,22 @@ class Comm {
 struct RuntimeOptions {
   /// Payloads larger than this use the rendezvous protocol.
   std::size_t eager_threshold = 16 * 1024;
+
+  // --- reliability sublayer (active only with a plan whose network
+  // sites fire, and only when SEMPERM_FAULT compiles the sites in) ----
+  /// Fault scenario to inject; must outlive the Runtime. nullptr = the
+  /// wire is perfectly reliable and frames bypass the transport.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Initial retransmit timeout (wall clock); doubles per attempt.
+  std::uint64_t retransmit_timeout_ns = 200'000;
+  /// Backoff ceiling for the retransmit timer.
+  std::uint64_t retransmit_backoff_cap_ns = 2'000'000;
+  /// How long a reorder-held frame may wait for a successor before the
+  /// retransmit service force-releases it.
+  std::uint64_t reorder_hold_ns = 500'000;
+  /// Poll granularity of blocked ranks while the transport is active
+  /// (a sleeping sender must wake to run its retransmit timers).
+  std::uint64_t transport_poll_ns = 50'000;
 };
 
 class Runtime {
@@ -177,6 +210,16 @@ class Runtime {
   match::SearchStats aggregate_prq_stats() const;
   match::SearchStats aggregate_umq_stats() const;
 
+  /// Aggregate transport accounting over all ranks (after run()). All
+  /// zeros when the reliability sublayer is inactive. At quiesce the
+  /// conservation identity WireStats::conserved() holds exactly.
+  fault::WireStats wire_stats() const;
+  /// Aggregate injector counts over all ranks (after run()).
+  fault::FaultStats fault_stats() const;
+  /// Is the reliability transport live (plan installed, sites active,
+  /// fault plane compiled in)?
+  bool transport_active() const { return transport_active_; }
+
  private:
   friend class Comm;
 
@@ -185,6 +228,7 @@ class Runtime {
     kRts,      // rendezvous ready-to-send: envelope only
     kCts,      // rendezvous clear-to-send: back to the sender
     kRdvData,  // rendezvous payload, addressed by rendezvous id
+    kAck,      // transport cumulative ack (wire_seq = acked seq)
   };
 
   struct WireMessage {
@@ -192,7 +236,11 @@ class Runtime {
     match::Envelope env;
     std::vector<std::byte> payload;
     std::uint64_t rdv_id = 0;
-    int origin = -1;  // sending rank (for CTS routing)
+    int origin = -1;  // sending rank (CTS routing, transport pair id)
+    /// Transport sequence number on the (origin, dest) pair; 1-based.
+    /// 0 = unsequenced (reliable wire, or an ack frame's own header —
+    /// an ack carries the acked seq here instead).
+    std::uint64_t wire_seq = 0;
   };
 
   /// A buffered unexpected message: the request the UMQ entry points at,
@@ -204,6 +252,43 @@ class Runtime {
     bool is_rdv = false;
     std::uint64_t rdv_id = 0;
     int origin = -1;
+  };
+
+  /// A frame held back on the sender side by reorder/delay injection.
+  struct HeldFrame {
+    WireMessage msg;
+    std::uint64_t release_at_ns = 0;
+    bool release_on_next_send = false;  // reorder: freed by the successor
+  };
+
+  /// Sender side of one (self -> dst) pair.
+  struct PairTx {
+    std::uint64_t next_wire_seq = 1;
+    struct Unacked {
+      WireMessage msg;  // full copy: retransmission source
+      std::uint64_t next_retx_ns = 0;
+      std::uint32_t attempts = 0;  // transmissions so far minus one
+    };
+    std::map<std::uint64_t, Unacked> unacked;  // ordered: cumulative acks
+    std::vector<HeldFrame> held;
+  };
+
+  /// Receiver side of one (src -> self) pair.
+  struct PairRx {
+    std::uint64_t expected = 1;  // next in-order wire_seq
+    std::map<std::uint64_t, WireMessage> parked;  // out-of-order buffer
+    std::uint64_t ack_no = 0;  // acks sent on this pair (drop-roll index)
+  };
+
+  /// Per-rank reliability transport; allocated only when the installed
+  /// fault plan has active network sites (and SEMPERM_FAULT is on).
+  /// All fields are guarded by the rank's state mutex.
+  struct Transport {
+    explicit Transport(const fault::FaultPlan& plan) : injector(plan) {}
+    fault::FaultInjector injector;
+    fault::WireStats stats;
+    std::unordered_map<int, PairTx> tx;  // keyed by destination rank
+    std::unordered_map<int, PairRx> rx;  // keyed by source rank
   };
 
   struct RankState {
@@ -223,31 +308,67 @@ class Runtime {
     std::unordered_set<std::uint64_t> cts_received;
     std::uint64_t next_rdv = 1;
     std::uint64_t next_seq = 1;
+    int self = -1;
+    std::unique_ptr<Transport> transport;  // null = reliable wire
   };
 
   RankState& state(int rank);
   void deliver(int dest, WireMessage msg);
 
+  /// Wire egress: route through the reliability transport when active,
+  /// or straight to deliver(). Must NOT be called with the sender's
+  /// state mutex held (use transmit_locked then).
+  void transmit(int src, int dst, WireMessage&& msg);
+  /// As transmit(), caller holding the sender's state mutex.
+  void transmit_locked(RankState& st, int dst, WireMessage&& msg);
+
   /// Progress loop: drain + check `done` under the state mutex; sleep on
   /// the mailbox condition variable only while the mailbox is verifiably
   /// empty (checked under the mailbox mutex), so a concurrent deliver()
-  /// can never be lost.
+  /// can never be lost. With the transport active the sleep is bounded
+  /// so this rank's retransmit timers keep running while it blocks.
   template <class Pred>
   void wait_progress(int rank, RankState& st, Pred&& done) {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(st.mutex);
         drain_locked(rank, st);
+        if (fault::kFaultEnabled && st.transport)
+          service_transport_locked(st);
         if (done()) return;
       }
       std::unique_lock<std::mutex> mlock(st.mailbox_mutex);
       if (!st.mailbox.empty()) continue;  // more work arrived: go drain it
-      st.cv.wait(mlock);
+      if (fault::kFaultEnabled && st.transport)
+        st.cv.wait_for(mlock,
+                       std::chrono::nanoseconds(options_.transport_poll_ns));
+      else
+        st.cv.wait(mlock);
     }
   }
   /// Pump `rank`'s mailbox into its engine. Caller holds the rank's state
   /// mutex (`RankState::mutex`).
   void drain_locked(int rank, RankState& st);
+  /// Hand one in-order frame to the protocol layer (the body of the old
+  /// drain switch). Caller holds the rank's state mutex.
+  void protocol_deliver_locked(RankState& st, WireMessage& msg);
+
+  // --- reliability transport (callers hold the rank's state mutex) ----
+  /// One transmission attempt of `frame` on (st.self -> dst): roll the
+  /// injector, then drop, hold, or deliver (plus an optional duplicate).
+  void attempt_transmit_locked(RankState& st, int dst, PairTx& tx,
+                               const WireMessage& frame,
+                               std::uint32_t attempt);
+  /// Receive-side sequencing: consume `msg`, appending any frames that
+  /// became deliverable in order to `ready` (possibly none).
+  void transport_rx_locked(RankState& st, WireMessage&& msg,
+                           std::vector<WireMessage>& ready);
+  /// Run retransmit timers and release due held frames for this rank.
+  void service_transport_locked(RankState& st);
+  void send_ack_locked(RankState& st, int to, std::uint64_t ack_seq);
+  /// Post-rank_main drain loop: keep servicing retransmits/acks until no
+  /// unacked or held frame remains anywhere in the runtime.
+  void quiesce(int rank);
   /// A receive matched an RTS: answer with CTS and park the receive until
   /// the payload arrives. Caller holds the rank's state mutex.
   void accept_rendezvous(RankState& st, UnexpectedHolder& holder,
@@ -256,6 +377,10 @@ class Runtime {
   int nranks_;
   match::QueueConfig qcfg_;
   RuntimeOptions options_;
+  bool transport_active_ = false;
+  /// Unacked frames + sender-held frames, runtime-wide: the quiesce
+  /// loops spin until this reaches zero.
+  std::atomic<std::uint64_t> wire_outstanding_{0};
   NativeMem native_mem_;
   memlayout::AddressSpace space_;
   std::vector<std::unique_ptr<RankState>> ranks_;

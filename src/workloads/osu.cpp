@@ -49,9 +49,14 @@ struct Bench {
   obs::Gauge& heated_lines_metric =
       obs::MetricsRegistry::global().gauge("osu.llc_heated_lines");
   std::uint64_t iteration_no = 0;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::uint64_t wire_seq = 0;
+  std::uint64_t stalled_refreshes = 0;
 
   explicit Bench(const OsuParams& p)
       : hier(p.arch), mem(hier), bundle(make_bundle(p)), params(p) {
+    if (p.fault != nullptr && p.fault->any_active())
+      injector = std::make_unique<fault::FaultInjector>(*p.fault);
     // Hardware-supported locality (§6 extension): when the profile
     // configures a network cache or an LLC partition, tag the matching
     // engine's storage as network data.
@@ -94,7 +99,11 @@ struct Bench {
   }
 
   match::EngineBundle<cachesim::SimMem> make_bundle(const OsuParams& p) {
-    return match::make_engine(mem, space, p.queue);
+    match::QueueConfig cfg = p.queue;
+    // A non-default --seed re-salts the arena layout so seed sweeps explore
+    // independent address placements; the default leaves layout_seed alone.
+    cfg.layout_seed ^= p.seed ^ kOsuDefaultSeed;
+    return match::make_engine(mem, space, cfg);
   }
 
   /// Application-side heater overhead for one queue mutation.
@@ -119,14 +128,42 @@ struct Bench {
     }
     // The heater ran during the emulated compute phase: by the time the
     // communication phase starts, registered regions are LLC-resident
-    // again (up to the heater's capacity budget).
-    if (heater) heater->refresh();
+    // again (up to the heater's capacity budget) — unless a stall roll
+    // says this pass never finished, in which case the communication
+    // phase inherits the cold cache.
+    if (heater) {
+      if (injector && injector->heater_stall_ns(iteration_no) > 0)
+        ++stalled_refreshes;
+      else
+        heater->refresh();
+    }
     iterations_metric.add(1);
     heated_lines_metric.set(static_cast<double>(
         hier.level(hier.level_count() - 1)
             .resident_lines_filled_by(cachesim::FillReason::kHeater)));
     SEMPERM_TRACE_ONLY(if (obs::trace_on())
                            obs::MetricsRegistry::global().sample(obs::sim_now());)
+  }
+
+  /// Extra wire time for one message under the chaos plan. A drop is
+  /// re-rolled along the transport's attempt chain: each failed attempt
+  /// costs a retransmit timeout plus the retransfer (decide() forces
+  /// delivery at max_drop_attempts, so the loop terminates). A surviving
+  /// duplicate puts one extra copy on the wire; a delay spike lands as-is.
+  double fault_wire_extra_ns(double per_msg_wire_ns) {
+    if (!injector) return 0.0;
+    double extra = 0.0;
+    const std::uint64_t seq = ++wire_seq;
+    fault::FaultDecision d = injector->decide(kSenderRank, 0, seq, 0);
+    std::uint32_t attempt = 0;
+    while (d.drop) {
+      extra += static_cast<double>(params.retransmit_timeout_ns) +
+               per_msg_wire_ns + params.net.latency_ns;
+      d = injector->decide(kSenderRank, 0, seq, ++attempt);
+    }
+    if (d.duplicate) extra += per_msg_wire_ns;
+    extra += static_cast<double>(d.delay_ns);
+    return extra;
   }
 };
 
@@ -148,6 +185,8 @@ OsuResult finish(const Bench& bench, const RunningStats& iter_time_ns,
   const auto& llc = bench.hier.level(bench.hier.level_count() - 1).stats();
   r.llc_hit_rate = llc.hit_rate();
   r.hier = hs;  // includes per-level summaries (prefetch coverage, writebacks)
+  if (bench.injector) r.faults = bench.injector->stats();
+  r.stalled_refreshes = bench.stalled_refreshes;
   return r;
 }
 
@@ -195,10 +234,15 @@ OsuResult run_osu_bw(const OsuParams& params) {
     const double cpu_ns =
         params.arch.cycles_to_ns(match_cycles) +
         static_cast<double>(params.window) * params.arch.sw_overhead_ns;
-    const double wire_ns =
-        static_cast<double>(params.window) *
+    const double per_msg_wire_ns =
         static_cast<double>(params.msg_bytes) / params.net.bandwidth_bytes_per_ns;
-    const double iter_ns = params.net.latency_ns + std::max(cpu_ns, wire_ns);
+    const double wire_ns = static_cast<double>(params.window) * per_msg_wire_ns;
+    double chaos_ns = 0.0;
+    if (bench.injector)
+      for (std::size_t m = 0; m < params.window; ++m)
+        chaos_ns += bench.fault_wire_extra_ns(per_msg_wire_ns);
+    const double iter_ns =
+        params.net.latency_ns + std::max(cpu_ns, wire_ns) + chaos_ns;
     if (measured) {
       iter_time_ns.add(iter_ns);
       match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles) /
@@ -239,10 +283,13 @@ OsuResult run_osu_latency(const OsuParams& params) {
     bench.charge_heater_mutation();
     const Cycles match_cycles = bench.mem.cycles() - mark;
 
-    // One-way time: wire + software overhead + matching.
-    const double one_way_ns = params.net.transfer_ns(params.msg_bytes) +
-                              params.arch.sw_overhead_ns +
-                              params.arch.cycles_to_ns(match_cycles);
+    // One-way time: wire + software overhead + matching (+ any chaos
+    // penalty for this message's fate).
+    const double one_way_ns =
+        params.net.transfer_ns(params.msg_bytes) + params.arch.sw_overhead_ns +
+        params.arch.cycles_to_ns(match_cycles) +
+        bench.fault_wire_extra_ns(static_cast<double>(params.msg_bytes) /
+                                  params.net.bandwidth_bytes_per_ns);
     if (measured) {
       iter_time_ns.add(one_way_ns);
       match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles));

@@ -25,12 +25,17 @@
 
 #include "cachesim/arch.hpp"
 #include "cachesim/hierarchy.hpp"
+#include "fault/fault.hpp"
 #include "match/factory.hpp"
 #include "simmpi/network_model.hpp"
 
 namespace semperm::workloads {
 
 enum class HeaterMode { kOff, kPerElement, kPooled };
+
+/// Default run seed; a --seed override re-salts the arena layout, the
+/// default keeps the committed figure numbers bit-stable.
+inline constexpr std::uint64_t kOsuDefaultSeed = 0x05ULL;
 
 std::string heater_mode_name(HeaterMode mode);
 
@@ -50,7 +55,16 @@ struct OsuParams {
   std::size_t compute_working_set_bytes = 24ull * 1024 * 1024;
   HeaterMode heater = HeaterMode::kOff;
   std::size_t heater_capacity_bytes = 0;  // 0 = half the LLC
-  std::uint64_t seed = 0x05ULL;
+  std::uint64_t seed = kOsuDefaultSeed;
+  /// Chaos axis (DESIGN.md §12): when set and active, each message rolls
+  /// the same pure splitmix64 fate the simmpi transport rolls. Drops cost
+  /// a retransmit round (timeout + retransfer + latency) per failed
+  /// attempt, duplicates put an extra copy on the wire, delay spikes
+  /// arrive late, and heater-stall rolls skip that iteration's refresh —
+  /// the communication phase then runs against the cold cache a stalled
+  /// heater pass would have left behind.
+  const fault::FaultPlan* fault = nullptr;
+  std::uint64_t retransmit_timeout_ns = 200'000;
 };
 
 struct OsuResult {
@@ -63,6 +77,10 @@ struct OsuResult {
   /// Full hierarchy counters at the end of the run (per-level prefetch
   /// coverage and writebacks included; see cachesim::LevelSummary).
   cachesim::HierarchyStats hier;
+  /// Injector counters for the run's chaos axis (all zero when clean).
+  fault::FaultStats faults;
+  /// Iterations whose heater refresh was skipped by a stall roll.
+  std::uint64_t stalled_refreshes = 0;
 };
 
 /// Modified osu_bw: streaming window of same-size messages.

@@ -94,6 +94,43 @@ TEST(SimCluster, LlaReducesMatchTimeLikeTheAppModel) {
   EXPECT_LE(lla.makespan_ns, base.makespan_ns);
 }
 
+TEST(SimCluster, BlockedReceiveStaysPostedAcrossPasses) {
+  // Regression for the old cancel-and-retry path: rank 0 blocks on tag 99
+  // across several cooperative passes while an unexpected tag-1 message
+  // sits in its UMQ. The receive must stay posted — searched exactly once
+  // — and the absorbed unexpected request must survive until its matching
+  // receive is posted. (The old path re-posted the blocked receive every
+  // pass, inflating UMQ search stats, and its pop_back destroyed the
+  // absorbed unexpected request the UMQ still referenced.)
+  std::vector<Program> programs(3);
+  programs[0] = {Op::recv(-1, 99), Op::recv(1, 1)};
+  programs[1] = {Op::send(0, 1, 64), Op::recv(2, 7), Op::send(0, 99, 64)};
+  programs[2] = {Op::compute(1000.0), Op::send(1, 7, 64)};
+  const auto r = run_cluster(programs, config_with("baseline"));
+  EXPECT_EQ(r.ranks[0].recvs, 2u);
+  EXPECT_EQ(r.ranks[1].recvs, 1u);
+  // One UMQ search per posted receive, one PRQ search per arrival: the
+  // blocked receive is not re-searched on later passes.
+  EXPECT_EQ(r.umq_stats.searches, 3u);
+  EXPECT_EQ(r.prq_stats.searches, 3u);
+}
+
+TEST(SimCluster, BlockedReceiveSearchCountsAreMinimal) {
+  // Same property on the fan-in pattern at scale: every post searches the
+  // UMQ exactly once and every arrival searches the PRQ exactly once, no
+  // matter how many passes the consumer spends blocked.
+  const auto programs = fan_in_programs(4, 24, 256, 800.0);
+  const auto r = run_cluster(programs, config_with("lla-8"));
+  std::uint64_t recvs = 0;
+  std::uint64_t sends = 0;
+  for (const auto& rank : r.ranks) {
+    recvs += rank.recvs;
+    sends += rank.sends;
+  }
+  EXPECT_EQ(r.umq_stats.searches, recvs);
+  EXPECT_EQ(r.prq_stats.searches, sends);
+}
+
 TEST(SimCluster, AnySourceReceivesWork) {
   std::vector<Program> programs(3);
   programs[0] = {Op::recv(-1, 4), Op::recv(-1, 4)};
