@@ -1,0 +1,320 @@
+// Internet-scale traffic panels (DESIGN.md §13, EXPERIMENTS.md): flow-cache
+// hit ratio and match latency vs. flow count × Zipf skew × LLC size ×
+// heater on/off, over the src/traffic/ steering simulation.
+//
+// Panels:
+//   traffic steering — <arch>   one row per (flows, skew, heater) point:
+//                               hit ratio, ns/packet, miss-walk cost, LLC
+//                               behaviour, and the raw conservation counts
+//                               (generated == hits + misses + dropped)
+//                               that tools/check_traffic_report.py audits.
+//   traffic crossover           heater-on vs heater-off ns/packet at the
+//                               peak skew: speedup > 1 while the flow table
+//                               fits the LLC, collapsing once the working
+//                               set exceeds it (the paper's thesis at
+//                               "millions of users" scale).
+//   traffic self-performance    native generator/steering throughput
+//                               (*_per_sec metrics, gated by perf-smoke
+//                               against bench/BENCH_traffic.baseline.json).
+//
+// Everything downstream of --seed is simulated and deterministic — two
+// runs with the same seed (and the same --fault plan) emit identical
+// tables; CI asserts exactly that.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "cachesim/arch.hpp"
+#include "traffic/flow_gen.hpp"
+#include "traffic/flow_table.hpp"
+#include "traffic/steering.hpp"
+
+namespace semperm::bench {
+namespace {
+
+std::vector<std::uint64_t> parse_u64_list(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    const std::string item = s.substr(pos, next - pos);
+    if (!item.empty()) out.push_back(std::stoull(item));
+    pos = next + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty list: " + s);
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    const std::string item = s.substr(pos, next - pos);
+    if (!item.empty()) out.push_back(std::stod(item));
+    pos = next + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty list: " + s);
+  return out;
+}
+
+std::string steering_title(const cachesim::ArchProfile& arch) {
+  return "traffic steering — " + arch.name;
+}
+
+constexpr const char* kCrossoverTitle =
+    "traffic crossover (heater speedup at peak skew)";
+constexpr const char* kSelfperfTitle = "traffic self-performance";
+
+struct Score {
+  std::uint64_t items = 0;
+  double seconds = 0.0;
+  double per_sec() const { return seconds > 0 ? items / seconds : 0; }
+};
+
+template <typename F>
+Score timed(F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t items = body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {items, std::chrono::duration<double>(t1 - t0).count()};
+}
+
+}  // namespace
+}  // namespace semperm::bench
+
+int main(int argc, char** argv) {
+  using namespace semperm;
+  Cli cli("bench_traffic",
+          "Flow-cache steering: hit ratio & match latency vs flows x skew x "
+          "LLC x heater");
+  bench::add_standard_flags(cli);
+  cli.add_string("flows", "",
+                 "Comma-separated flow-population sizes (default "
+                 "100000,1000000,10000000; quick 65536,1048576)");
+  cli.add_string("skews", "",
+                 "Comma-separated Zipf skews (default 0,0.6,0.8,1.0,1.2; "
+                 "quick 0,1.05)");
+  cli.add_int("packets", 0,
+              "Packets per configuration (0 = 300000, quick 60000)");
+  cli.add_int("rules", 64, "Steering rules the miss path walks");
+  cli.add_string("pattern", "steady",
+                 "Temporal pattern: steady|diurnal|flash");
+  cli.add_int("crowd-flows", 4096, "Flash crowd: distinct new flows");
+  cli.add_double("crowd-fraction", 0.5,
+                 "Flash crowd: share of in-window arrivals");
+  cli.add_int("epoch-packets", 8192,
+              "Packets per compute/heater epoch");
+  if (!cli.parse(argc, argv)) return 0;
+  bench::configure_report(cli);
+  bench::default_json_path("BENCH_traffic.json");
+
+  const bool quick = cli.flag("quick");
+  const bool csv = cli.flag("csv");
+  const std::uint64_t seed = bench::bench_seed(traffic::kTrafficDefaultSeed);
+
+  std::vector<std::uint64_t> flows_list;
+  std::vector<double> skews;
+  traffic::TemporalPattern pattern;
+  try {
+    const std::string flows_flag = cli.get_string("flows");
+    flows_list =
+        !flows_flag.empty()
+            ? bench::parse_u64_list(flows_flag)
+            : (quick ? std::vector<std::uint64_t>{65536, 1048576}
+                     : std::vector<std::uint64_t>{100000, 1000000, 10000000});
+    const std::string skews_flag = cli.get_string("skews");
+    skews = !skews_flag.empty()
+                ? bench::parse_double_list(skews_flag)
+                : (quick ? std::vector<double>{0.0, 1.05}
+                         : std::vector<double>{0.0, 0.6, 0.8, 1.0, 1.2});
+    pattern = traffic::temporal_pattern_from_name(cli.get_string("pattern"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const std::uint64_t packets =
+      cli.get_int("packets") > 0
+          ? static_cast<std::uint64_t>(cli.get_int("packets"))
+          : (quick ? 60'000 : 300'000);
+
+  const std::vector<cachesim::ArchProfile> arches = {cachesim::sandy_bridge(),
+                                                     cachesim::broadwell()};
+
+  // One steering run per (arch, flows, skew, heater) point; the crossover
+  // panel reuses the sweep's results, so a point is computed when either
+  // panel wants it.
+  const bool want_crossover = bench::panel_enabled(bench::kCrossoverTitle);
+  struct Key {
+    std::string arch;
+    std::uint64_t flows;
+    double skew;
+    bool heater;
+    bool operator<(const Key& o) const {
+      if (arch != o.arch) return arch < o.arch;
+      if (flows != o.flows) return flows < o.flows;
+      if (skew != o.skew) return skew < o.skew;
+      return heater < o.heater;
+    }
+  };
+  std::map<Key, traffic::SteeringResult> results;
+
+  for (const auto& arch : arches) {
+    const std::string title = bench::steering_title(arch);
+    if (!bench::panel_enabled(title) && !want_crossover) continue;
+    Table table({"flows", "skew", "pattern", "heater", "table MiB", "hit %",
+                 "ns/pkt", "miss ns", "LLC hit %", "DRAM/pkt", "generated",
+                 "hits", "misses", "dropped", "evictions"});
+    for (const std::uint64_t flows : flows_list) {
+      const double table_mib =
+          static_cast<double>(
+              traffic::auto_geometry(flows).slots * kCacheLine) /
+          (1024.0 * 1024.0);
+      for (const double skew : skews) {
+        for (const bool heater : {false, true}) {
+          traffic::SteeringParams p;
+          p.arch = arch;
+          p.gen.flows = flows;
+          p.gen.zipf_s = skew;
+          p.gen.seed = seed;
+          p.gen.pattern = pattern;
+          if (pattern == traffic::TemporalPattern::kFlashCrowd) {
+            p.gen.crowd.burst_start = packets / 2;
+            p.gen.crowd.burst_len = packets / 8;
+            p.gen.crowd.crowd_flows =
+                static_cast<std::uint64_t>(cli.get_int("crowd-flows"));
+            p.gen.crowd.fraction = cli.get_double("crowd-fraction");
+          }
+          p.packets = packets;
+          p.rules = static_cast<std::size_t>(cli.get_int("rules"));
+          p.epoch_packets =
+              static_cast<std::uint64_t>(cli.get_int("epoch-packets"));
+          p.heater_on = heater;
+          p.fault = bench::fault_plan();
+          const traffic::SteeringResult r = traffic::run_steering(p);
+          results.emplace(
+              Key{arch.name, flows, skew, heater}, r);
+          table.add_row({Table::num(std::uint64_t{flows}),
+                         Table::num(skew, 2),
+                         traffic::temporal_pattern_name(pattern),
+                         heater ? "on" : "off", Table::num(table_mib, 1),
+                         Table::num(100.0 * r.hit_ratio, 2),
+                         Table::num(r.ns_per_packet, 1),
+                         Table::num(r.miss_walk_ns, 1),
+                         Table::num(100.0 * r.llc_hit_rate, 2),
+                         Table::num(r.dram_per_packet, 3),
+                         Table::num(r.generated), Table::num(r.hits),
+                         Table::num(r.misses), Table::num(r.dropped),
+                         Table::num(r.evictions)});
+        }
+      }
+    }
+    bench::emit(title, table, csv);
+  }
+
+  if (want_crossover && !results.empty()) {
+    // The locality thesis in one table: heater speedup at the peak skew,
+    // per flow count — speedup while the table fits the LLC, collapse
+    // once the working set exceeds it.
+    double peak_skew = skews.front();
+    for (const double s : skews) peak_skew = std::max(peak_skew, s);
+    Table cross({"arch", "flows", "skew", "table MiB", "LLC MiB", "off ns/pkt",
+                 "on ns/pkt", "speedup"});
+    for (const auto& arch : arches) {
+      const double llc_mib =
+          static_cast<double>(arch.l3.size_bytes) / (1024.0 * 1024.0);
+      for (const std::uint64_t flows : flows_list) {
+        const auto off = results.find(Key{arch.name, flows, peak_skew, false});
+        const auto on = results.find(Key{arch.name, flows, peak_skew, true});
+        if (off == results.end() || on == results.end()) continue;
+        const double speedup = on->second.ns_per_packet > 0
+                                   ? off->second.ns_per_packet /
+                                         on->second.ns_per_packet
+                                   : 0.0;
+        const double table_mib =
+            static_cast<double>(
+                traffic::auto_geometry(flows).slots * kCacheLine) /
+            (1024.0 * 1024.0);
+        cross.add_row({arch.name, Table::num(std::uint64_t{flows}),
+                       Table::num(peak_skew, 2), Table::num(table_mib, 1),
+                       Table::num(llc_mib, 1),
+                       Table::num(off->second.ns_per_packet, 1),
+                       Table::num(on->second.ns_per_packet, 1),
+                       Table::num(speedup, 3)});
+        bench::report_metric("traffic_crossover_speedup_" + arch.name + "_" +
+                                 std::to_string(flows),
+                             speedup);
+      }
+    }
+    bench::emit(bench::kCrossoverTitle, cross, csv);
+  }
+
+  if (bench::panel_enabled(bench::kSelfperfTitle)) {
+    // Native hot-path throughput: these are the *_per_sec metrics the
+    // perf gate compares against bench/BENCH_traffic.baseline.json.
+    const std::uint64_t n = quick ? 2'000'000 : 20'000'000;
+    std::vector<std::uint64_t> buf(8192);
+
+    traffic::FlowGenParams gp;
+    gp.flows = std::uint64_t{1} << 20;
+    gp.zipf_s = 1.0;
+    gp.seed = seed;
+    traffic::FlowGenerator gen(gp);
+    const bench::Score gen_score = bench::timed([&] {
+      std::uint64_t sink = 0;
+      while (gen.generated() < n) sink ^= gen.next_batch(buf);
+      return sink == 0xdead ? 0 : gen.generated();
+    });
+
+    traffic::FlowGenParams fp = gp;
+    fp.pattern = traffic::TemporalPattern::kFlashCrowd;
+    fp.crowd.burst_start = n / 2;
+    fp.crowd.burst_len = n / 4;
+    traffic::FlowGenerator flash(fp);
+    const bench::Score flash_score = bench::timed([&] {
+      std::uint64_t sink = 0;
+      while (flash.generated() < n) sink ^= flash.next_batch(buf);
+      return sink == 0xdead ? 0 : flash.generated();
+    });
+
+    traffic::FlowGenParams sp = gp;
+    traffic::FlowGenerator steer_gen(sp);
+    traffic::FlowTable table(traffic::auto_geometry(gp.flows));
+    const std::uint64_t steers = quick ? 2'000'000 : 10'000'000;
+    const bench::Score steer_score = bench::timed([&] {
+      std::uint64_t hits = 0;
+      for (std::uint64_t i = 0; i < steers; ++i)
+        hits += table.steer(steer_gen.next(), nullptr) ? 1 : 0;
+      return hits == 0xdead ? 0 : steers;
+    });
+
+    Table perf({"path", "items", "seconds", "M/s"});
+    perf.add_row({"generate (steady zipf)", Table::num(gen_score.items),
+                  Table::num(gen_score.seconds, 3),
+                  Table::num(gen_score.per_sec() / 1e6, 1)});
+    perf.add_row({"generate (flash crowd)", Table::num(flash_score.items),
+                  Table::num(flash_score.seconds, 3),
+                  Table::num(flash_score.per_sec() / 1e6, 1)});
+    perf.add_row({"steer (native table)", Table::num(steer_score.items),
+                  Table::num(steer_score.seconds, 3),
+                  Table::num(steer_score.per_sec() / 1e6, 1)});
+    bench::report_metric("traffic_gen_zipf_flows_per_sec",
+                         gen_score.per_sec());
+    bench::report_metric("traffic_gen_flash_flows_per_sec",
+                         flash_score.per_sec());
+    bench::report_metric("traffic_steer_lookups_per_sec",
+                         steer_score.per_sec());
+    bench::emit(bench::kSelfperfTitle, perf, csv);
+  }
+
+  return bench::finish_report();
+}

@@ -34,6 +34,9 @@ struct ReportState {
   bool trace_active = false;
   std::vector<std::pair<std::string, Table>> tables;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Every title the bench offered to panel_enabled()/emit(), in query
+  /// order — the candidate list shown when a --filter matches nothing.
+  std::vector<std::string> offered_titles;
   std::mutex mu;
   std::atomic<bool> finished{false};
   std::int64_t seed_flag = -1;  // <0 = not given
@@ -97,6 +100,16 @@ std::string report_json(bool partial) {
     out += ",\n";
   }
 #endif
+  if (!r.filter.empty() && r.tables.empty() && !r.offered_titles.empty()) {
+    // A filter that selected nothing is indistinguishable from a typo'd
+    // panel name without the candidate list; record it in the artifact.
+    out += "  \"available_panels\": [";
+    for (std::size_t i = 0; i < r.offered_titles.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_json_string(out, r.offered_titles[i]);
+    }
+    out += "],\n";
+  }
   out += "  \"metrics\": {";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
@@ -306,8 +319,18 @@ const fault::FaultPlan* fault_plan() {
 }
 
 bool panel_enabled(const std::string& title) {
-  const std::string& f = report().filter;
-  return f.empty() || title.find(f) != std::string::npos;
+  ReportState& r = report();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    bool seen = false;
+    for (const auto& t : r.offered_titles)
+      if (t == title) {
+        seen = true;
+        break;
+      }
+    if (!seen) r.offered_titles.push_back(title);
+  }
+  return r.filter.empty() || title.find(r.filter) != std::string::npos;
 }
 
 void default_json_path(const std::string& path) {
@@ -360,6 +383,18 @@ int finish_report() {
     }
   }
 #endif
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.filter.empty() && r.tables.empty() && !r.offered_titles.empty()) {
+      std::fprintf(stderr,
+                   "bench harness: --filter \"%s\" matched no panel; "
+                   "available panels:\n",
+                   r.filter.c_str());
+      for (const auto& t : r.offered_titles)
+        std::fprintf(stderr, "  %s\n", t.c_str());
+      rc = 2;
+    }
+  }
   if (r.json_path.empty()) return rc;
   std::lock_guard<std::mutex> lock(r.mu);
   if (!write_report_atomic(r.json_path, report_json(/*partial=*/false))) {

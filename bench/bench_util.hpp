@@ -74,7 +74,10 @@ const fault::FaultPlan* fault_plan();
 
 /// Under --filter <substr>, is the panel/table `title` selected? Benches
 /// check this before computing an expensive panel; emit() re-checks it, so
-/// cheap callers may skip the guard.
+/// cheap callers may skip the guard. Every queried title is recorded: if
+/// the filter ends up matching nothing, finish_report() lists the
+/// candidates (stderr + "available_panels" in the JSON) and exits 2, so a
+/// typo'd filter is distinguishable from an empty run.
 bool panel_enabled(const std::string& title);
 
 /// For benches with a canonical artifact (bench_selfperf writes
@@ -94,7 +97,8 @@ void emit(const std::string& title, const Table& table, bool csv);
 /// write the --json report, if one was requested. The report is written
 /// to a temporary file and renamed into place, so a crash mid-write
 /// never leaves a truncated artifact. Returns the process exit code, so
-/// mains can end with `return bench::finish_report();`.
+/// mains can end with `return bench::finish_report();` — 0 on success,
+/// 1 on a report-write failure, 2 when --filter matched no panel.
 int finish_report();
 
 }  // namespace semperm::bench

@@ -1,0 +1,97 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace semperm::traffic {
+
+ZipfSampler::ZipfSampler(std::uint64_t support, double s) : n_(support), s_(s) {
+  SEMPERM_ASSERT_MSG(support > 0, "Zipf support must be non-empty");
+  SEMPERM_ASSERT_MSG(support <= (std::uint64_t{1} << 32),
+                     "alias table indexes ranks with 32 bits");
+  SEMPERM_ASSERT_MSG(s >= 0.0, "negative skew is not a Zipf distribution");
+
+  // Unnormalized weights and their running sum. Kahan-free double
+  // accumulation is fine here: n <= 2^32 terms of the same sign keep the
+  // relative error around 1e-12, far below the property-test tolerance.
+  std::vector<double> weight(n_);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    weight[r] = s_ == 0.0 ? 1.0 : std::pow(static_cast<double>(r + 1), -s_);
+    sum += weight[r];
+  }
+  norm_ = sum;
+
+  cdf_.resize(n_);
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    acc += weight[r];
+    cdf_[r] = acc / sum;
+  }
+  cdf_[n_ - 1] = 1.0;  // pin the top against rounding
+
+  // Vose's alias method: scale each probability by n, then pair every
+  // deficient ("small") slot with a donor ("large") slot.
+  accept_.assign(n_, 1.0);
+  alias_.resize(n_);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  std::vector<double> scaled(n_);
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    scaled[r] = weight[r] / sum * static_cast<double>(n_);
+    alias_[r] = static_cast<std::uint32_t>(r);
+    (scaled[r] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(r));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s_slot = small.back();
+    small.pop_back();
+    const std::uint32_t l_slot = large.back();
+    accept_[s_slot] = scaled[s_slot];
+    alias_[s_slot] = l_slot;
+    scaled[l_slot] -= 1.0 - scaled[s_slot];
+    if (scaled[l_slot] < 1.0) {
+      large.pop_back();
+      small.push_back(l_slot);
+    }
+  }
+  // Leftovers in either list hold (numerically) exactly probability 1.
+  for (const std::uint32_t r : small) accept_[r] = 1.0;
+  for (const std::uint32_t r : large) accept_[r] = 1.0;
+}
+
+std::uint64_t ZipfSampler::sample_cdf(Rng& rng) const {
+  // Consume the same two draws as the alias path (slot + coin) so the two
+  // backends are drop-in interchangeable without perturbing the stream.
+  (void)rng.below(n_);
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? n_ - 1
+                          : static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  SEMPERM_ASSERT(rank < n_);
+  const double w =
+      s_ == 0.0 ? 1.0 : std::pow(static_cast<double>(rank + 1), -s_);
+  return w / norm_;
+}
+
+RankMixer RankMixer::make(std::uint64_t n, std::uint64_t seed) {
+  SEMPERM_ASSERT(n > 0);
+  RankMixer m;
+  m.n = n;
+  std::uint64_t sm = seed;
+  // An odd multiplier is coprime to any power of two; for general n bump
+  // until gcd hits 1 (terminates quickly — half of all integers are
+  // coprime to n on average within a few steps).
+  m.a = (splitmix64(sm) | 1) % n;
+  if (m.a == 0) m.a = 1;
+  while (std::gcd(m.a, n) != 1) ++m.a;
+  m.b = splitmix64(sm) % n;
+  return m;
+}
+
+}  // namespace semperm::traffic

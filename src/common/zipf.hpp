@@ -1,0 +1,90 @@
+// semperm/common/zipf.hpp
+//
+// Shared heavy-tail sampling for the traffic subsystem and any workload
+// that wants a skew knob (DESIGN.md §13.1).
+//
+// Destination references in real networks are strongly skewed — a small
+// number of flows receives most of the traffic ("Characteristics of
+// Destination Address Locality in Computer Networks", PAPERS.md) — so the
+// internet-scale scenarios sample flow *ranks* from a bounded Zipf
+// distribution: P(rank r) ∝ 1/(r+1)^s over a finite support.
+//
+// Two rejection-free backends over the same precomputed weights:
+//  * alias table (Vose) — O(1) per draw, the hot generation path;
+//  * inverse CDF (binary search) — O(log n) per draw, the validation
+//    path the property tests cross-check the alias table against.
+// Both consume exactly the same number of Rng draws per sample (two), so
+// swapping backends never perturbs downstream seeded streams.
+//
+// Lives in common/ (not traffic/) because workloads/ also uses it; the
+// namespace stays `traffic` — it is the traffic model's distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace semperm::traffic {
+
+/// Bounded Zipf(s) sampler over ranks {0, ..., support-1}, rank 0 most
+/// popular. s = 0 degenerates to the uniform distribution. Construction
+/// is O(support) time and memory (CDF + alias table are precomputed);
+/// sampling allocates nothing.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t support, double s);
+
+  /// Draw a rank via the alias table: O(1), rejection-free.
+  std::uint64_t operator()(Rng& rng) const {
+    const std::uint64_t slot = rng.below(n_);
+    const double u = rng.uniform();
+    return u < accept_[slot] ? slot : alias_[slot];
+  }
+
+  /// Draw a rank by inverting the precomputed CDF: O(log n). Identical
+  /// distribution to operator(); kept as the independent implementation
+  /// the property tests validate the alias table against. Consumes the
+  /// same two Rng draws per sample as the alias path.
+  std::uint64_t sample_cdf(Rng& rng) const;
+
+  /// Analytic P(rank).
+  double pmf(std::uint64_t rank) const;
+
+  /// Precomputed P(X <= rank).
+  double cdf(std::uint64_t rank) const { return cdf_[rank]; }
+
+  std::uint64_t support() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  double norm_;                      // generalized harmonic number H(n, s)
+  std::vector<double> cdf_;          // cdf_[r] = P(X <= r)
+  std::vector<double> accept_;       // alias acceptance probability per slot
+  std::vector<std::uint32_t> alias_; // alias target per slot
+};
+
+/// Deterministic bijection over {0, ..., n-1}: rank → identity. Zipf ranks
+/// are dense at zero, which would cluster every hot flow in adjacent cache
+/// sets and hand the prefetchers an artificial gift; mixing through an
+/// affine permutation (multiplier coprime to n) scatters the hot set
+/// across the identity space the way real 5-tuples scatter across a hash
+/// table, while staying seed-reproducible.
+struct RankMixer {
+  std::uint64_t a = 1;  // coprime to n
+  std::uint64_t b = 0;
+  std::uint64_t n = 1;
+
+  std::uint64_t operator()(std::uint64_t rank) const {
+    // n is bounded by the 2^32 sampler support, so a*rank fits unsigned
+    // 128-bit intermediate math exactly.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(rank) * a + b) % n);
+  }
+
+  static RankMixer make(std::uint64_t n, std::uint64_t seed);
+};
+
+}  // namespace semperm::traffic

@@ -16,6 +16,8 @@ const char* category_name(Category cat) {
       return "mpi";
     case Category::kApp:
       return "app";
+    case Category::kTraffic:
+      return "traffic";
   }
   return "?";
 }

@@ -52,6 +52,7 @@ enum class Category : std::uint8_t {
   kHeater,     // heater passes (simulated and native)
   kMpi,        // simmpi send/recv spans
   kApp,        // workload phase markers (compute phase, iteration)
+  kTraffic,    // flow-cache epochs, flash-crowd markers, live-flow gauges
 };
 
 const char* category_name(Category cat);

@@ -1,0 +1,57 @@
+// semperm/traffic/flow.hpp
+//
+// Flow identity for the internet-scale traffic subsystem (DESIGN.md §13).
+//
+// A *flow* is the unit a NIC steering table or message broker keys on: the
+// classic 5-tuple. The simulation never materializes per-flow state for the
+// whole population — a flow id (its popularity-mixed index in [0, flows))
+// expands deterministically into a 5-tuple on demand, and the flow cache
+// keys on the 5-tuple hash exactly the way a hardware steering table does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace semperm::traffic {
+
+/// The classic steering 5-tuple.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Expand a flow id into its 5-tuple. Pure in (flow_id, salt): the same
+/// population always presents the same endpoints, so runs are replayable
+/// from the generator seed alone.
+inline FlowKey flow_key(std::uint64_t flow_id, std::uint64_t salt) {
+  std::uint64_t state = flow_id * 0x9e3779b97f4a7c15ULL ^ salt;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  FlowKey k;
+  k.src_ip = static_cast<std::uint32_t>(a);
+  k.dst_ip = static_cast<std::uint32_t>(a >> 32);
+  k.src_port = static_cast<std::uint16_t>(b);
+  k.dst_port = static_cast<std::uint16_t>(b >> 16);
+  k.protocol = (b >> 32) & 1 ? 6 : 17;  // TCP/UDP split
+  return k;
+}
+
+/// Steering hash over the 5-tuple (the flow cache's set selector). One
+/// splitmix64 round over the packed tuple: cheap, well-mixed, and stable
+/// across platforms.
+inline std::uint64_t flow_hash(const FlowKey& k) {
+  std::uint64_t packed = (static_cast<std::uint64_t>(k.src_ip) << 32) |
+                         k.dst_ip;
+  std::uint64_t state = packed ^ (static_cast<std::uint64_t>(k.src_port) << 48) ^
+                        (static_cast<std::uint64_t>(k.dst_port) << 32) ^
+                        (static_cast<std::uint64_t>(k.protocol) << 16);
+  return splitmix64(state);
+}
+
+}  // namespace semperm::traffic

@@ -1,0 +1,84 @@
+#include "traffic/flow_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace semperm::traffic {
+
+const char* temporal_pattern_name(TemporalPattern p) {
+  switch (p) {
+    case TemporalPattern::kSteady:
+      return "steady";
+    case TemporalPattern::kDiurnal:
+      return "diurnal";
+    case TemporalPattern::kFlashCrowd:
+      return "flash-crowd";
+  }
+  return "?";
+}
+
+TemporalPattern temporal_pattern_from_name(const std::string& name) {
+  if (name == "steady") return TemporalPattern::kSteady;
+  if (name == "diurnal") return TemporalPattern::kDiurnal;
+  if (name == "flash" || name == "flash-crowd")
+    return TemporalPattern::kFlashCrowd;
+  throw std::invalid_argument("unknown temporal pattern: " + name +
+                              " (want steady|diurnal|flash)");
+}
+
+FlowGenerator::FlowGenerator(const FlowGenParams& params)
+    : params_(params),
+      zipf_(params.flows, params.zipf_s),
+      mixer_(RankMixer::make(params.flows, params.seed ^ 0x6d1785ULL)),
+      rng_(params.seed) {
+  SEMPERM_ASSERT_MSG(params.flows > 0, "empty flow population");
+  if (params.pattern == TemporalPattern::kFlashCrowd)
+    SEMPERM_ASSERT_MSG(params.crowd.crowd_flows > 0,
+                       "flash crowd needs at least one crowd flow");
+}
+
+std::uint64_t FlowGenerator::active_flows_at(std::uint64_t t) const {
+  if (params_.pattern != TemporalPattern::kDiurnal) return params_.flows;
+  const std::uint64_t period = std::max<std::uint64_t>(2, params_.diurnal_period);
+  const std::uint64_t phase = t % period;
+  const std::uint64_t half = period / 2;
+  // Triangle ramp: trough at phase 0, peak at half, back to trough.
+  const double frac = phase <= half
+                          ? static_cast<double>(phase) / static_cast<double>(half)
+                          : static_cast<double>(period - phase) /
+                                static_cast<double>(half);
+  const double floor_flows =
+      params_.diurnal_floor * static_cast<double>(params_.flows);
+  const double active =
+      floor_flows + (static_cast<double>(params_.flows) - floor_flows) * frac;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(active));
+}
+
+std::uint64_t FlowGenerator::id_space() const {
+  return params_.flows + (params_.pattern == TemporalPattern::kFlashCrowd
+                              ? params_.crowd.crowd_flows
+                              : 0);
+}
+
+std::uint64_t FlowGenerator::next() {
+  const std::uint64_t t = t_++;
+  if (in_crowd_window(t) && rng_.chance(params_.crowd.fraction))
+    return params_.flows + rng_.below(params_.crowd.crowd_flows);
+  std::uint64_t rank = zipf_(rng_);
+  if (params_.pattern == TemporalPattern::kDiurnal) {
+    // Off-shift flows fold into the active prefix: popularity mass stays
+    // Zipf-shaped but concentrates on fewer destinations at the trough.
+    const std::uint64_t active = active_flows_at(t);
+    if (rank >= active) rank %= active;
+  }
+  return mixer_(rank);
+}
+
+std::size_t FlowGenerator::next_batch(std::span<std::uint64_t> out) {
+  for (auto& id : out) id = next();
+  return out.size();
+}
+
+}  // namespace semperm::traffic

@@ -1,0 +1,110 @@
+#include "traffic/flow_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace semperm::traffic {
+
+FlowTableConfig auto_geometry(std::uint64_t flows, unsigned ways) {
+  FlowTableConfig cfg;
+  cfg.ways = ways;
+  std::size_t slots = std::size_t{1} << 12;
+  while (slots < flows / 8 && slots < (std::size_t{1} << 22)) slots <<= 1;
+  cfg.slots = std::max<std::size_t>(slots, ways);
+  return cfg;
+}
+
+FlowTable::FlowTable(FlowTableConfig cfg)
+    : cfg_(cfg),
+      sets_(cfg.slots / cfg.ways),
+      slots_(cfg.slots),
+      hits_metric_(obs::MetricsRegistry::global().counter("traffic.flow_cache.hits")),
+      misses_metric_(
+          obs::MetricsRegistry::global().counter("traffic.flow_cache.misses")),
+      evictions_metric_(obs::MetricsRegistry::global().counter(
+          "traffic.flow_cache.evictions")) {
+  SEMPERM_ASSERT_MSG(cfg.ways > 0 && cfg.slots > 0 &&
+                         cfg.slots % cfg.ways == 0,
+                     "flow table slots must be a multiple of ways");
+  // Seed every line's heater word once; it is never written again while
+  // the table is live (the HeaterThread race-freedom contract).
+  std::uint64_t sm = cfg.salt;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    slots_[i].heat_anchor = static_cast<std::uint32_t>(splitmix64(sm) ^ i);
+}
+
+void FlowTable::attach_sim(memlayout::AddressSpace& space) {
+  SEMPERM_ASSERT_MSG(!sim_attached_, "attach_sim is once-only");
+  const Addr base = space.reserve(storage_bytes());
+  sim_first_line_ = line_of(base);
+  sim_attached_ = true;
+}
+
+bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
+  ++stats_.lookups;
+  ++stamp_;
+  const std::uint64_t h = flow_hash(flow_key(flow_id, cfg_.salt));
+  const std::size_t set = static_cast<std::size_t>(h % sets_);
+  FlowSlot* row = &slots_[set * cfg_.ways];
+  const Addr row_line = sim_first_line_ + static_cast<Addr>(set) * cfg_.ways;
+  const bool record = lines_out != nullptr && sim_attached_;
+
+  unsigned victim = 0;
+  std::uint64_t victim_use = ~std::uint64_t{0};
+  bool victim_is_live = true;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (record) lines_out->push_back(row_line + w);
+    FlowSlot& s = row[w];
+    if (s.valid != 0 && s.tag == h && s.flow_id == flow_id) {
+      ++s.hits;
+      s.last_use = stamp_;
+      ++stats_.hits;
+      hits_metric_.add(1);
+      return true;
+    }
+    if (s.valid == 0) {
+      if (victim_is_live) {
+        victim = w;
+        victim_is_live = false;
+      }
+    } else if (victim_is_live && s.last_use < victim_use) {
+      victim_use = s.last_use;
+      victim = w;
+    }
+  }
+
+  ++stats_.misses;
+  misses_metric_.add(1);
+  FlowSlot& v = row[victim];
+  if (v.valid != 0) {
+    ++stats_.evictions;
+    evictions_metric_.add(1);
+  } else {
+    ++live_;
+  }
+  v.valid = 1;
+  v.tag = h;
+  v.flow_id = flow_id;
+  v.hits = 0;
+  v.last_use = stamp_;
+  ++stats_.insertions;
+  if (record) lines_out->push_back(row_line + victim);  // install write
+  return false;
+}
+
+std::vector<std::size_t> FlowTable::register_regions(
+    hotcache::RegionRegistry& registry, std::size_t chunk_bytes,
+    std::uint8_t priority) const {
+  const std::size_t total = storage_bytes();
+  const std::size_t chunk = chunk_bytes == 0 ? total : chunk_bytes;
+  std::vector<std::size_t> handles;
+  for (std::size_t off = 0; off < total; off += chunk)
+    handles.push_back(registry.register_region(storage() + off,
+                                               std::min(chunk, total - off),
+                                               priority));
+  return handles;
+}
+
+}  // namespace semperm::traffic

@@ -1,0 +1,138 @@
+// semperm/traffic/flow_table.hpp
+//
+// The flow-cache / steering-table layer (DESIGN.md §13.2): a set-
+// associative table keyed by the flow 5-tuple hash, one cache line per
+// entry — the shape of a NIC steering cache or a software flow director.
+// A steer() that misses falls back to the slow path (the caller walks the
+// match engine's rule list), then installs the flow over the set's LRU
+// victim.
+//
+// The table exists in two address spaces at once:
+//
+//  * native — a real vector<FlowSlot> whose lines the hot-caching heater
+//    (hotcache::HeaterThread) can keep resident via register_regions().
+//    Each slot's FIRST word is `heat_anchor`, written only at
+//    construction: the heater's touch() reads exactly the first 4 bytes
+//    of every line, so a live heater and a mutating table never race on
+//    the same bytes (TSan-clean by layout, not by luck).
+//
+//  * simulated — attach_sim() reserves a disjoint simulated region so the
+//    steering simulation can charge every probe to cachesim::Hierarchy
+//    without double-backing the storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hotcache/region_registry.hpp"
+#include "memlayout/arena.hpp"
+#include "traffic/flow.hpp"
+
+namespace semperm::obs {
+class Counter;
+}  // namespace semperm::obs
+
+namespace semperm::traffic {
+
+/// One steering-table entry, exactly one cache line. `heat_anchor` must
+/// stay the first field (see header comment); the static_asserts below
+/// pin the contract.
+struct alignas(kCacheLine) FlowSlot {
+  std::uint32_t heat_anchor = 0;  // heater-read word; const after init
+  std::uint32_t valid = 0;
+  std::uint64_t tag = 0;      // flow_hash of the resident flow
+  std::uint64_t flow_id = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t last_use = 0;  // LRU stamp
+  std::uint8_t pad[kCacheLine - 40] = {};
+};
+static_assert(sizeof(FlowSlot) == kCacheLine,
+              "flow-cache entries are one line each");
+static_assert(offsetof(FlowSlot, heat_anchor) == 0,
+              "heater reads the first word of every line");
+
+struct FlowTableConfig {
+  /// Total entries; must be a multiple of `ways`.
+  std::size_t slots = std::size_t{1} << 16;
+  unsigned ways = 8;
+  /// Salt for the 5-tuple expansion/hash (keys set placement).
+  std::uint64_t salt = 0x7ab1e5a17ULL;
+};
+
+/// Geometry rule of thumb for a population of `flows`: one slot per 8
+/// standing flows (the hot tail fits, the cold mass recycles), power-of-
+/// two sets, clamped to [2^12, 2^22] slots. At 10^6 flows this is an
+/// 8 MiB table (inside a Sandy Bridge LLC); at 10^7 it is 128 MiB (far
+/// outside any LLC) — the knob behind the bench_traffic crossover.
+FlowTableConfig auto_geometry(std::uint64_t flows, unsigned ways = 8);
+
+struct FlowTableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_ratio() const {
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+  }
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(FlowTableConfig cfg);
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// Reserve a simulated region for the table so steer() can report the
+  /// cache-line indices it probed. Call at most once, before steering.
+  void attach_sim(memlayout::AddressSpace& space);
+
+  /// Look up (and on miss, install) `flow_id`. Appends the simulated
+  /// line index of every slot probed — plus the victim line written on a
+  /// miss — to `lines_out` when attached and non-null; the caller streams
+  /// those through Hierarchy::simulate in chunks. Returns hit.
+  bool steer(std::uint64_t flow_id, std::vector<Addr>* lines_out);
+
+  /// Register the table's native storage with the hot-caching registry in
+  /// `chunk_bytes` pieces (0 = one region covering the whole table).
+  /// Returns the slot handles, in registration order.
+  std::vector<std::size_t> register_regions(hotcache::RegionRegistry& registry,
+                                            std::size_t chunk_bytes = 0,
+                                            std::uint8_t priority = 0) const;
+
+  const FlowTableStats& stats() const { return stats_; }
+  /// Flows currently resident (valid slots).
+  std::size_t live_flows() const { return live_; }
+  std::size_t slot_count() const { return cfg_.slots; }
+  std::size_t set_count() const { return sets_; }
+  unsigned ways() const { return cfg_.ways; }
+  std::size_t storage_bytes() const { return cfg_.slots * sizeof(FlowSlot); }
+  const std::byte* storage() const {
+    return reinterpret_cast<const std::byte*>(slots_.data());
+  }
+  bool sim_attached() const { return sim_attached_; }
+  /// First simulated line index of the table (valid once attached).
+  Addr sim_first_line() const { return sim_first_line_; }
+
+ private:
+  FlowTableConfig cfg_;
+  std::size_t sets_;
+  std::vector<FlowSlot> slots_;
+  std::uint64_t stamp_ = 0;
+  std::size_t live_ = 0;
+  FlowTableStats stats_;
+  bool sim_attached_ = false;
+  Addr sim_first_line_ = 0;
+  // Cached registry handles (obs counters are process-lifetime stable).
+  obs::Counter& hits_metric_;
+  obs::Counter& misses_metric_;
+  obs::Counter& evictions_metric_;
+};
+
+}  // namespace semperm::traffic

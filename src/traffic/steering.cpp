@@ -1,0 +1,172 @@
+#include "traffic/steering.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cachesim/heater.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/mem_model.hpp"
+#include "common/assert.hpp"
+#include "match/factory.hpp"
+#include "memlayout/arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace semperm::traffic {
+
+namespace {
+
+/// Rule-table identities: tags are partitioned so the miss-path probe
+/// pattern can never match a rule entry (the walk always inspects the
+/// full list — a steering miss pays for the whole rule table).
+constexpr std::int32_t kRuleTagBase = 1'000'000;
+constexpr std::int16_t kRuleRank = 2;
+constexpr std::int32_t kProbeRank = 3;
+constexpr std::int32_t kProbeTag = 7;
+
+}  // namespace
+
+SteeringResult run_steering(const SteeringParams& p) {
+  SEMPERM_ASSERT(p.packets > 0 && p.epoch_packets > 0 && p.chunk_lines > 0);
+
+  cachesim::Hierarchy hier(p.arch);
+  cachesim::SimMem mem(hier);
+  memlayout::AddressSpace space;
+
+  // The steering-rule table: a match engine whose unexpected queue holds
+  // `rules` never-matching entries. bundle->probe() is the slow path.
+  match::QueueConfig qcfg;
+  qcfg.arena_bytes = std::size_t{1} << 20;
+  qcfg.layout_seed ^= p.gen.seed ^ kTrafficDefaultSeed;
+  auto bundle = match::make_engine(mem, space, qcfg);
+  std::vector<match::MatchRequest> rule_reqs(p.rules);
+  for (std::size_t i = 0; i < p.rules; ++i) {
+    rule_reqs[i] = match::MatchRequest(match::RequestKind::kUnexpected, i);
+    match::MatchRequest* hit = bundle->incoming(
+        match::Envelope{kRuleTagBase + static_cast<std::int32_t>(i), kRuleRank,
+                        0},
+        &rule_reqs[i]);
+    SEMPERM_ASSERT(hit == nullptr);
+  }
+  const match::Pattern miss_pattern =
+      match::Pattern::make(kProbeRank, kProbeTag, 0);
+
+  FlowTableConfig tcfg = auto_geometry(p.gen.flows, p.table_ways);
+  if (p.table_slots != 0) tcfg.slots = p.table_slots;
+  tcfg.salt ^= p.gen.seed;
+  FlowTable table(tcfg);
+  table.attach_sim(space);
+
+  std::unique_ptr<cachesim::SimHeater> heater;
+  if (p.heater_on) {
+    cachesim::SimHeaterConfig hc;
+    hc.capacity_bytes = p.heater_capacity_bytes;
+    hc.period_ns = p.heater_period_ns;
+    hc.refresh_window_ns = p.heater_refresh_window_ns;
+    heater = std::make_unique<cachesim::SimHeater>(hier, hc);
+    // The flow cache is the heated tail; the rule table rides along in
+    // whatever budget remains (it is registered second, and SimHeater
+    // heats oldest registration first).
+    heater->register_region(table.sim_first_line() * kCacheLine,
+                            table.storage_bytes());
+    heater->register_region(bundle.arena->sim_base(),
+                            std::max<std::size_t>(bundle.arena->used(), 1));
+  }
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (p.fault != nullptr && p.fault->any_active())
+    injector = std::make_unique<fault::FaultInjector>(*p.fault);
+
+  obs::Gauge& live_flows_metric =
+      obs::MetricsRegistry::global().gauge("traffic.live_flows");
+  obs::Counter& packets_metric =
+      obs::MetricsRegistry::global().counter("traffic.packets");
+
+  FlowGenerator gen(p.gen);
+  SteeringResult res;
+  std::vector<Addr> chunk;
+  chunk.reserve(p.chunk_lines + p.table_ways + 1);
+  Cycles miss_walk_cycles = 0;
+  std::uint64_t epoch_no = 0;
+  SEMPERM_TRACE_ONLY(const std::uint16_t track =
+                         obs::intern_track("traffic/steering");)
+
+  const auto flush = [&] {
+    if (chunk.empty()) return;
+    mem.work(hier.simulate({chunk.data(), chunk.size()}));
+    chunk.clear();
+  };
+
+  for (std::uint64_t pkt = 0; pkt < p.packets; ++pkt) {
+    if (pkt % p.epoch_packets == 0) {
+      flush();
+      ++epoch_no;
+      SEMPERM_TRACE_INSTANT(obs::Category::kTraffic, "epoch", track, epoch_no,
+                            static_cast<double>(table.live_flows()));
+      if (p.compute_working_set_bytes > 0)
+        hier.pollute(p.compute_working_set_bytes);
+      if (heater) {
+        if (injector && injector->heater_stall_ns(epoch_no) > 0)
+          ++res.stalled_refreshes;
+        else
+          res.heated_lines_refreshed += heater->refresh();
+      }
+      live_flows_metric.set(static_cast<double>(table.live_flows()));
+    }
+    if (gen.in_crowd_window(pkt) && pkt == p.gen.crowd.burst_start)
+      SEMPERM_TRACE_INSTANT(obs::Category::kTraffic, "flash_crowd", track,
+                            p.gen.crowd.burst_len, 0.0);
+    const std::uint64_t flow = gen.next();
+    packets_metric.add(1);
+    if (injector) {
+      // Datagram semantics: a dropped arrival is simply lost (no
+      // retransmit chain), so conservation reads generated == lookups +
+      // dropped. Only the drop site is consulted on this path.
+      const fault::FaultDecision d =
+          injector->decide(/*src=*/1, /*dst=*/0, pkt + 1, /*attempt=*/0);
+      if (d.drop) {
+        ++res.dropped;
+        continue;
+      }
+    }
+    const bool hit = table.steer(flow, &chunk);
+    if (!hit) {
+      const Cycles mark = mem.cycles();
+      const auto env = bundle->probe(miss_pattern);
+      SEMPERM_ASSERT_MSG(!env.has_value(), "probe pattern matched a rule");
+      miss_walk_cycles += mem.cycles() - mark;
+    }
+    if (chunk.size() >= p.chunk_lines) flush();
+  }
+  flush();
+  live_flows_metric.set(static_cast<double>(table.live_flows()));
+
+  const FlowTableStats& ts = table.stats();
+  res.generated = gen.generated();
+  res.lookups = ts.lookups;
+  res.hits = ts.hits;
+  res.misses = ts.misses;
+  res.insertions = ts.insertions;
+  res.evictions = ts.evictions;
+  res.hit_ratio = ts.hit_ratio();
+  res.total_cycles = mem.cycles();
+  res.ns_per_packet =
+      p.arch.cycles_to_ns(res.total_cycles) /
+      std::max<double>(1.0, static_cast<double>(ts.lookups));
+  res.miss_walk_ns = ts.misses > 0
+                         ? p.arch.cycles_to_ns(miss_walk_cycles) /
+                               static_cast<double>(ts.misses)
+                         : 0.0;
+  const auto& llc = hier.level(hier.level_count() - 1).stats();
+  res.llc_hit_rate = llc.hit_rate();
+  res.dram_per_packet =
+      static_cast<double>(hier.stats().dram_fetches) /
+      std::max<double>(1.0, static_cast<double>(ts.lookups));
+  res.epochs = epoch_no;
+  res.live_flows = table.live_flows();
+  if (injector) res.faults = injector->stats();
+  return res;
+}
+
+}  // namespace semperm::traffic

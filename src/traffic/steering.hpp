@@ -1,0 +1,94 @@
+// semperm/traffic/steering.hpp
+//
+// The internet-scale steering simulation (DESIGN.md §13.3): a flow-cache
+// front end over a match-engine rule walk, driven by a FlowGenerator
+// packet stream, with the hot-caching heater optionally keeping the flow
+// table semi-permanently LLC-resident.
+//
+// Per packet: the flow 5-tuple hashes into the set-associative FlowTable;
+// the probed lines are charged to the simulated cache hierarchy (batched
+// through Hierarchy::simulate in chunks — no full address buffer is ever
+// materialized). A table miss falls back to the slow path — a full,
+// non-mutating walk of the match engine's rule list (the steering-rule
+// table, modelled as a pre-populated unexpected-message queue the probe
+// pattern never matches) — then installs the flow over the set's LRU
+// victim.
+//
+// Epochs model the surrounding application: every `epoch_packets`
+// arrivals, a compute phase pollutes the LLC and the heater (when
+// enabled) refreshes its registered regions — unless the chaos plan
+// stalls that pass. Everything downstream of the seed is simulated, so
+// two runs with the same parameters produce bit-identical results, chaos
+// plans included.
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/arch.hpp"
+#include "fault/fault.hpp"
+#include "traffic/flow_gen.hpp"
+#include "traffic/flow_table.hpp"
+
+namespace semperm::traffic {
+
+struct SteeringParams {
+  cachesim::ArchProfile arch = cachesim::sandy_bridge();
+  FlowGenParams gen;
+  /// Packets to run (arrivals, pre-drop).
+  std::uint64_t packets = 200'000;
+  /// Flow-table geometry; 0 slots = auto_geometry(gen.flows, table_ways).
+  std::size_t table_slots = 0;
+  unsigned table_ways = 8;
+  /// Steering rules the miss path walks (entries on the rule queue).
+  std::size_t rules = 64;
+  bool heater_on = true;
+  /// Heater LLC budget; 0 = half the LLC (SimHeater default).
+  std::size_t heater_capacity_bytes = 0;
+  /// Heating period / phase-boundary refresh window, ns. Wider than the
+  /// OSU defaults: a multi-MiB flow table takes ~1.5 ms to re-read, and
+  /// the traffic epochs are long enough to allow it.
+  double heater_period_ns = 4'000'000.0;
+  double heater_refresh_window_ns = 4'000'000.0;
+  /// Compute-phase pollution cadence and working set.
+  std::uint64_t epoch_packets = 8192;
+  std::size_t compute_working_set_bytes = 24ull * 1024 * 1024;
+  /// Probed-line batch size fed to Hierarchy::simulate.
+  std::size_t chunk_lines = 4096;
+  /// Chaos plan; nullptr or inactive = clean run. Packet drops roll per
+  /// arrival on the kNetDrop site; heater stalls roll per epoch.
+  const fault::FaultPlan* fault = nullptr;
+};
+
+struct SteeringResult {
+  // Flow conservation (DESIGN.md §13.4): generated == lookups + dropped,
+  // lookups == hits + misses; a clean run has dropped == 0.
+  std::uint64_t generated = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  double hit_ratio = 0.0;
+
+  /// Mean modelled match-path time per delivered packet (table probes
+  /// plus miss-path rule walks), nanoseconds.
+  double ns_per_packet = 0.0;
+  /// Mean rule-walk cost per table miss, nanoseconds.
+  double miss_walk_ns = 0.0;
+  Cycles total_cycles = 0;
+
+  double llc_hit_rate = 0.0;
+  double dram_per_packet = 0.0;
+
+  std::uint64_t epochs = 0;
+  std::uint64_t heated_lines_refreshed = 0;
+  std::uint64_t stalled_refreshes = 0;
+  std::uint64_t live_flows = 0;
+
+  fault::FaultStats faults{};
+};
+
+SteeringResult run_steering(const SteeringParams& params);
+
+}  // namespace semperm::traffic

@@ -2,15 +2,41 @@
 
 #include "cachesim/heater.hpp"
 #include "cachesim/hierarchy.hpp"
+#include <optional>
+
 #include "coherence/coherent_hierarchy.hpp"
 #include "coherence/heater_core.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "common/zipf.hpp"
 
 namespace semperm::workloads {
 
 namespace {
+
+/// Per-access line picker: uniform (the paper's walk, one Rng draw —
+/// streams stay bit-identical at zipf_s == 0) or Zipf-skewed through the
+/// shared sampler with hot ranks scattered across the region.
+class LinePicker {
+ public:
+  LinePicker(std::size_t lines, double zipf_s, std::uint64_t seed)
+      : lines_(lines) {
+    if (zipf_s > 0.0) {
+      zipf_.emplace(lines, zipf_s);
+      mixer_ = traffic::RankMixer::make(lines, seed);
+    }
+  }
+
+  std::uint64_t operator()(Rng& rng) const {
+    return zipf_ ? mixer_((*zipf_)(rng)) : rng.below(lines_);
+  }
+
+ private:
+  std::size_t lines_;
+  std::optional<traffic::ZipfSampler> zipf_;
+  traffic::RankMixer mixer_;
+};
 
 /// Execution-driven variant: core 0 runs the application's random walk,
 /// core 1 runs the heater. The compute phase pollutes from the app core,
@@ -25,6 +51,7 @@ double measure_exec(const HeaterUbenchParams& params, bool heated,
   const Addr base = 0x4000'0000;
   heater.register_region(base, params.region_bytes);
   const std::size_t lines = params.region_bytes / kCacheLine;
+  const LinePicker pick(lines, params.zipf_s, params.seed);
 
   Rng rng(params.seed);
   RunningStats per_access_ns;
@@ -42,7 +69,7 @@ double measure_exec(const HeaterUbenchParams& params, bool heated,
         heater.refresh();
         cycles += heater.mutation_cost();
       }
-      const Addr addr = base + rng.below(lines) * kCacheLine;
+      const Addr addr = base + pick(rng) * kCacheLine;
       const bool write = params.write_fraction > 0.0 &&
                          rng.chance(params.write_fraction);
       cycles += hier.access(kAppCore, addr, 4, write);
@@ -65,6 +92,7 @@ double measure(const HeaterUbenchParams& params, bool heated) {
   const Addr base = 0x4000'0000;
   heater.register_region(base, params.region_bytes);
   const std::size_t lines = params.region_bytes / kCacheLine;
+  const LinePicker pick(lines, params.zipf_s, params.seed);
 
   Rng rng(params.seed);
   RunningStats per_access_ns;
@@ -74,7 +102,7 @@ double measure(const HeaterUbenchParams& params, bool heated) {
     if (heated) heater.refresh();
     Cycles cycles = 0;
     for (std::size_t a = 0; a < params.accesses_per_iteration; ++a) {
-      const Addr addr = base + rng.below(lines) * kCacheLine;
+      const Addr addr = base + pick(rng) * kCacheLine;
       cycles += hier.access(addr, 4, /*write=*/false);
     }
     per_access_ns.add(params.arch.cycles_to_ns(cycles) /

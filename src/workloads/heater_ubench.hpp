@@ -35,6 +35,11 @@ struct HeaterUbenchParams {
   std::size_t iterations = 24;
   /// Loop overhead per access (index generation, bounds math), ns.
   double loop_overhead_ns = 10.0;
+  /// Line-popularity skew: 0 reproduces the paper's uniform random walk
+  /// (bit-identical streams); > 0 draws lines from traffic::ZipfSampler
+  /// scattered through a RankMixer, so the heated region sees the same
+  /// heavy-tailed reference pattern as the flow-cache study (§13).
+  double zipf_s = 0.0;
   std::uint64_t seed = 0x4ea7e4ULL;
   HeaterEngine engine = HeaterEngine::kAnalytic;
   /// Fraction of application accesses that are stores (execution engine:

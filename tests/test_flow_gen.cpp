@@ -1,0 +1,120 @@
+#include "traffic/flow_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/flow.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace semperm::traffic {
+namespace {
+
+FlowGenParams small_params() {
+  FlowGenParams p;
+  p.flows = 1 << 12;
+  p.zipf_s = 1.0;
+  p.seed = 0x5eed;
+  return p;
+}
+
+TEST(FlowGenerator, SameSeedSameStream) {
+  FlowGenerator a(small_params()), b(small_params());
+  for (int i = 0; i < 10'000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(FlowGenerator, DifferentSeedsDiverge) {
+  FlowGenParams p1 = small_params(), p2 = small_params();
+  p2.seed ^= 1;
+  FlowGenerator a(p1), b(p2);
+  int diff = 0;
+  for (int i = 0; i < 1000; ++i) diff += a.next() != b.next() ? 1 : 0;
+  EXPECT_GT(diff, 900);
+}
+
+TEST(FlowGenerator, SteadyIdsStayInPopulation) {
+  FlowGenerator gen(small_params());
+  for (int i = 0; i < 20'000; ++i) ASSERT_LT(gen.next(), gen.params().flows);
+  EXPECT_EQ(gen.id_space(), gen.params().flows);
+  EXPECT_EQ(gen.generated(), 20'000u);
+}
+
+TEST(FlowGenerator, NextBatchMatchesNext) {
+  FlowGenerator a(small_params()), b(small_params());
+  std::vector<std::uint64_t> batch(257);
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_EQ(b.next_batch(batch), batch.size());
+    for (const std::uint64_t id : batch) ASSERT_EQ(id, a.next());
+  }
+  EXPECT_EQ(a.generated(), b.generated());
+}
+
+TEST(FlowGenerator, FlashCrowdConfinedToWindow) {
+  FlowGenParams p = small_params();
+  p.pattern = TemporalPattern::kFlashCrowd;
+  p.crowd.burst_start = 5000;
+  p.crowd.burst_len = 2000;
+  p.crowd.fraction = 0.5;
+  p.crowd.crowd_flows = 256;
+  FlowGenerator gen(p);
+  EXPECT_EQ(gen.id_space(), p.flows + p.crowd.crowd_flows);
+  std::uint64_t crowd_in_window = 0, window = 0;
+  for (std::uint64_t t = 0; t < 10'000; ++t) {
+    const bool in_window = gen.in_crowd_window(t);
+    EXPECT_EQ(in_window, t >= 5000 && t < 7000);
+    const std::uint64_t id = gen.next();
+    ASSERT_LT(id, gen.id_space());
+    if (id >= p.flows) {
+      ASSERT_TRUE(in_window) << "crowd id outside the burst window at " << t;
+      ++crowd_in_window;
+    }
+    window += in_window ? 1 : 0;
+  }
+  // About `fraction` of in-window arrivals go to the crowd.
+  EXPECT_NEAR(static_cast<double>(crowd_in_window) / window, p.crowd.fraction,
+              0.05);
+}
+
+TEST(FlowGenerator, DiurnalEnvelopeRampsAndStaysInPopulation) {
+  FlowGenParams p = small_params();
+  p.pattern = TemporalPattern::kDiurnal;
+  p.diurnal_period = 4096;
+  p.diurnal_floor = 0.25;
+  FlowGenerator gen(p);
+  // Trough at phase 0, peak mid-period, symmetric ramp.
+  EXPECT_EQ(gen.active_flows_at(0), p.flows / 4);
+  EXPECT_EQ(gen.active_flows_at(2048), p.flows);
+  EXPECT_EQ(gen.active_flows_at(1024), gen.active_flows_at(3072));
+  EXPECT_LT(gen.active_flows_at(512), gen.active_flows_at(1024));
+  for (std::uint64_t t = 0; t < 8192; ++t) {
+    const std::uint64_t id = gen.next();
+    ASSERT_LT(id, p.flows);
+  }
+}
+
+TEST(FlowGenerator, PatternNamesRoundTrip) {
+  EXPECT_EQ(temporal_pattern_from_name("steady"), TemporalPattern::kSteady);
+  EXPECT_EQ(temporal_pattern_from_name("diurnal"), TemporalPattern::kDiurnal);
+  EXPECT_EQ(temporal_pattern_from_name("flash"), TemporalPattern::kFlashCrowd);
+  EXPECT_EQ(temporal_pattern_from_name("flash-crowd"),
+            TemporalPattern::kFlashCrowd);
+  for (const auto p : {TemporalPattern::kSteady, TemporalPattern::kDiurnal,
+                       TemporalPattern::kFlashCrowd})
+    EXPECT_EQ(temporal_pattern_from_name(temporal_pattern_name(p)), p);
+  EXPECT_THROW(temporal_pattern_from_name("tsunami"), std::invalid_argument);
+}
+
+TEST(FlowKey, DeterministicAndSaltSensitive) {
+  const FlowKey k1 = flow_key(42, 0xabc);
+  const FlowKey k2 = flow_key(42, 0xabc);
+  const FlowKey k3 = flow_key(42, 0xdef);
+  EXPECT_EQ(k1, k2);
+  EXPECT_FALSE(k1 == k3);
+  EXPECT_EQ(flow_hash(k1), flow_hash(k2));
+  EXPECT_NE(flow_hash(k1), flow_hash(k3));
+  EXPECT_TRUE(k1.protocol == 6 || k1.protocol == 17);
+}
+
+}  // namespace
+}  // namespace semperm::traffic

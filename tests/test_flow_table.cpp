@@ -1,0 +1,147 @@
+#include "traffic/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hotcache/region_registry.hpp"
+#include "memlayout/arena.hpp"
+
+namespace semperm::traffic {
+namespace {
+
+TEST(AutoGeometry, TracksPopulationAndClamps) {
+  // One slot per 8 standing flows, power-of-two, clamped to [2^12, 2^22].
+  EXPECT_EQ(auto_geometry(100).slots, std::size_t{1} << 12);
+  EXPECT_EQ(auto_geometry(1'000'000).slots, std::size_t{1} << 17);  // 8 MiB
+  EXPECT_EQ(auto_geometry(10'000'000).slots, std::size_t{1} << 21);  // 128 MiB
+  EXPECT_EQ(auto_geometry(std::uint64_t{1} << 40).slots,
+            std::size_t{1} << 22);
+  EXPECT_EQ(auto_geometry(1'000'000).slots % auto_geometry(1'000'000).ways,
+            0u);
+}
+
+TEST(FlowTable, MissThenHitConservation) {
+  FlowTable table(FlowTableConfig{.slots = 1024, .ways = 8});
+  EXPECT_FALSE(table.steer(42, nullptr));
+  EXPECT_TRUE(table.steer(42, nullptr));
+  EXPECT_FALSE(table.steer(43, nullptr));
+  const FlowTableStats& s = table.stats();
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.lookups, s.hits + s.misses);
+  EXPECT_EQ(table.live_flows(), 2u);
+  EXPECT_NEAR(s.hit_ratio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FlowTable, LruEvictionWithinASet) {
+  // One set (slots == ways): every flow collides, so the 9th insertion
+  // must evict the least recently used of the first 8.
+  FlowTable table(FlowTableConfig{.slots = 8, .ways = 8});
+  for (std::uint64_t f = 0; f < 8; ++f) EXPECT_FALSE(table.steer(f, nullptr));
+  // Refresh flows 1..7; flow 0 becomes the LRU victim.
+  for (std::uint64_t f = 1; f < 8; ++f) EXPECT_TRUE(table.steer(f, nullptr));
+  EXPECT_FALSE(table.steer(100, nullptr));
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_EQ(table.live_flows(), 8u);
+  EXPECT_TRUE(table.steer(100, nullptr));   // the newcomer is resident
+  EXPECT_FALSE(table.steer(0, nullptr));    // flow 0 was the victim
+  EXPECT_EQ(table.stats().lookups,
+            table.stats().hits + table.stats().misses);
+}
+
+TEST(FlowTable, DeterministicAcrossInstances) {
+  const FlowTableConfig cfg{.slots = 512, .ways = 4, .salt = 0x1234};
+  FlowTable a(cfg), b(cfg);
+  for (std::uint64_t f = 0; f < 5000; ++f) {
+    const std::uint64_t id = (f * 2654435761u) % 1500;
+    ASSERT_EQ(a.steer(id, nullptr), b.steer(id, nullptr));
+  }
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.live_flows(), b.live_flows());
+}
+
+TEST(FlowTable, SaltChangesPlacementNotConservation) {
+  FlowTable a(FlowTableConfig{.slots = 64, .ways = 4, .salt = 1});
+  FlowTable b(FlowTableConfig{.slots = 64, .ways = 4, .salt = 2});
+  // 40 distinct flows fit the 64 slots, so both tables converge to hits;
+  // different salts just place them in different sets.
+  for (std::uint64_t f = 0; f < 4000; ++f) {
+    a.steer(f % 40, nullptr);
+    b.steer(f % 40, nullptr);
+  }
+  EXPECT_EQ(a.stats().lookups, a.stats().hits + a.stats().misses);
+  EXPECT_EQ(b.stats().lookups, b.stats().hits + b.stats().misses);
+  EXPECT_NE(a.stats().hits, 0u);
+  EXPECT_NE(b.stats().hits, 0u);
+}
+
+TEST(FlowTable, SimAttachmentReportsProbedLines) {
+  FlowTable table(FlowTableConfig{.slots = 256, .ways = 8});
+  EXPECT_FALSE(table.sim_attached());
+  memlayout::AddressSpace space;
+  table.attach_sim(space);
+  EXPECT_TRUE(table.sim_attached());
+
+  std::vector<Addr> lines;
+  EXPECT_FALSE(table.steer(7, &lines));
+  // A miss probes every way of the set, then writes the installed slot.
+  EXPECT_EQ(lines.size(), table.ways() + 1);
+  const Addr first = table.sim_first_line();
+  const Addr last = first + table.slot_count();
+  for (const Addr line : lines) {
+    EXPECT_GE(line, first);
+    EXPECT_LT(line, last);
+  }
+  // The probed ways are consecutive lines of one set row.
+  for (unsigned w = 1; w < table.ways(); ++w)
+    EXPECT_EQ(lines[w], lines[0] + w);
+
+  lines.clear();
+  EXPECT_TRUE(table.steer(7, &lines));
+  EXPECT_GE(lines.size(), 1u);   // hit: probed ways up to the match
+  EXPECT_LE(lines.size(), table.ways());
+}
+
+TEST(FlowTable, RegisterRegionsCoversStorageInChunks) {
+  FlowTable table(FlowTableConfig{.slots = 4096, .ways = 8});
+  hotcache::RegionRegistry registry;
+  const std::size_t chunk = table.storage_bytes() / 4;
+  const auto handles = table.register_regions(registry, chunk);
+  EXPECT_EQ(handles.size(), 4u);
+  EXPECT_EQ(registry.live_regions(), 4u);
+  EXPECT_EQ(registry.live_bytes(), table.storage_bytes());
+
+  hotcache::RegionRegistry whole;
+  const auto one = table.register_regions(whole);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(whole.live_bytes(), table.storage_bytes());
+  hotcache::RegionView view;
+  ASSERT_TRUE(whole.snapshot(one[0], view));
+  EXPECT_EQ(view.base, table.storage());
+  EXPECT_EQ(view.len, table.storage_bytes());
+}
+
+TEST(FlowSlot, LayoutContractForTheHeater) {
+  // The TSan-cleanliness of a live HeaterThread over a mutating table
+  // rests on this layout: the heater reads only the first word of each
+  // line, and that word is written only at construction.
+  static_assert(sizeof(FlowSlot) == kCacheLine);
+  static_assert(offsetof(FlowSlot, heat_anchor) == 0);
+  static_assert(alignof(FlowSlot) == kCacheLine);
+  FlowTable table(FlowTableConfig{.slots = 64, .ways = 8});
+  // Anchors are seeded (not all zero) so heater reads touch real data.
+  const auto* slots = reinterpret_cast<const FlowSlot*>(table.storage());
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < table.slot_count(); ++i)
+    any_nonzero = any_nonzero || slots[i].heat_anchor != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace semperm::traffic

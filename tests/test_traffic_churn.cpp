@@ -1,0 +1,112 @@
+// Satellite to DESIGN.md §13: the flow table under simultaneous
+//  * steering churn (a flash crowd evicting the standing population),
+//  * registry churn (chunks of the table unregistered/re-registered), and
+//  * a live hotcache::HeaterThread re-reading the registered chunks.
+//
+// The point is the race-freedom-by-layout contract: the heater reads only
+// each line's first word (`heat_anchor`, written once at construction),
+// while steer() mutates the other bytes of the line — so the run must be
+// ThreadSanitizer-clean AND the table's statistics must be bit-identical
+// to a heater-free replay of the same seeded traffic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hotcache/heater_thread.hpp"
+#include "hotcache/region_registry.hpp"
+#include "traffic/flow_gen.hpp"
+#include "traffic/flow_table.hpp"
+
+namespace semperm::traffic {
+namespace {
+
+FlowGenParams crowd_params() {
+  FlowGenParams p;
+  p.flows = 1 << 16;
+  p.zipf_s = 1.0;
+  p.seed = 0xc0ffee;
+  p.pattern = TemporalPattern::kFlashCrowd;
+  p.crowd.burst_start = 60'000;
+  p.crowd.burst_len = 40'000;
+  p.crowd.fraction = 0.6;
+  p.crowd.crowd_flows = 1 << 14;
+  return p;
+}
+
+constexpr FlowTableConfig kTableCfg{.slots = 4096, .ways = 8};
+constexpr std::uint64_t kPackets = 160'000;
+
+/// Replay the seeded crowd into `table`; churn the registry every
+/// `churn_every` packets when a registry is given (0 = no churn).
+void drive(FlowTable& table, hotcache::RegionRegistry* registry,
+           std::uint64_t churn_every) {
+  FlowGenerator gen(crowd_params());
+  std::vector<std::size_t> handles;
+  const std::size_t chunk = table.storage_bytes() / 8;
+  if (registry != nullptr) handles = table.register_regions(*registry, chunk);
+  std::size_t churn_cursor = 0;
+  for (std::uint64_t pkt = 0; pkt < kPackets; ++pkt) {
+    if (registry != nullptr && churn_every != 0 && pkt % churn_every == 0 &&
+        !handles.empty()) {
+      // Tombstone one chunk and immediately re-register it: the heater
+      // scans the slot array concurrently, exercising seqlock snapshots
+      // against live writes and tombstone reuse.
+      const std::size_t victim = churn_cursor++ % handles.size();
+      registry->unregister_region(handles[victim]);
+      handles[victim] = registry->register_region(
+          table.storage() + victim * chunk, chunk);
+    }
+    table.steer(gen.next(), nullptr);
+  }
+}
+
+TEST(TrafficChurn, HeaterAndRegistryChurnNeverPerturbTheTable) {
+  // Reference: the same traffic with no heater and no registry.
+  FlowTable reference(kTableCfg);
+  drive(reference, nullptr, 0);
+  ASSERT_EQ(reference.stats().lookups, kPackets);
+  ASSERT_GT(reference.stats().evictions, 0u);  // the crowd really churns
+
+  // Live run: heater thread re-reading the registered chunks throughout.
+  FlowTable table(kTableCfg);
+  hotcache::RegionRegistry registry;
+  hotcache::HeaterConfig hc;
+  hc.period_ns = 20'000;  // aggressive cadence: maximize read/write overlap
+  hotcache::HeaterThread heater(registry, hc);
+  heater.start();
+  drive(table, &registry, /*churn_every=*/10'000);
+  heater.stop();
+
+  const auto hs = heater.stats();
+  EXPECT_GT(hs.passes, 0u);
+  EXPECT_GT(hs.lines_touched, 0u);
+
+  // Identical seeded traffic => bit-identical table state, heater or not.
+  EXPECT_EQ(table.stats().lookups, reference.stats().lookups);
+  EXPECT_EQ(table.stats().hits, reference.stats().hits);
+  EXPECT_EQ(table.stats().misses, reference.stats().misses);
+  EXPECT_EQ(table.stats().insertions, reference.stats().insertions);
+  EXPECT_EQ(table.stats().evictions, reference.stats().evictions);
+  EXPECT_EQ(table.live_flows(), reference.live_flows());
+
+  // Conservation across the crowd window.
+  EXPECT_EQ(table.stats().lookups,
+            table.stats().hits + table.stats().misses);
+}
+
+TEST(TrafficChurn, SinglePassCoversTheRegisteredTable) {
+  FlowTable table(kTableCfg);
+  hotcache::RegionRegistry registry;
+  table.register_regions(registry);
+  hotcache::HeaterThread heater(registry, hotcache::HeaterConfig{});
+  heater.run_single_pass();
+  const auto hs = heater.stats();
+  EXPECT_EQ(hs.passes, 1u);
+  EXPECT_EQ(hs.bytes_touched, table.storage_bytes());
+  EXPECT_EQ(hs.lines_touched, table.storage_bytes() / kCacheLine);
+}
+
+}  // namespace
+}  // namespace semperm::traffic

@@ -1,0 +1,140 @@
+#include "traffic/steering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+
+namespace semperm::traffic {
+namespace {
+
+SteeringParams small_params() {
+  SteeringParams p;
+  p.gen.flows = 1 << 14;
+  p.gen.zipf_s = 1.0;
+  p.gen.seed = 0x5eed;
+  p.packets = 20'000;
+  p.epoch_packets = 8192;
+  p.rules = 16;
+  // Keep the unit runs cheap: a smaller compute phase still displaces
+  // the (4096-slot, 256 KiB) auto table between epochs.
+  p.compute_working_set_bytes = 4ull * 1024 * 1024;
+  return p;
+}
+
+void expect_identical(const SteeringResult& a, const SteeringResult& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.heated_lines_refreshed, b.heated_lines_refreshed);
+  EXPECT_EQ(a.stalled_refreshes, b.stalled_refreshes);
+  EXPECT_EQ(a.live_flows, b.live_flows);
+  EXPECT_EQ(a.faults.rolls, b.faults.rolls);
+  EXPECT_EQ(a.faults.drops, b.faults.drops);
+  EXPECT_EQ(a.faults.heater_stalls, b.faults.heater_stalls);
+}
+
+TEST(Steering, FlowConservationCleanRun) {
+  const SteeringResult r = run_steering(small_params());
+  EXPECT_EQ(r.generated, 20'000u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.generated, r.lookups + r.dropped);
+  EXPECT_EQ(r.lookups, r.hits + r.misses);
+  EXPECT_GT(r.hits, 0u);
+  EXPECT_GT(r.misses, 0u);
+  EXPECT_GT(r.ns_per_packet, 0.0);
+  EXPECT_GT(r.miss_walk_ns, 0.0);
+  EXPECT_EQ(r.epochs, 3u);  // packets 20000 / epoch 8192, rounded up
+  EXPECT_GT(r.live_flows, 0u);
+  EXPECT_LE(r.live_flows, std::uint64_t{4096});  // table capacity
+}
+
+TEST(Steering, SameSeedBitIdentical) {
+  const SteeringParams p = small_params();
+  expect_identical(run_steering(p), run_steering(p));
+}
+
+TEST(Steering, SeedChangesTheRun) {
+  SteeringParams p1 = small_params(), p2 = small_params();
+  p2.gen.seed ^= 1;
+  const SteeringResult a = run_steering(p1), b = run_steering(p2);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_NE(a.hits, b.hits);
+}
+
+TEST(Steering, DeterministicUnderFaultPlan) {
+  SteeringParams p = small_params();
+  fault::FaultPlan plan;
+  plan.seed = 0xfa011;
+  plan.site(fault::FaultSite::kNetDrop).probability = 0.05;
+  plan.site(fault::FaultSite::kHeaterStall).burst_start = 1;
+  plan.site(fault::FaultSite::kHeaterStall).burst_len = 2;
+  p.fault = &plan;
+  const SteeringResult a = run_steering(p), b = run_steering(p);
+  expect_identical(a, b);
+  // Conservation holds with drops: every arrival is either dropped or
+  // looked up.
+  EXPECT_GT(a.dropped, 0u);
+  EXPECT_EQ(a.generated, a.lookups + a.dropped);
+  EXPECT_EQ(a.lookups, a.hits + a.misses);
+  EXPECT_EQ(a.faults.drops, a.dropped);
+  EXPECT_GT(a.stalled_refreshes, 0u);
+}
+
+TEST(Steering, SkewRaisesHitRatio) {
+  SteeringParams uniform = small_params(), skewed = small_params();
+  uniform.gen.zipf_s = 0.0;
+  skewed.gen.zipf_s = 1.2;
+  const SteeringResult u = run_steering(uniform), s = run_steering(skewed);
+  EXPECT_GT(s.hit_ratio, u.hit_ratio + 0.1);
+}
+
+TEST(Steering, HeaterWinsWhenTheTableFitsTheLlc) {
+  // The paper's locality claim at flow-cache scale: with a skewed
+  // population whose table fits the LLC, keeping it semi-permanently
+  // resident beats letting the compute phase evict it. Everything is
+  // simulated, so the comparison is exact, not flaky.
+  SteeringParams p;
+  p.gen.flows = 1 << 16;
+  p.gen.zipf_s = 1.2;
+  p.gen.seed = 0x5eed;
+  p.packets = 32'768;
+  p.epoch_packets = 8192;
+  p.rules = 16;
+  p.heater_on = false;
+  const SteeringResult off = run_steering(p);
+  p.heater_on = true;
+  const SteeringResult on = run_steering(p);
+  // Same traffic either way…
+  EXPECT_EQ(on.hits, off.hits);
+  EXPECT_EQ(on.misses, off.misses);
+  // …but the heated table serves from the LLC.
+  EXPECT_GT(on.heated_lines_refreshed, 0u);
+  EXPECT_LT(on.ns_per_packet, off.ns_per_packet);
+  EXPECT_LT(on.dram_per_packet, off.dram_per_packet);
+}
+
+TEST(Steering, FlashCrowdChurnsTheTable) {
+  SteeringParams steady = small_params();
+  SteeringParams flash = small_params();
+  flash.gen.pattern = TemporalPattern::kFlashCrowd;
+  flash.gen.crowd.burst_start = 8000;
+  flash.gen.crowd.burst_len = 4000;
+  flash.gen.crowd.fraction = 0.7;
+  flash.gen.crowd.crowd_flows = 1 << 13;
+  const SteeringResult s = run_steering(steady), f = run_steering(flash);
+  // The crowd is all-new flows: more misses, more evictions.
+  EXPECT_GT(f.misses, s.misses);
+  EXPECT_GT(f.evictions, s.evictions);
+  EXPECT_EQ(f.generated, f.lookups + f.dropped);
+}
+
+}  // namespace
+}  // namespace semperm::traffic

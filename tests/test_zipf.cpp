@@ -1,0 +1,125 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace semperm::traffic {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOneAndCdfIsPinned) {
+  const ZipfSampler zipf(1000, 1.0);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < zipf.support(); ++r) sum += zipf.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(zipf.cdf(zipf.support() - 1), 1.0);
+}
+
+TEST(ZipfSampler, CdfIsMonotoneAndMatchesPmf) {
+  const ZipfSampler zipf(257, 0.8);
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < zipf.support(); ++r) {
+    acc += zipf.pmf(r);
+    EXPECT_NEAR(zipf.cdf(r), acc, 1e-9) << "rank " << r;
+    if (r > 0) {
+      EXPECT_GT(zipf.cdf(r), zipf.cdf(r - 1));
+    }
+  }
+}
+
+TEST(ZipfSampler, ZeroSkewIsUniform) {
+  const ZipfSampler zipf(64, 0.0);
+  for (std::uint64_t r = 0; r < zipf.support(); ++r)
+    EXPECT_NEAR(zipf.pmf(r), 1.0 / 64.0, 1e-12);
+}
+
+TEST(ZipfSampler, HigherSkewConcentratesTheHead) {
+  const ZipfSampler mild(4096, 0.6);
+  const ZipfSampler steep(4096, 1.2);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_GT(steep.cdf(9), mild.cdf(9));  // top-10 mass grows with s
+}
+
+// Satellite property test: the empirical rank frequencies of the alias
+// backend must match the analytic pmf.
+TEST(ZipfSampler, EmpiricalMatchesAnalyticPmf) {
+  const std::uint64_t support = 512;
+  const ZipfSampler zipf(support, 1.0);
+  Rng rng(0x2157);
+  const std::size_t draws = 400'000;
+  std::vector<std::uint64_t> counts(support, 0);
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::uint64_t r = zipf(rng);
+    ASSERT_LT(r, support);
+    ++counts[r];
+  }
+  // Head ranks: tight relative tolerance; whole support: loose absolute.
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    const double expected = zipf.pmf(r) * draws;
+    EXPECT_NEAR(counts[r], expected, 0.05 * expected + 30.0) << "rank " << r;
+  }
+  for (std::uint64_t r = 0; r < support; ++r)
+    EXPECT_NEAR(static_cast<double>(counts[r]) / draws, zipf.pmf(r), 0.004)
+        << "rank " << r;
+}
+
+// The two backends sample the same distribution (Kolmogorov–Smirnov style
+// sup-distance between their empirical CDFs).
+TEST(ZipfSampler, AliasAndCdfBackendsAgree) {
+  const std::uint64_t support = 300;
+  const ZipfSampler zipf(support, 1.1);
+  Rng a(0xa11a5), b(0xcdf);
+  const std::size_t draws = 200'000;
+  std::vector<double> ca(support, 0), cb(support, 0);
+  for (std::size_t i = 0; i < draws; ++i) {
+    ++ca[zipf(a)];
+    ++cb[zipf.sample_cdf(b)];
+  }
+  double acc_a = 0, acc_b = 0, sup = 0;
+  for (std::uint64_t r = 0; r < support; ++r) {
+    acc_a += ca[r] / draws;
+    acc_b += cb[r] / draws;
+    sup = std::max(sup, std::abs(acc_a - acc_b));
+  }
+  EXPECT_LT(sup, 0.01);
+}
+
+// Both backends consume exactly two draws per sample, so swapping them
+// never perturbs a downstream seeded stream.
+TEST(ZipfSampler, BackendsConsumeIdenticalRngDraws) {
+  const ZipfSampler zipf(1024, 0.9);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    (void)zipf(a);
+    (void)zipf.sample_cdf(b);
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.below(1 << 30), b.below(1 << 30));
+}
+
+TEST(RankMixer, IsABijectionOnNonPowerOfTwoSupport) {
+  const std::uint64_t n = 1000;
+  const RankMixer mix = RankMixer::make(n, 0x5eed);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const std::uint64_t m = mix(r);
+    ASSERT_LT(m, n);
+    seen.insert(m);
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(RankMixer, SeedChangesThePermutation) {
+  const RankMixer m1 = RankMixer::make(4096, 1);
+  const RankMixer m2 = RankMixer::make(4096, 2);
+  int diff = 0;
+  for (std::uint64_t r = 0; r < 4096; ++r) diff += m1(r) != m2(r) ? 1 : 0;
+  EXPECT_GT(diff, 4000);
+}
+
+}  // namespace
+}  // namespace semperm::traffic

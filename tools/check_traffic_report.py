@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a bench_traffic --json report (the CI traffic-smoke gate).
+
+Usage: check_traffic_report.py REPORT [REPORT...] [--compare OTHER]
+                               [--expect-crossover]
+
+Checks, per "traffic steering — <arch>" table:
+
+  1. Flow conservation — every row satisfies
+         generated == hits + misses + dropped
+     (the steering loop's invariant: an arrival is dropped by the chaos
+     plan or looked up, and a lookup either hits or misses; nothing is
+     double-counted or lost).
+
+  2. Monotone hit ratio in skew — within one (flows, pattern, heater)
+     group, a more skewed population must not lower the flow-cache hit
+     ratio. The simulation is deterministic, so this holds exactly up to
+     the printed precision; a small epsilon absorbs rounding of the
+     "hit %" column.
+
+With --compare, the two reports' tables must be identical cell for cell —
+the determinism gate: two runs at the same --seed (and --fault spec) must
+produce bit-identical simulated results. Wall-clock metrics are exempt.
+
+With --expect-crossover, the "traffic crossover" table must show the
+locality effect: among rows whose flow table fits inside the LLC (at
+nonzero skew), the best heater speedup must exceed 1.02x; and if any row's
+table overflows 2x the LLC, its speedup must fall below the best
+fitting-row speedup (the semi-permanent-occupancy effect vanishes once the
+working set cannot be kept resident).
+
+Exit 0 = all checks pass, 1 = any violation.
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 5e-4  # hit % is printed with 2 decimals; ratios to 4 decimals
+
+STEERING_PREFIX = "traffic steering"
+CROSSOVER_PREFIX = "traffic crossover"
+
+
+def load_tables(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("partial"):
+        raise SystemExit(f"{path}: report is marked partial")
+    return doc.get("tables", [])
+
+
+def rows_as_dicts(table):
+    headers = table["headers"]
+    return [dict(zip(headers, row)) for row in table["rows"]]
+
+
+def check_conservation(path, table, errors):
+    for i, row in enumerate(rows_as_dicts(table)):
+        generated = int(row["generated"])
+        accounted = int(row["hits"]) + int(row["misses"]) + int(row["dropped"])
+        if generated != accounted:
+            errors.append(
+                f"{path}: {table['title']} row {i}: conservation violated: "
+                f"generated {generated} != hits+misses+dropped {accounted}")
+
+
+def check_skew_monotonicity(path, table, errors):
+    groups = {}
+    for i, row in enumerate(rows_as_dicts(table)):
+        key = (row["flows"], row["pattern"], row["heater"])
+        groups.setdefault(key, []).append(
+            (float(row["skew"]), float(row["hit %"]), i))
+    for key, points in groups.items():
+        points.sort()
+        for (s_lo, hit_lo, _), (s_hi, hit_hi, i) in zip(points, points[1:]):
+            if hit_hi < hit_lo - 100 * EPS:  # hit % column, percent units
+                errors.append(
+                    f"{path}: {table['title']} row {i}: hit ratio fell with "
+                    f"skew ({hit_lo}% at s={s_lo} -> {hit_hi}% at s={s_hi}) "
+                    f"for group {key}")
+
+
+def check_crossover(path, tables, errors):
+    cross = [t for t in tables if t["title"].startswith(CROSSOVER_PREFIX)]
+    if not cross:
+        errors.append(f"{path}: --expect-crossover but no crossover table")
+        return
+    fitting, oversized = [], []
+    for table in cross:
+        for row in rows_as_dicts(table):
+            skew = float(row["skew"])
+            table_mib = float(row["table MiB"])
+            llc_mib = float(row["LLC MiB"])
+            speedup = float(row["speedup"])
+            label = f"{row['arch']}/{row['flows']}"
+            if skew > 0 and table_mib <= llc_mib:
+                fitting.append((speedup, label))
+            elif table_mib >= 2 * llc_mib:
+                oversized.append((speedup, label))
+    if not fitting:
+        errors.append(f"{path}: no LLC-fitting crossover rows to judge")
+        return
+    best, best_label = max(fitting)
+    if best < 1.02:
+        errors.append(
+            f"{path}: heater speedup {best:.3f}x at {best_label} — no "
+            f"locality win even though the flow table fits the LLC")
+    for speedup, label in oversized:
+        if speedup >= best - 0.05:
+            errors.append(
+                f"{path}: speedup {speedup:.3f}x at {label} (table >= 2x "
+                f"LLC) does not collapse below the fitting best "
+                f"{best:.3f}x at {best_label}")
+
+
+def check_compare(path_a, tables_a, path_b, errors):
+    tables_b = load_tables(path_b)
+    strip = lambda ts: [t for t in ts
+                        if not t["title"].startswith("traffic self-")]
+    a, b = strip(tables_a), strip(tables_b)
+    if [t["title"] for t in a] != [t["title"] for t in b]:
+        errors.append(f"{path_a} vs {path_b}: table sets differ")
+        return
+    for ta, tb in zip(a, b):
+        if ta != tb:
+            errors.append(
+                f"{path_a} vs {path_b}: table '{ta['title']}' differs — "
+                f"same-seed runs must be bit-identical")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("reports", nargs="+")
+    ap.add_argument("--compare", help="second same-seed report that must "
+                    "carry identical simulated tables")
+    ap.add_argument("--expect-crossover", action="store_true")
+    args = ap.parse_args()
+
+    errors = []
+    for path in args.reports:
+        tables = load_tables(path)
+        steering = [t for t in tables
+                    if t["title"].startswith(STEERING_PREFIX)]
+        if not steering:
+            errors.append(f"{path}: no '{STEERING_PREFIX}' tables")
+        checked = 0
+        for table in steering:
+            check_conservation(path, table, errors)
+            check_skew_monotonicity(path, table, errors)
+            checked += len(table["rows"])
+        if args.expect_crossover:
+            check_crossover(path, tables, errors)
+        if args.compare:
+            check_compare(path, tables, args.compare, errors)
+        print(f"{path}: {checked} steering rows checked")
+
+    if errors:
+        print("\ntraffic-smoke failed:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("traffic-smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

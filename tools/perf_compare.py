@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Compare a bench_selfperf JSON report against a checked-in baseline.
+"""Compare a self-perf JSON report against a checked-in baseline.
 
 Usage: perf_compare.py BASELINE CURRENT [--max-regress 2.0]
 
-Every *_lines_per_sec metric present in the baseline must exist in the
+Every *_per_sec metric present in the baseline (lines_per_sec for
+bench_selfperf, flows/lookups_per_sec for bench_traffic) must exist in the
 current report and must not be slower than baseline/max-regress. The bound
 is deliberately loose (2x by default): it catches "the simulator got
 pathologically slower" without tripping on runner-to-runner variance.
@@ -31,7 +32,7 @@ def main() -> int:
 
     failures = []
     for name, base_rate in sorted(base.items()):
-        if not name.endswith("_lines_per_sec"):
+        if not name.endswith("_per_sec"):
             continue
         if name not in cur:
             failures.append(f"{name}: missing from current report")
@@ -46,7 +47,7 @@ def main() -> int:
               f"({ratio:5.2f}x)  {verdict}")
 
     for name in sorted(set(cur) - set(base)):
-        if name.endswith("_lines_per_sec"):
+        if name.endswith("_per_sec"):
             print(f"{name:44s} {'new':>12s} -> {cur[name]:12.4g}")
 
     if failures:
