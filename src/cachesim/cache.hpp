@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "check/audit.hpp"
+#include "common/hot_path.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
 
@@ -96,7 +97,7 @@ class SetAssocCache {
   /// prefetch/heater coverage is recorded. Defined inline: this is the hot
   /// path, and keeping it visible lets access_batch() and the hierarchy's
   /// streaming loop collapse it into straight-line code.
-  bool access(Addr line) {
+  SEMPERM_HOT bool access(Addr line) {
     const std::size_t s = set_index(line);
     Addr* tags = set_tags(s);
     Meta* meta = set_meta(s);
@@ -125,7 +126,7 @@ class SetAssocCache {
   /// Demand-access every line in `lines` (identical per-line semantics to
   /// access(), amortising the call overhead for streaming callers).
   /// Returns the number of hits.
-  std::size_t access_batch(std::span<const Addr> lines);
+  SEMPERM_HOT std::size_t access_batch(std::span<const Addr> lines);
 
   /// Probe without updating LRU or statistics.
   bool contains(Addr line) const {
@@ -268,7 +269,8 @@ class SetAssocCache {
   /// line is not resident. One short scan over the contiguous tag array;
   /// stale-epoch ways are filtered lazily right here in the tag compare (a
   /// stale hole may keep its leftover tag), so no eager purge ever runs.
-  std::size_t find_way(const Addr* tags, const Meta* meta, Addr line) const {
+  SEMPERM_HOT std::size_t find_way(const Addr* tags, const Meta* meta,
+                                   Addr line) const {
     for (std::size_t i = 0; i < assoc_; ++i)
       if (tags[i] == line && way_live(meta[i])) return i;
     return assoc_;

@@ -58,6 +58,12 @@ inline constexpr bool kAuditEnabled = SEMPERM_AUDIT != 0;
 
 /// Check an invariant; `msg` is any ostream chain, evaluated only on
 /// failure.
+///
+/// The suppression below: bugprone-macro-parentheses wants `msg` wrapped in
+/// parentheses, but the whole point is that callers pass an ostream
+/// chain (`"core " << c << " line " << l`), which parenthesizing would
+/// turn into a comma expression that discards everything before the
+/// last `<<` operand.
 #define SEMPERM_AUDIT_CHECK(cond, msg)                                     \
   do {                                                                     \
     if (!(cond)) {                                                         \

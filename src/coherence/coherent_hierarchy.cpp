@@ -81,7 +81,7 @@ void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
                                 mesi_transition_name(from, st), 0, line,
                                 static_cast<double>(core));
       })
-  cores_[core].state[line] = st;  // lint:allow-state-mutation
+  cores_[core].state[line] = st;
   directory_[line].sharers |= bit(core);
 }
 
@@ -94,7 +94,7 @@ void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
                                 mesi_transition_name(from, MesiState::kInvalid),
                                 0, line, static_cast<double>(core));
       })
-  cores_[core].state.erase(line);  // lint:allow-state-mutation
+  cores_[core].state.erase(line);
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
   it->second.sharers &= ~bit(core);
@@ -463,7 +463,7 @@ void CoherentHierarchy::flush_all() {
     cs.l2.flush();
     // Wholesale reset of all line state; per-line transitions (all → I) are
     // trivially legal.
-    cs.state.clear();  // lint:allow-state-mutation
+    cs.state.clear();  // semperm-analyze: allow(audit-mesi-bypass) -- wholesale flush: every per-line transition is -> I, trivially legal without the transition check
     cs.streamer.reset();
   }
   if (llc_) llc_->flush();
@@ -586,7 +586,7 @@ void CoherentHierarchy::audit_corrupt_state_for_test(unsigned core, Addr line,
                                                      MesiState st) {
   // Deliberately bypasses set_state: no legality check, no directory
   // update. The next audit of `line` must throw.
-  cores_.at(core).state[line] = st;  // lint:allow-state-mutation
+  cores_.at(core).state[line] = st;  // semperm-analyze: allow(audit-mesi-bypass) -- deliberate corruption seam for the audit tests: bypassing set_state IS the point
 }
 #endif
 

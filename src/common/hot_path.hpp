@@ -1,0 +1,28 @@
+// semperm/common/hot_path.hpp
+//
+// SEMPERM_HOT — the steady-state hot-path marker (DESIGN.md §14).
+//
+// Functions marked SEMPERM_HOT form the roots of the allocation-freedom
+// invariant: tools/semperm_analyze's `hotpath-alloc` check walks the call
+// graph from every marked function and fails the build if any transitively
+// reachable call allocates (operator new, malloc, or a growing container
+// member like push_back/resize/insert). PR 3's SoA rewrite made these
+// paths allocation-free; the marker keeps them that way as code grows.
+//
+// Calls wrapped in SEMPERM_AUDIT_ONLY / SEMPERM_TRACE_ONLY / the trace
+// probe macros are exempt — they are compiled out of measurement builds,
+// so their allocations never run on the path being protected. A deliberate
+// steady-state exception (e.g. appending to a caller-pre-reserved buffer)
+// carries an inline allow tag — `// semperm-analyze: <allow>(hotpath-alloc)
+// -- why` with the word spelled normally — and the justification after the
+// `--` is mandatory.
+//
+// The marker also carries the compilers' `hot` attribute, so marked
+// functions get optimized more aggressively and placed together.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SEMPERM_HOT __attribute__((hot))
+#else
+#define SEMPERM_HOT
+#endif

@@ -1,0 +1,147 @@
+// semperm/common/mutex.hpp
+//
+// Capability-annotated synchronization shims (DESIGN.md §14). libstdc++'s
+// std::mutex carries no Clang capability attributes, so annotated classes
+// (GUARDED_BY members, REQUIRES contracts) use these zero-overhead wrappers
+// instead. Each one forwards inline to the exact std primitive it replaces:
+//
+//   semperm::Mutex      ↔ std::mutex
+//   semperm::MutexLock  ↔ std::lock_guard<std::mutex>
+//   semperm::UniqueLock ↔ std::unique_lock<std::mutex>
+//   semperm::CondVar    ↔ std::condition_variable
+//   semperm::SpinLock   ↔ std::atomic_flag test_and_set loop
+//
+// Behaviour, codegen, and fairness are those of the underlying primitives;
+// the wrappers exist solely to carry thread-safety attributes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace semperm {
+
+class CondVar;
+class UniqueLock;
+
+/// std::mutex with capability annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock ↔ std::lock_guard<std::mutex>.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// Scoped lock with manual unlock/relock and CondVar waits
+/// (↔ std::unique_lock<std::mutex>). Must hold the lock at destruction
+/// or have released it explicitly — the annotations track which.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over semperm::Mutex via UniqueLock. wait()
+/// re-acquires before returning, so the caller's capability state is
+/// unchanged across a wait — no annotation needed or emitted.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lock_); }
+  template <class Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    cv_.wait(lk.lock_, std::move(pred));
+  }
+  /// Timed wait in nanoseconds (the repo's native duration unit).
+  void wait_for_ns(UniqueLock& lk, std::uint64_t ns) {
+    cv_.wait_for(lk.lock_, std::chrono::nanoseconds(ns));
+  }
+  template <class Pred>
+  bool wait_for_ns(UniqueLock& lk, std::uint64_t ns, Pred pred) {
+    return cv_.wait_for(lk.lock_, std::chrono::nanoseconds(ns),
+                        std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Annotated test-and-set spin lock (hotcache::RegionRegistry's mutation
+/// lock: registration paths are short and rare relative to heater reads,
+/// which never take it).
+class CAPABILITY("mutex") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() ACQUIRE() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // spin; critical sections are short
+    }
+  }
+  void unlock() RELEASE() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Scoped SpinLock holder.
+class SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace semperm

@@ -10,9 +10,14 @@ namespace semperm::fault {
 namespace {
 
 std::uint64_t steady_now_ns() {
+  // The watchdog's liveness signal is native wall time by design: it
+  // protects a *native* heater thread against preemption/starvation, and
+  // all policy is factored into check_once(now_ns), which tests drive
+  // with synthetic clocks (the deterministic surface).
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          std::chrono::steady_clock::now()  // semperm-analyze: allow(determinism-wall-clock) -- native watchdog clock; policy is the pure check_once(now_ns), tests inject synthetic time
+              .time_since_epoch())
           .count());
 }
 
@@ -36,7 +41,7 @@ void HeaterWatchdog::start() {
 void HeaterWatchdog::stop() {
   if (!running()) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_requested_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
@@ -66,7 +71,7 @@ void HeaterWatchdog::apply_level_locked(int level) {
 }
 
 int HeaterWatchdog::check_once(std::uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(policy_mutex_);
+  MutexLock lock(policy_mutex_);
   checks_.fetch_add(1, std::memory_order_relaxed);
   if (baseline_ns_ == 0) baseline_ns_ = now_ns;
   const int lvl = level_.load(std::memory_order_relaxed);
@@ -121,7 +126,7 @@ int HeaterWatchdog::check_once(std::uint64_t now_ns) {
 }
 
 void HeaterWatchdog::reset() {
-  std::lock_guard<std::mutex> lock(policy_mutex_);
+  MutexLock lock(policy_mutex_);
   apply_level_locked(0);
   baseline_ns_ = 0;
   stale_streak_ = 0;
@@ -143,10 +148,10 @@ void HeaterWatchdog::thread_main() {
   SEMPERM_TRACE_THREAD_NAME("heater_watchdog");
   while (!stop_requested_.load(std::memory_order_acquire)) {
     check_once(steady_now_ns());
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait_for(
-        lock, std::chrono::nanoseconds(config_.check_period_ns),
-        [this] { return stop_requested_.load(std::memory_order_acquire); });
+    UniqueLock lock(wake_mutex_);
+    wake_cv_.wait_for_ns(lock, config_.check_period_ns, [this] {
+      return stop_requested_.load(std::memory_order_acquire);
+    });
   }
 }
 

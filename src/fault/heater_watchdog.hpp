@@ -31,11 +31,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "hotcache/heater_thread.hpp"
 
 namespace semperm::fault {
@@ -96,18 +96,22 @@ class HeaterWatchdog {
 
  private:
   void thread_main();
-  void apply_level_locked(int level);
+  /// Apply one ladder level's levers to the heater. Policy state is
+  /// mutated, so the policy lock must be held.
+  void apply_level_locked(int level) REQUIRES(policy_mutex_);
 
   hotcache::HeaterThread& heater_;
   WatchdogConfig config_;
   std::size_t configured_budget_;  // heater budget captured at construction
 
-  std::mutex policy_mutex_;  // serializes check_once/reset/apply
-  std::uint64_t baseline_ns_ = 0;  // staleness reference before pass #1
-  std::uint32_t stale_streak_ = 0;
-  std::uint32_t healthy_streak_ = 0;
-  std::uint32_t probation_checks_ = 0;  // checks spent at L3
-  bool paused_by_watchdog_ = false;
+  Mutex policy_mutex_;  // serializes check_once/reset/apply
+  // Staleness reference before pass #1.
+  std::uint64_t baseline_ns_ GUARDED_BY(policy_mutex_) = 0;
+  std::uint32_t stale_streak_ GUARDED_BY(policy_mutex_) = 0;
+  std::uint32_t healthy_streak_ GUARDED_BY(policy_mutex_) = 0;
+  // Checks spent at L3.
+  std::uint32_t probation_checks_ GUARDED_BY(policy_mutex_) = 0;
+  bool paused_by_watchdog_ GUARDED_BY(policy_mutex_) = false;
 
   std::atomic<int> level_{0};
   std::atomic<std::uint64_t> checks_{0};
@@ -118,8 +122,8 @@ class HeaterWatchdog {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
 };
 
 }  // namespace semperm::fault

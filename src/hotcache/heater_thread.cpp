@@ -24,7 +24,7 @@ void HeaterThread::start() {
 void HeaterThread::stop() {
   if (!running()) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stop_requested_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
@@ -38,7 +38,7 @@ void HeaterThread::pause() {
 
 void HeaterThread::resume() {
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     paused_.store(false, std::memory_order_release);
   }
   wake_cv_.notify_all();
@@ -120,8 +120,8 @@ void HeaterThread::thread_main() {
   SEMPERM_TRACE_THREAD_NAME("heater");
   while (!stop_requested_.load(std::memory_order_acquire)) {
     if (!paused_.load(std::memory_order_acquire)) run_single_pass();
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    wake_cv_.wait_for(lock, std::chrono::nanoseconds(config_.period_ns), [this] {
+    UniqueLock lock(wake_mutex_);
+    wake_cv_.wait_for_ns(lock, config_.period_ns, [this] {
       return stop_requested_.load(std::memory_order_acquire);
     });
   }

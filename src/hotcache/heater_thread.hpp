@@ -16,12 +16,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "hotcache/region_registry.hpp"
 
 namespace semperm::hotcache {
@@ -96,7 +96,8 @@ class HeaterThread {
   /// Fault-injection seam: called at the top of every pass; a nonzero
   /// return stalls (sleeps) the pass for that many ns, modelling
   /// preemption/starvation. Set before start(); the heater thread reads
-  /// it without synchronisation.
+  /// it without synchronisation (publication happens-before via the
+  /// thread launch in start()).
   void set_stall_hook(std::function<std::uint64_t()> hook) {
     stall_hook_ = std::move(hook);
   }
@@ -115,10 +116,14 @@ class HeaterThread {
   HeaterConfig config_;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  // stop_requested_/paused_ are atomics, but their *stores* still happen
+  // under wake_mutex_ so the heater thread cannot miss a wakeup between
+  // testing the flag and sleeping on wake_cv_ (the classic lost-notify
+  // window).
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> paused_{false};
-  mutable std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  mutable Mutex wake_mutex_;
+  CondVar wake_cv_;
 
   std::atomic<std::uint64_t> passes_{0};
   std::atomic<std::uint64_t> lines_touched_{0};

@@ -6,26 +6,6 @@
 
 namespace semperm::hotcache {
 
-namespace {
-
-/// Minimal scoped spin lock over an atomic_flag. Mutations (register /
-/// unregister / free-slot bookkeeping) are rare relative to heater reads,
-/// which never take this lock.
-class SpinGuard {
- public:
-  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      // spin; registration paths are short
-    }
-  }
-  ~SpinGuard() { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag& flag_;
-};
-
-}  // namespace
-
 RegionRegistry::RegionRegistry(std::size_t max_regions) : slots_(max_regions) {
   SEMPERM_ASSERT(max_regions > 0);
 }
@@ -47,7 +27,7 @@ void RegionRegistry::write_slot(Slot& s, const void* base, std::size_t len,
 std::size_t RegionRegistry::register_region(const void* base, std::size_t len,
                                             std::uint8_t priority) {
   SEMPERM_ASSERT(base != nullptr && len > 0);
-  SpinGuard guard(mutate_lock_);
+  SpinLockGuard guard(mutate_lock_);
   std::size_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -64,7 +44,7 @@ std::size_t RegionRegistry::register_region(const void* base, std::size_t len,
 }
 
 void RegionRegistry::unregister_region(std::size_t handle) {
-  SpinGuard guard(mutate_lock_);
+  SpinLockGuard guard(mutate_lock_);
   SEMPERM_ASSERT(handle < high_water_.load(std::memory_order_relaxed));
   Slot& s = slots_[handle];
   SEMPERM_ASSERT_MSG(s.live.load(std::memory_order_relaxed),

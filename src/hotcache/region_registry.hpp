@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
 namespace semperm::hotcache {
 
 /// A snapshot of one region, as read by the heater. `priority` orders
@@ -79,14 +82,20 @@ class RegionRegistry {
     std::atomic<bool> live{false};
   };
 
+  /// Seqlock write of one slot; writers serialize on mutate_lock_.
   void write_slot(Slot& s, const void* base, std::size_t len,
-                  std::uint8_t priority, bool live);
+                  std::uint8_t priority, bool live) REQUIRES(mutate_lock_);
 
+  // The slot array itself is written only under mutate_lock_, but slot
+  // *payloads* are seqlock-protected atomics the heater reads lock-free,
+  // so `slots_` cannot be GUARDED_BY without outlawing those reads; the
+  // seqlock-payload contract is enforced structurally by semperm_analyze
+  // (`seqlock-payload` on Slot).
   std::vector<Slot> slots_;
   std::atomic<std::size_t> high_water_{0};
   std::atomic<std::size_t> live_{0};
-  std::vector<std::size_t> free_slots_;  // guarded by mutate_lock_
-  std::atomic_flag mutate_lock_ = ATOMIC_FLAG_INIT;
+  std::vector<std::size_t> free_slots_ GUARDED_BY(mutate_lock_);
+  SpinLock mutate_lock_;
 };
 
 }  // namespace semperm::hotcache

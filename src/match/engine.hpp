@@ -19,6 +19,7 @@
 #include "check/audit.hpp"
 #include "check/match_shadow.hpp"
 #include "common/assert.hpp"
+#include "common/hot_path.hpp"
 #include "common/mem_policy.hpp"
 #include "match/entry.hpp"
 #include "match/queue_iface.hpp"
@@ -46,7 +47,8 @@ class MatchEngine {
   /// Post a receive. If a buffered unexpected message matches, returns its
   /// request (the receive is satisfied immediately and `recv` completes);
   /// otherwise `recv` is queued on the PRQ and nullptr is returned.
-  MatchRequest* post_recv(const Pattern& pattern, MatchRequest* recv) {
+  SEMPERM_HOT MatchRequest* post_recv(const Pattern& pattern,
+                                      MatchRequest* recv) {
     SEMPERM_ASSERT(recv != nullptr);
     ++tick_;
     // Match-attempt span: arg on the B event is the queue depth searched;
@@ -91,7 +93,8 @@ class MatchEngine {
   /// Deliver an incoming message envelope. If a posted receive matches,
   /// returns its request (completed); otherwise the message request is
   /// buffered on the UMQ and nullptr is returned.
-  MatchRequest* incoming(const Envelope& env, MatchRequest* msg) {
+  SEMPERM_HOT MatchRequest* incoming(const Envelope& env,
+                                     MatchRequest* msg) {
     SEMPERM_ASSERT(msg != nullptr);
     SEMPERM_ASSERT_MSG(env.tag != kHoleTag && env.rank != kHoleRank,
                        "reserved identity used on the wire: " << env.to_string());

@@ -21,7 +21,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : counters_)
     if (e.name == name) return *e.value;
   counters_.push_back(Entry<Counter>{name, std::make_unique<Counter>()});
@@ -29,7 +29,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : gauges_)
     if (e.name == name) return *e.value;
   gauges_.push_back(Entry<Gauge>{name, std::make_unique<Gauge>()});
@@ -38,7 +38,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::uint64_t bucket_width) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : histograms_)
     if (e.name == name) return *e.value;
   histograms_.push_back(
@@ -49,7 +49,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 void MetricsRegistry::sample([[maybe_unused]] std::uint64_t sim_ts) {
 #if SEMPERM_TRACE
   if (!trace_on()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Metric names live in registry entries whose strings can relocate
   // with the vectors, so they are exported through interned tracks
   // (stable ids) rather than the event's static-name slot.
@@ -64,7 +64,7 @@ void MetricsRegistry::sample([[maybe_unused]] std::uint64_t sim_ts) {
 }
 
 std::string MetricsRegistry::to_csv() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "kind,name,value\n";
   for (const auto& e : counters_)
@@ -81,7 +81,7 @@ std::string MetricsRegistry::to_csv() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -122,7 +122,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& e : counters_) e.value->reset();
   for (auto& e : gauges_) e.value->reset();
   for (auto& e : histograms_) e.value->reset();

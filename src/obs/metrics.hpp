@@ -17,11 +17,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/trace.hpp"
 
 namespace semperm::obs {
@@ -56,21 +57,21 @@ class Histogram {
   explicit Histogram(std::uint64_t bucket_width) : hist_(bucket_width) {}
 
   void add(std::uint64_t value, std::uint64_t count = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.add(value, count);
   }
   BucketHistogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_;
   }
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_ = BucketHistogram(hist_.bucket_width());
   }
 
  private:
-  mutable std::mutex mu_;
-  BucketHistogram hist_;
+  mutable Mutex mu_;
+  BucketHistogram hist_ GUARDED_BY(mu_);
 };
 
 /// Process-wide registry. Handles returned by counter()/gauge()/
@@ -107,10 +108,10 @@ class MetricsRegistry {
     std::unique_ptr<T> value;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Entry<Counter>> counters_;
-  std::vector<Entry<Gauge>> gauges_;
-  std::vector<Entry<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::vector<Entry<Counter>> counters_ GUARDED_BY(mu_);
+  std::vector<Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::vector<Entry<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace semperm::obs

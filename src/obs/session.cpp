@@ -53,7 +53,7 @@ ThreadSinkCache& tls_cache() {
 }  // namespace
 
 void TraceSink::record(const TraceEvent& ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++attempts_;
   // Counters are exempt from sampling so occupancy tracks stay dense.
   if (cfg_.sample_every > 1 && ev.kind != EventKind::kCounter &&
@@ -74,7 +74,7 @@ TraceSession& TraceSession::instance() {
 }
 
 void TraceSession::start(const TraceConfig& cfg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sinks_.clear();
   next_tid_ = 0;
   cfg_ = cfg;
@@ -93,7 +93,7 @@ TraceSink& TraceSession::this_thread_sink() {
   auto& cache = tls_cache();
   const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
   if (cache.sink == nullptr || cache.epoch != epoch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sinks_.push_back(std::make_unique<TraceSink>(cfg_, next_tid_++));
     cache.sink = sinks_.back().get();
     cache.epoch = epoch;
@@ -103,15 +103,15 @@ TraceSink& TraceSession::this_thread_sink() {
 
 void TraceSession::set_this_thread_name(std::string_view name) {
   TraceSink& sink = this_thread_sink();
-  std::lock_guard<std::mutex> lock(sink.mu_);
+  MutexLock lock(sink.mu_);
   sink.thread_name_.assign(name);
 }
 
 std::vector<MergedEvent> TraceSession::snapshot() {
   std::vector<MergedEvent> merged;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& sink : sinks_) {
-    std::lock_guard<std::mutex> sink_lock(sink->mu_);
+    MutexLock sink_lock(sink->mu_);
     merged.reserve(merged.size() + sink->events_.size());
     for (const TraceEvent& ev : sink->events_)
       merged.push_back(MergedEvent{ev, sink->tid()});
@@ -129,10 +129,10 @@ std::vector<MergedEvent> TraceSession::snapshot() {
 
 std::vector<SinkSummary> TraceSession::summaries() {
   std::vector<SinkSummary> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(sinks_.size());
   for (auto& sink : sinks_) {
-    std::lock_guard<std::mutex> sink_lock(sink->mu_);
+    MutexLock sink_lock(sink->mu_);
     out.push_back(SinkSummary{sink->tid(), sink->thread_name_,
                               sink->attempts_, sink->events_.size(),
                               sink->sampled_out_, sink->dropped_});
@@ -142,14 +142,14 @@ std::vector<SinkSummary> TraceSession::summaries() {
 
 void TraceSession::clear() {
   stop();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sinks_.clear();
   next_tid_ = 0;
   ++epoch_;
 }
 
 std::uint16_t TraceSession::intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < tracks_.size(); ++i)
     if (tracks_[i] == name) return static_cast<std::uint16_t>(i + 1);
   if (tracks_.size() >= 0xFFFE) return 0;  // interning table full
@@ -158,13 +158,13 @@ std::uint16_t TraceSession::intern(std::string_view name) {
 }
 
 std::string TraceSession::track_name(std::uint16_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id == 0 || id > tracks_.size()) return "";
   return tracks_[id - 1];
 }
 
 std::vector<std::string> TraceSession::track_table() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracks_;
 }
 

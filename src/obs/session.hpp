@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace semperm::obs {
 
@@ -51,22 +53,34 @@ class TraceSink {
   void record(const TraceEvent& ev);
 
   std::uint32_t tid() const { return tid_; }
-  std::uint64_t attempts() const { return attempts_; }
-  std::uint64_t stored() const { return events_.size(); }
-  std::uint64_t sampled_out() const { return sampled_out_; }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t attempts() const {
+    MutexLock lock(mu_);
+    return attempts_;
+  }
+  std::uint64_t stored() const {
+    MutexLock lock(mu_);
+    return events_.size();
+  }
+  std::uint64_t sampled_out() const {
+    MutexLock lock(mu_);
+    return sampled_out_;
+  }
+  std::uint64_t dropped() const {
+    MutexLock lock(mu_);
+    return dropped_;
+  }
 
  private:
   friend class TraceSession;
 
   TraceConfig cfg_;
   std::uint32_t tid_;
-  std::mutex mu_;  // uncontended except during export/clear
-  std::vector<TraceEvent> events_;
-  std::uint64_t attempts_ = 0;
-  std::uint64_t sampled_out_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::string thread_name_;
+  mutable Mutex mu_;  // uncontended except during export/clear
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::uint64_t attempts_ GUARDED_BY(mu_) = 0;
+  std::uint64_t sampled_out_ GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::string thread_name_ GUARDED_BY(mu_);
 };
 
 /// A recorded event paired with the thread it came from (export form).
@@ -107,7 +121,10 @@ class TraceSession {
   std::vector<MergedEvent> snapshot();
   std::vector<SinkSummary> summaries();
 
-  const TraceConfig& config() const { return cfg_; }
+  TraceConfig config() const {
+    MutexLock lock(mu_);
+    return cfg_;
+  }
   std::uint64_t wall_origin_ns() const { return wall_origin_ns_; }
 
   /// Drop all sinks and interned state from the previous recording.
@@ -122,12 +139,12 @@ class TraceSession {
  private:
   TraceSession() = default;
 
-  std::mutex mu_;  // guards sinks_, tracks_, cfg_ swaps
-  std::deque<std::unique_ptr<TraceSink>> sinks_;
-  std::vector<std::string> tracks_;
-  TraceConfig cfg_;
-  std::uint64_t wall_origin_ns_ = 0;
-  std::uint32_t next_tid_ = 0;
+  mutable Mutex mu_;  // guards sinks_, tracks_, cfg_ swaps
+  std::deque<std::unique_ptr<TraceSink>> sinks_ GUARDED_BY(mu_);
+  std::vector<std::string> tracks_ GUARDED_BY(mu_);
+  TraceConfig cfg_ GUARDED_BY(mu_);
+  std::uint64_t wall_origin_ns_ = 0;  // written in start(), read racily
+  std::uint32_t next_tid_ GUARDED_BY(mu_) = 0;
   // Bumped on start()/clear() to invalidate per-thread cached sink
   // pointers. Atomic: lazily-registering threads read it unlocked.
   std::atomic<std::uint64_t> epoch_{0};

@@ -55,7 +55,8 @@ bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
   std::uint64_t victim_use = ~std::uint64_t{0};
   bool victim_is_live = true;
   for (unsigned w = 0; w < cfg_.ways; ++w) {
-    if (record) lines_out->push_back(row_line + w);
+    if (record)  // semperm-analyze: allow(hotpath-alloc) -- lines_out is the sim-charging side channel; callers preallocate and production steering passes nullptr
+      lines_out->push_back(row_line + w);
     FlowSlot& s = row[w];
     if (s.valid != 0 && s.tag == h && s.flow_id == flow_id) {
       ++s.hits;
@@ -90,7 +91,8 @@ bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
   v.hits = 0;
   v.last_use = stamp_;
   ++stats_.insertions;
-  if (record) lines_out->push_back(row_line + victim);  // install write
+  if (record)  // semperm-analyze: allow(hotpath-alloc) -- same sim-only side channel as the probe loop above
+    lines_out->push_back(row_line + victim);  // install write
   return false;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/types.hpp"
 #include "hotcache/region_registry.hpp"
 #include "memlayout/arena.hpp"
@@ -97,7 +98,8 @@ class FlowTable {
   /// line index of every slot probed — plus the victim line written on a
   /// miss — to `lines_out` when attached and non-null; the caller streams
   /// those through Hierarchy::simulate in chunks. Returns hit.
-  bool steer(std::uint64_t flow_id, std::vector<Addr>* lines_out);
+  SEMPERM_HOT bool steer(std::uint64_t flow_id,
+                         std::vector<Addr>* lines_out);
 
   /// Register the table's native storage with the hot-caching registry in
   /// `chunk_bytes` pieces (0 = one region covering the whole table).

@@ -1,0 +1,23 @@
+// Seeded fixture for semperm_analyze: determinism-unseeded-rng.
+//
+// Expected findings: determinism-unseeded-rng x3 (random_device,
+// default-constructed mt19937_64, empty-braced mt19937). The explicitly
+// seeded engine in seeded_ok must stay clean.
+
+#include <random>
+
+namespace semperm::fixture {
+
+std::uint64_t sample() {
+  std::random_device rd;
+  std::mt19937_64 gen;
+  std::mt19937 coin{};
+  return gen() + coin() + rd();
+}
+
+std::uint64_t seeded_ok(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  return gen();
+}
+
+}  // namespace semperm::fixture

@@ -1,0 +1,30 @@
+// Seeded fixture for semperm_analyze: determinism-rand.
+//
+// This file is never compiled. It lives under a `src/cachesim` path
+// fragment so the directory-scoped determinism checks treat it as
+// simulation code, exactly as they would the real tree.
+//
+// Expected findings: determinism-rand x2 (the srand and rand calls in
+// noisy_latency). Everything in negative_controls must stay clean.
+
+#include <cstdlib>
+
+namespace semperm::fixture {
+
+int noisy_latency(int base) {
+  std::srand(42);
+  return base + std::rand() % 7;
+}
+
+struct Dice;
+
+int negative_controls(Dice& dice) {
+  // A member call named rand() is someone else's API, not libc.
+  int r = dice.rand();
+  // A justified suppression silences the check on the next line.
+  // semperm-analyze: allow(determinism-rand) -- fixture: justified tags must silence the finding
+  r += std::rand();
+  return r;
+}
+
+}  // namespace semperm::fixture

@@ -1,0 +1,32 @@
+// Seeded fixture for semperm_analyze: determinism-wall-clock.
+//
+// Expected findings: determinism-wall-clock x3 (steady_clock::now,
+// gettimeofday, bare time()). The suppressed now() and the member
+// .time(...) call must stay clean.
+
+#include <chrono>
+#include <sys/time.h>
+
+namespace semperm::fixture {
+
+std::uint64_t stamp_now() {
+  auto tp = std::chrono::steady_clock::now();
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  auto wall = time(nullptr);
+  return static_cast<std::uint64_t>(wall) +
+         static_cast<std::uint64_t>(tv.tv_sec) +
+         static_cast<std::uint64_t>(tp.time_since_epoch().count());
+}
+
+struct Frame;
+
+std::uint64_t negative_controls(Frame& frame) {
+  // Member .time(...) is a simulated-clock accessor, not libc time().
+  std::uint64_t t = frame.time(3);
+  // semperm-analyze: allow(determinism-wall-clock) -- fixture: justified tags must silence the finding
+  t += std::chrono::steady_clock::now().time_since_epoch().count();
+  return t;
+}
+
+}  // namespace semperm::fixture

@@ -1,0 +1,44 @@
+// Seeded fixture for semperm_analyze: audit-mesi-bypass.
+//
+// Lives under a `src/coherence` path fragment so the MESI routing check
+// applies. Expected findings: audit-mesi-bypass x3 (rollback_for_test,
+// reset, free_poke). The writes inside the audited mutators
+// CoherentHierarchy::set_state / drop_sharer must stay clean — this is
+// exactly the resolution grep could not do.
+
+#include <cstdint>
+#include <vector>
+
+namespace semperm::fixture {
+
+struct CoreState;
+
+class CoherentHierarchy {
+ public:
+  void set_state(int core, std::uint64_t line, int st) {
+    // Negative control: the audited mutator itself writes the map.
+    cores_.at(core).state[line] = st;
+  }
+
+  void drop_sharer(int core, std::uint64_t line) {
+    // Negative control: the other audited mutator.
+    cores_.at(core).state.erase(line);
+  }
+
+  void rollback_for_test(int core, std::uint64_t line) {
+    cores_.at(core).state.erase(line);
+  }
+
+  void reset(int core) {
+    cores_.at(core).state.clear();
+  }
+
+ private:
+  std::vector<CoreState> cores_;
+};
+
+void free_poke(CoreState& cs, std::uint64_t line, int st) {
+  cs.state[line] = st;
+}
+
+}  // namespace semperm::fixture

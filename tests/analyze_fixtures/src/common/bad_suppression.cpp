@@ -1,0 +1,22 @@
+// Seeded fixture for semperm_analyze: suppression-missing-justification.
+//
+// Expected findings: suppression-missing-justification x3 — a tag with
+// no `-- <justification>`, a tag naming an unknown check id, and a
+// malformed tag with an unclosed allow(. The well-formed tag at the
+// bottom must stay clean (and must actually suppress).
+
+namespace semperm::fixture {
+
+int tags() {
+  // semperm-analyze: allow(alloc-raw-new)
+  int a = 0;
+  // semperm-analyze: allow(not-a-real-check) -- sounds plausible though
+  int b = 0;
+  // semperm-analyze: allow(alloc-raw-new -- never closed the paren
+  int c = 0;
+  // semperm-analyze: allow(alloc-raw-new) -- fixture: well-formed tag, suppresses the new below
+  int* d = new int(4);
+  return a + b + c + *d;
+}
+
+}  // namespace semperm::fixture

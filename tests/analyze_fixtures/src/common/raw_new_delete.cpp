@@ -1,0 +1,32 @@
+// Seeded fixture for semperm_analyze: alloc-raw-new / alloc-raw-delete.
+//
+// Expected findings: alloc-raw-new x1 (grab), alloc-raw-delete x2
+// (delete[] and delete in drop). Placement new, `= delete` declarations,
+// and operator-delete declarations must stay clean.
+
+#include <cstddef>
+
+namespace semperm::fixture {
+
+int* grab(std::size_t n) {
+  return new int[n];
+}
+
+void drop(int* p, int* q) {
+  delete[] p;
+  delete q;
+}
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+  static void operator delete(void* ptr) noexcept;
+};
+
+int* make_in_place(void* slot) {
+  // Placement new constructs into storage someone else owns.
+  return new (slot) int(7);
+}
+
+}  // namespace semperm::fixture

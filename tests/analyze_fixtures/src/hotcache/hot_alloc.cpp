@@ -1,0 +1,35 @@
+// Seeded fixture for semperm_analyze: hotpath-alloc.
+//
+// Expected findings: hotpath-alloc x2 — the push_back directly inside
+// the SEMPERM_HOT method, and the push_back in stage_burst reached
+// transitively through the call graph. The reserve in cold_setup (not
+// reachable from any hot root) and the push_back inside the compiled-out
+// SEMPERM_AUDIT_ONLY macro must stay clean.
+
+#include <vector>
+
+namespace semperm::fixture {
+
+inline void stage_burst(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+class ProbeRing {
+ public:
+  SEMPERM_HOT int probe(int key) {
+    scratch_.push_back(key);
+    stage_burst(scratch_, key);
+    SEMPERM_AUDIT_ONLY(audit_log_.push_back(key));
+    return key;
+  }
+
+ private:
+  std::vector<int> scratch_;
+  std::vector<int> audit_log_;
+};
+
+void cold_setup(std::vector<int>& v) {
+  v.reserve(1024);
+}
+
+}  // namespace semperm::fixture

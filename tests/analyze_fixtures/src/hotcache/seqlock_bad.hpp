@@ -1,0 +1,32 @@
+// Seeded fixture for semperm_analyze: seqlock-payload.
+//
+// Expected findings: seqlock-payload x2 — the plain `base` field next to
+// an atomic `version` (auto-detected seqlock), and the plain `owner`
+// field in the explicitly tagged struct. RegionSlotOk (all-atomic) must
+// stay clean.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace semperm::fixture {
+
+struct RegionSlotBad {
+  std::atomic<std::uint32_t> version{0};
+  std::uint64_t base = 0;
+  std::atomic<std::uint64_t> len{0};
+};
+
+// semperm-analyze: seqlock
+struct TaggedSlotBad {
+  std::uint32_t version = 0;
+  std::uint64_t owner = 0;
+};
+
+struct RegionSlotOk {
+  std::atomic<std::uint32_t> version{0};
+  std::atomic<std::uint64_t> base{0};
+};
+
+}  // namespace semperm::fixture

@@ -1,0 +1,30 @@
+// Seeded fixture for semperm_analyze: layout-heat-anchor.
+//
+// Expected findings: layout-heat-anchor x2 — heat_anchor not the first
+// member of AnchorNotFirst, and AnchorNoAlign missing its
+// alignas(kCacheLine). AnchorOk must stay clean.
+
+#pragma once
+
+#include <cstdint>
+
+namespace semperm::fixture {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+struct alignas(64) AnchorNotFirst {
+  std::uint32_t flags = 0;
+  std::uint64_t heat_anchor = 0;
+};
+
+struct AnchorNoAlign {
+  std::uint64_t heat_anchor = 0;
+  std::uint32_t flags = 0;
+};
+
+struct alignas(kCacheLine) AnchorOk {
+  std::uint64_t heat_anchor = 0;
+  std::uint32_t flags = 0;
+};
+
+}  // namespace semperm::fixture

@@ -1,72 +1,91 @@
 #!/usr/bin/env bash
-# Repo lint gate (no toolchain dependencies — pure grep/sed).
+# Repo lint gate — textual checks only (no toolchain dependencies).
 #
-# Bans, across src/:
-#   1. raw `new` / `delete` expressions — all dynamic allocation goes
-#      through std::make_unique / containers / the arena. Placement new
-#      (`new (ptr) T`) is allowed: the arena and the LLA block store are
-#      built on it. `= delete;` declarations are allowed.
-#   2. rand()/srand() — all randomness goes through common/rng.hpp so runs
-#      stay reproducible.
-#   3. un-audited MESI state mutation — every write to a per-core `state`
-#      map outside the audited mutators must carry an explicit
-#      `// lint:allow-state-mutation` marker (the audited mutators carry it
-#      too, as documentation that the exemption is deliberate).
+# The structural checks that used to live here as greps (raw new/delete,
+# rand()/srand(), un-audited MESI state mutation) have moved to the
+# scope-aware analyzer, which resolves statements to their enclosing
+# function instead of pattern-matching lines:
 #
-# Exits non-zero with the offending lines on any violation.
+#   python3 tools/semperm_analyze/analyze.py --compdb build/compile_commands.json
+#
+# This script keeps only what is genuinely textual:
+#   1. banned includes — <random> and <ctime> are banned across src/:
+#      randomness goes through common/rng.hpp (seeded xoshiro), and
+#      calendar time has no business inside the simulators. (<chrono> is
+#      allowed: the transport layer paces real threads with it, under a
+#      justified semperm-analyze tag.)
+#   2. std::mutex outside the annotated wrappers — concurrent code uses
+#      semperm::Mutex / MutexLock / UniqueLock / CondVar
+#      (common/mutex.hpp) so Clang's -Wthread-safety sees every lock.
+#      Function-local mutexes guarding thread-local aggregation may be
+#      exempted with `// lint:allow-std-mutex`.
+#   3. trailing whitespace — cheap, and keeps diffs quiet.
+#
+# Exits non-zero with the offending lines on any violation. When a
+# compile_commands.json exists, the analyzer runs as a final stage so
+# `tools/lint.sh` stays the one-command local gate.
 set -u
 cd "$(dirname "$0")/.."
 
 fail=0
 
-# Source lines with comments stripped (file:line:code preserved).
-stripped() {
-  grep -rn --include='*.hpp' --include='*.cpp' '' src | sed 's@//.*@@'
-}
-
-# --- 1. raw new / delete ---------------------------------------------------
-raw_new=$(stripped | grep -E '[^[:alnum:]_.]new[[:space:]]+[[:alnum:]_:<]' \
-                   | grep -vE 'new[[:space:]]*\(')
-if [ -n "$raw_new" ]; then
-  echo "lint: raw 'new' expression (use std::make_unique, a container, or"
-  echo "the arena; placement new is exempt):"
-  echo "$raw_new"
+# --- 1. banned includes ------------------------------------------------------
+banned_inc=$(grep -rn --include='*.hpp' --include='*.cpp' \
+                  -E '#include[[:space:]]*<(random|ctime)>' src)
+if [ -n "$banned_inc" ]; then
+  echo "lint: banned include (<random> -> common/rng.hpp; <ctime> has no"
+  echo "place in simulation code):"
+  echo "$banned_inc"
   fail=1
 fi
 
-# Direct operator-delete calls are the matched deallocation functions for
-# aligned operator-new allocations (the arena) — not delete expressions.
-raw_delete=$(stripped | grep -E '[^[:alnum:]_]delete[[:space:]]*[^;=[:space:]]' \
-                      | grep -vE '=[[:space:]]*delete' \
-                      | grep -vE 'operator[[:space:]]+delete')
-if [ -n "$raw_delete" ]; then
-  echo "lint: raw 'delete' expression:"
-  echo "$raw_delete"
+# --- 2. std::mutex outside the annotated wrappers ---------------------------
+# common/mutex.hpp is the one place allowed to name the raw types: it wraps
+# them with capability annotations.
+raw_mutex=$(grep -rn --include='*.hpp' --include='*.cpp' \
+                 -E 'std::(mutex|lock_guard|unique_lock|condition_variable)\b' \
+                 src \
+            | grep -v '^src/common/mutex.hpp:' \
+            | grep -v 'lint:allow-std-mutex')
+if [ -n "$raw_mutex" ]; then
+  echo "lint: raw std::mutex/lock_guard/unique_lock/condition_variable (use"
+  echo "semperm::Mutex/MutexLock/UniqueLock/CondVar from common/mutex.hpp so"
+  echo "-Wthread-safety sees the lock; // lint:allow-std-mutex for"
+  echo "function-local exceptions):"
+  echo "$raw_mutex"
   fail=1
 fi
 
-# --- 2. rand()/srand() -----------------------------------------------------
-raw_rand=$(stripped | grep -E '[^[:alnum:]_](s?rand)[[:space:]]*\(')
-if [ -n "$raw_rand" ]; then
-  echo "lint: rand()/srand() is banned (use common/rng.hpp):"
-  echo "$raw_rand"
+# --- 3. bare NOLINT ----------------------------------------------------------
+# A NOLINT that names no check silences everything forever; the policy
+# (.clang-tidy header) requires NOLINT(check-name) plus a nearby comment
+# explaining why the check is wrong there.
+bare_nolint=$(grep -rn --include='*.hpp' --include='*.cpp' 'NOLINT' src \
+              | grep -vE 'NOLINT(NEXTLINE)?\(')
+if [ -n "$bare_nolint" ]; then
+  echo "lint: bare NOLINT (name the check: NOLINT(check-name), and say why"
+  echo "in a comment):"
+  echo "$bare_nolint"
   fail=1
 fi
 
-# --- 3. un-audited MESI state mutation -------------------------------------
-# Any direct mutation of a per-core MESI `state` map must be marked: the
-# audited mutators (set_state / drop_sharer) run the legality checker, and
-# anything else bypasses it.
-unaudited=$(grep -rn --include='*.hpp' --include='*.cpp' \
-                 -E '\.state\[[^]]*\][[:space:]]*=|\.state\.erase|\.state\.clear' \
-                 src/coherence \
-            | grep -v 'lint:allow-state-mutation')
-if [ -n "$unaudited" ]; then
-  echo "lint: MESI state mutated outside the audited mutators (route it"
-  echo "through set_state/drop_sharer, or mark a deliberate exemption with"
-  echo "// lint:allow-state-mutation):"
-  echo "$unaudited"
+# --- 4. trailing whitespace --------------------------------------------------
+trailing=$(grep -rn --include='*.hpp' --include='*.cpp' -E '[[:space:]]+$' src)
+if [ -n "$trailing" ]; then
+  echo "lint: trailing whitespace:"
+  echo "$trailing"
   fail=1
+fi
+
+# --- 5. the structural analyzer (when a build exists) ------------------------
+if [ -f build/compile_commands.json ]; then
+  if ! python3 tools/semperm_analyze/analyze.py \
+         --compdb build/compile_commands.json; then
+    fail=1
+  fi
+else
+  echo "lint: note: no build/compile_commands.json — run cmake to enable the"
+  echo "structural analyzer stage (tools/semperm_analyze)"
 fi
 
 if [ "$fail" -eq 0 ]; then

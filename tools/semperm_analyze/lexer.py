@@ -1,0 +1,165 @@
+"""Token-level C++ frontend for semperm_analyze.
+
+Produces a stream of (kind, text, line) tokens with comments and string
+literals lifted out, which is exactly the granularity the checks need:
+they reason about identifiers, call shapes, and brace structure, never
+about expression semantics. Comments are kept in a side table because
+suppression tags (`semperm-analyze: allow(...)`) live in them.
+
+Kinds: 'id', 'num', 'str', 'chr', 'punct'.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+class Comment(NamedTuple):
+    line: int          # line the comment starts on
+    text: str          # comment body without the // or /* */ markers
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+
+def _is_id_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_id_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def tokenize(source: str) -> Tuple[List[Token], List[Comment]]:
+    """Tokenize one C++ source file. Preprocessor lines are skipped whole
+    (the checks treat all conditional arms as live code, which errs on the
+    side of finding violations in rarely-compiled configurations)."""
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    n = len(source)
+    line = 1
+    at_line_start = True
+
+    while i < n:
+        c = source[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+
+        # Preprocessor directive: consume to end of line, honouring
+        # line continuations. (#include paths, #define bodies etc. are
+        # invisible to the checks by design.)
+        if c == "#" and at_line_start:
+            while i < n:
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if source[i] == "\n":
+                    break
+                i += 1
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            start = i + 2
+            while i < n and source[i] != "\n":
+                i += 1
+            comments.append(Comment(line, source[start:i].strip()))
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line = line
+            j = i + 2
+            while j + 1 < n and not (source[j] == "*" and source[j + 1] == "/"):
+                if source[j] == "\n":
+                    line += 1
+                j += 1
+            comments.append(Comment(start_line, source[i + 2:j].strip()))
+            i = j + 2
+            continue
+
+        # Raw strings: R"delim( ... )delim".
+        if c == "R" and i + 1 < n and source[i + 1] == '"':
+            j = i + 2
+            while j < n and source[j] != "(":
+                j += 1
+            delim = source[i + 2:j]
+            close = ")" + delim + '"'
+            k = source.find(close, j)
+            if k == -1:
+                k = n - len(close)
+            body = source[i:k + len(close)]
+            tokens.append(Token("str", body, line))
+            line += body.count("\n")
+            i = k + len(close)
+            continue
+
+        # String / char literals (with escapes).
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    j += 1
+                elif source[j] == "\n":
+                    line += 1
+                j += 1
+            tokens.append(Token("str" if quote == '"' else "chr",
+                                source[i:j + 1], line))
+            i = j + 1
+            continue
+
+        # Identifiers / keywords.
+        if _is_id_start(c):
+            j = i
+            while j < n and _is_id_char(source[j]):
+                j += 1
+            tokens.append(Token("id", source[i:j], line))
+            i = j
+            continue
+
+        # Numbers (loose: good enough for structural checks; handles
+        # digit separators, hex, suffixes, and decimal points).
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            while j < n and (_is_id_char(source[j]) or source[j] in ".'"
+                             or (source[j] in "+-" and source[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+
+        # Punctuation, longest first.
+        for p in _PUNCT3:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            for p in _PUNCT2:
+                if source.startswith(p, i):
+                    tokens.append(Token("punct", p, line))
+                    i += len(p)
+                    break
+            else:
+                tokens.append(Token("punct", c, line))
+                i += 1
+
+    return tokens, comments
