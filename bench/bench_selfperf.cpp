@@ -20,16 +20,17 @@
 // BENCH_cachesim.json unless --json overrides the path; the CI perf-smoke
 // job compares it against bench/BENCH_cachesim.baseline.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "cachesim/arch.hpp"
 #include "cachesim/cache.hpp"
 #include "cachesim/hierarchy.hpp"
 #include "coherence/coherent_hierarchy.hpp"
-#include "common/rng.hpp"
+#include "common/addr_source.hpp"
+#include "common/simd.hpp"
 #include "tests/reference_cache.hpp"
 
 namespace semperm::bench {
@@ -57,50 +58,47 @@ Score timed(std::uint64_t lines_per_rep, int reps, F&& body) {
   return s;
 }
 
+// Every driver below streams its addresses through an AddrSource (or
+// regenerates them inline from a pure per-index function) instead of
+// materializing a std::vector<Addr> trace — the fused-streaming contract
+// of DESIGN.md §15. The timed region therefore measures the simulator,
+// not trace-replay memory traffic, and the same drivers scale to 10^7+
+// line runs at O(chunk) memory.
+
 // Word-granular sweep of 256 L1-resident lines: each line is read 4x in a
 // row (16 B words of a 64 B line), the dominant pattern the trace replayers
 // feed the simulator. 3/4 of hits land on the MRU way.
-std::vector<Addr> sweep_stream() {
-  std::vector<Addr> v;
-  for (Addr l = 0; l < 256; ++l)
-    for (int r = 0; r < 4; ++r) v.push_back(l);
-  return v;
-}
-
-// Cyclic sweep of the same working set, one touch per line: every hit
-// lands on the LRU way of its set, maximising rotation work.
-std::vector<Addr> churn_stream() {
-  std::vector<Addr> v;
-  for (Addr l = 0; l < 256; ++l) v.push_back(l);
-  return v;
-}
+constexpr std::uint64_t kSweepLen = 256 * 4;
+constexpr Addr sweep_line(std::uint64_t i) { return i / 4; }
 
 Score run_l1_hit_stream(int reps) {
   SetAssocCache c("L1", 32 * 1024, 8);
-  const std::vector<Addr> stream = sweep_stream();
-  for (Addr l : churn_stream()) c.fill(l, FillReason::kDemand);
-  return timed(stream.size(), reps, [&] {
-    return c.access_batch({stream.data(), stream.size()});
+  for (Addr l = 0; l < 256; ++l) c.fill(l, FillReason::kDemand);
+  return timed(kSweepLen, reps, [&] {
+    auto src = make_addr_source(kSweepLen, sweep_line);
+    return c.access_batch(src);
   });
 }
 
 Score run_l1_hit_stream_reference(int reps) {
   cachesim::testing::ReferenceSetAssocCache c("L1", 32 * 1024, 8);
-  const std::vector<Addr> stream = sweep_stream();
-  for (Addr l : churn_stream()) c.fill(l, FillReason::kDemand);
-  return timed(stream.size(), reps, [&] {
+  for (Addr l = 0; l < 256; ++l) c.fill(l, FillReason::kDemand);
+  return timed(kSweepLen, reps, [&] {
     std::uint64_t hits = 0;
-    for (const Addr l : stream) hits += c.access(l) ? 1 : 0;
+    for (std::uint64_t i = 0; i < kSweepLen; ++i)
+      hits += c.access(sweep_line(i)) ? 1 : 0;
     return hits;
   });
 }
 
 Score run_l1_lru_churn(int reps) {
+  // Cyclic sweep of the working set, one touch per line: every hit lands
+  // on the LRU way of its set, maximising rotation work.
   SetAssocCache c("L1", 32 * 1024, 8);
-  const std::vector<Addr> stream = churn_stream();
-  for (Addr l : stream) c.fill(l, FillReason::kDemand);
-  return timed(stream.size(), 4 * reps, [&] {
-    return c.access_batch({stream.data(), stream.size()});
+  for (Addr l = 0; l < 256; ++l) c.fill(l, FillReason::kDemand);
+  return timed(256, 4 * reps, [&] {
+    auto src = make_addr_source(256, [](std::uint64_t i) { return i; });
+    return c.access_batch(src);
   });
 }
 
@@ -108,12 +106,10 @@ Score run_llc_miss_stream(int reps) {
   // Sliced (non-power-of-two) LLC geometry so the fastmod indexing path is
   // the one being timed: 1152 sets x 16 ways = 1.125 MiB.
   SetAssocCache llc("LLC", 1152 * 16 * kCacheLine, 16);
-  const std::size_t capacity = llc.set_count() * 16;
-  std::vector<Addr> stream;
-  for (Addr l = 0; l < 4 * capacity; ++l) stream.push_back(l);
-  return timed(stream.size(), reps, [&] {
+  const Addr span = static_cast<Addr>(4 * llc.set_count() * 16);
+  return timed(span, reps, [&] {
     std::uint64_t filled = 0;
-    for (const Addr l : stream) {
+    for (Addr l = 0; l < span; ++l) {
       if (!llc.access(l)) {
         llc.fill(l, FillReason::kDemand);
         ++filled;
@@ -125,11 +121,10 @@ Score run_llc_miss_stream(int reps) {
 
 Score run_prefetch_heavy(int reps) {
   cachesim::Hierarchy h(cachesim::sandy_bridge());
-  std::vector<Addr> stream;
-  for (Addr l = 0; l < 16384; ++l) stream.push_back(l);  // 1 MiB sweep
-  return timed(stream.size(), reps, [&] {
-    return static_cast<std::uint64_t>(
-        h.simulate({stream.data(), stream.size()}));
+  constexpr std::uint64_t kLines = 16384;  // 1 MiB sweep
+  return timed(kLines, reps, [&] {
+    return static_cast<std::uint64_t>(h.simulate(
+        make_addr_source(kLines, [](std::uint64_t i) { return i; })));
   });
 }
 
@@ -137,23 +132,31 @@ Score run_coherent_4core_mix(int reps) {
   constexpr unsigned kCores = 4;
   coherence::CoherentHierarchy coh(cachesim::sandy_bridge(), kCores);
   // Per-core private streams plus a shared region with 25% stores: a mix
-  // of silent hits, upgrades, and cross-core interventions.
+  // of silent hits, upgrades, and cross-core interventions. Each access
+  // is a pure function of its index (SplitMix64 on i), so the stream is
+  // regenerated on the fly every repetition — reproducible without a
+  // materialized trace, and the ~2 ns of hashing is noise next to the
+  // ~200 ns simulated access.
   constexpr Addr kShared = 1 << 20;
-  constexpr std::size_t kPerCore = 2048;
-  std::vector<Addr> stream;
-  std::vector<std::uint8_t> writes;
-  Rng rng(0xc0);
-  for (std::size_t i = 0; i < kCores * kPerCore; ++i) {
-    const bool shared = rng.chance(0.25);
-    stream.push_back(shared ? kShared + rng.below(512)
-                            : Addr{4096} * (i % kCores) + rng.below(1024));
-    writes.push_back(shared && rng.chance(0.5) ? 1 : 0);
-  }
-  return timed(stream.size(), reps, [&] {
+  constexpr std::size_t kLen = kCores * 2048;
+  const auto mix64 = [](std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  };
+  return timed(kLen, reps, [&] {
     std::uint64_t cycles = 0;
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      cycles += coh.access_line(static_cast<unsigned>(i % kCores), stream[i],
-                                writes[i] != 0);
+    for (std::size_t i = 0; i < kLen; ++i) {
+      const std::uint64_t h = mix64(i ^ 0xc0);
+      const bool shared = (h & 3) == 0;          // 25% shared
+      const bool write = shared && ((h >> 2) & 1);  // half of those store
+      const Addr line = shared
+                            ? kShared + ((h >> 3) % 512)
+                            : Addr{4096} * (i % kCores) + ((h >> 3) % 1024);
+      cycles += coh.access_line(static_cast<unsigned>(i % kCores), line, write);
     }
     return cycles;
   });
@@ -188,17 +191,39 @@ int main(int argc, char** argv) {
       {"coherent_4core_mix", bench::run_coherent_4core_mix, quick ? 20 : 200},
   };
 
-  Table table({"scenario", "lines", "seconds", "Mlines/s"});
+  // Which probe backend this binary measured: CI's perf-smoke job asserts
+  // a Release build reports a vector backend, not the scalar fallback.
+  bench::report_label("simd_backend", simd::backend());
+
+  Table table({"scenario", "lines", "seconds", "Mlines/s", "reps"});
   double soa_rate = 0;
   double ref_rate = 0;
   for (const auto& s : scenarios) {
     if (!bench::panel_enabled(s.name)) continue;
-    const Score score = s.run(s.reps);
+    // Auto-scale repetitions until the scenario runs >= 250 ms, so the
+    // reported rate is not dominated by timer granularity or a cold first
+    // pass. The table reps are the floor; quick mode keeps them as-is.
+    // The chosen count is echoed per scenario ("<name>_reps") so two
+    // reports are comparable at a glance.
+    int reps = s.reps;
+    Score score = s.run(reps);
+    if (!quick) {
+      for (int round = 0; round < 6 && score.seconds < 0.25; ++round) {
+        const double scale =
+            score.seconds > 0 ? 0.30 / score.seconds : 8.0;
+        reps = std::max(
+            reps + 1,
+            static_cast<int>(reps * std::min(scale, 16.0)));
+        score = s.run(reps);
+      }
+    }
     table.add_row({s.name, Table::num(score.lines),
                    Table::num(score.seconds, 3),
-                   Table::num(score.lines_per_sec() / 1e6, 1)});
+                   Table::num(score.lines_per_sec() / 1e6, 1),
+                   Table::num(static_cast<std::int64_t>(reps))});
     bench::report_metric(std::string(s.name) + "_lines_per_sec",
                          score.lines_per_sec());
+    bench::report_metric(std::string(s.name) + "_reps", reps);
     if (std::string(s.name) == "l1_hit_stream")
       soa_rate = score.lines_per_sec();
     if (std::string(s.name) == "l1_hit_stream_reference")

@@ -34,6 +34,7 @@ struct ReportState {
   bool trace_active = false;
   std::vector<std::pair<std::string, Table>> tables;
   std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, std::string>> labels;
   /// Every title the bench offered to panel_enabled()/emit(), in query
   /// order — the candidate list shown when a --filter matches nothing.
   std::vector<std::string> offered_titles;
@@ -109,6 +110,16 @@ std::string report_json(bool partial) {
       append_json_string(out, r.offered_titles[i]);
     }
     out += "],\n";
+  }
+  if (!r.labels.empty()) {
+    out += "  \"labels\": {";
+    for (std::size_t i = 0; i < r.labels.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      append_json_string(out, r.labels[i].first);
+      out += ": ";
+      append_json_string(out, r.labels[i].second);
+    }
+    out += "\n  },\n";
   }
   out += "  \"metrics\": {";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
@@ -341,6 +352,12 @@ void report_metric(const std::string& name, double value) {
   ReportState& r = report();
   std::lock_guard<std::mutex> lock(r.mu);
   r.metrics.emplace_back(name, value);
+}
+
+void report_label(const std::string& name, const std::string& value) {
+  ReportState& r = report();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.labels.emplace_back(name, value);
 }
 
 void emit(const std::string& title, const Table& table, bool csv) {

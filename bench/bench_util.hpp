@@ -89,6 +89,11 @@ void default_json_path(const std::string& path);
 /// throughput in lines/sec that a comparison script consumes).
 void report_metric(const std::string& name, double value);
 
+/// Record a named string for the JSON report's "labels" object — run
+/// provenance that is not a measurement (e.g. the compiled-in SIMD
+/// backend). Written only when at least one label was recorded.
+void report_label(const std::string& name, const std::string& value);
+
 /// Emit a table in the selected format, preceded by a banner; records the
 /// table for the JSON report. Filtered-out titles are dropped silently.
 void emit(const std::string& title, const Table& table, bool csv);

@@ -1,5 +1,7 @@
 #include "cachesim/cache.hpp"
 
+#include <bit>
+
 #include "common/assert.hpp"
 
 namespace semperm::cachesim {
@@ -68,24 +70,41 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
     return std::nullopt;
   }
+  return fill_absent(s, tags, meta, line, reason, cls, dirty);
+}
+
+SetAssocCache::FillOutcome SetAssocCache::fill_line_if_absent(Addr line,
+                                                              FillReason reason,
+                                                              LineClass cls,
+                                                              bool dirty) {
+  const std::size_t s = set_index(line);
+  Addr* tags = set_tags(s);
+  Meta* meta = set_meta(s);
+  // Strict no-op on residency — no LRU refresh, no counters — matching the
+  // unfused `if (contains(line)) return;` prefetch guard exactly (that path
+  // never reached fill_line, so the fill-call audit counter stays put too).
+  if (find_way(tags, meta, line) < assoc_) return {};
+  SEMPERM_AUDIT_ONLY(++audit_fill_calls_;)
+  return {true, fill_absent(s, tags, meta, line, reason, cls, dirty)};
+}
+
+std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_absent(
+    [[maybe_unused]] std::size_t s, Addr* tags, Meta* meta, Addr line,
+    FillReason reason, LineClass cls, bool dirty) {
   if (reason == FillReason::kPrefetch) ++stats_.prefetch_fills;
   if (reason == FillReason::kHeater) ++stats_.heater_fills;
 
   // Pick the insertion hole: the first stale way, or the evicted victim's
   // slot. Stale ways act as free capacity — they are exactly what the
-  // eager purge used to erase.
+  // eager purge used to erase. Both scans are packed-lane way-mask
+  // reductions (simd.hpp): the first stale way is the lowest zero bit of
+  // the live mask, the class victim the highest set bit of the class mask.
   std::optional<EvictedWay> evicted;
-  std::size_t hole = assoc_;
+  std::size_t hole;
   if (reserved_ways_ == 0) {
     // Unpartitioned: one LRU pool.
-    std::size_t live = 0;
-    for (std::size_t i = 0; i < assoc_; ++i) {
-      if (way_live(meta[i]))
-        ++live;
-      else if (hole == assoc_)
-        hole = i;
-    }
-    if (live >= assoc_) {
+    hole = static_cast<std::size_t>(std::countr_one(live_mask(meta)));
+    if (hole >= assoc_) {
       hole = assoc_ - 1;  // every way live: the last one is the LRU
       evicted = EvictedWay{tags[hole], is_dirty(meta[hole])};
       ++stats_.evictions;
@@ -95,22 +114,14 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     const bool network = cls == LineClass::kNetwork;
     const std::size_t quota =
         network ? reserved_ways_ : assoc_ - reserved_ways_;
-    std::size_t in_class = 0;
-    std::size_t victim = assoc_;
-    for (std::size_t i = 0; i < assoc_; ++i) {
-      if (way_live(meta[i])) {
-        if (is_network(meta[i]) == network) {
-          ++in_class;
-          victim = i;  // ends at the LRU-most live way of this class
-        }
-      } else if (hole == assoc_) {
-        hole = i;
-      }
-    }
-    if (in_class >= quota) {
-      hole = victim;
+    const std::uint64_t in_class = class_mask(meta, cls);
+    if (static_cast<std::size_t>(std::popcount(in_class)) >= quota) {
+      // The LRU-most live way of this class is the victim.
+      hole = static_cast<std::size_t>(std::bit_width(in_class)) - 1;
       evicted = EvictedWay{tags[hole], is_dirty(meta[hole])};
       ++stats_.evictions;
+    } else {
+      hole = static_cast<std::size_t>(std::countr_one(live_mask(meta)));
     }
   }
   if (evicted && evicted->dirty) ++stats_.writebacks;

@@ -17,6 +17,7 @@
 // are reclaimed lazily by later fills.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -24,7 +25,9 @@
 #include <vector>
 
 #include "check/audit.hpp"
+#include "common/addr_source.hpp"
 #include "common/hot_path.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "obs/trace.hpp"
 
@@ -128,6 +131,20 @@ class SetAssocCache {
   /// Returns the number of hits.
   SEMPERM_HOT std::size_t access_batch(std::span<const Addr> lines);
 
+  /// Streaming access_batch: pull lines from any AddrSource through a
+  /// stack chunk until exhausted — same per-line semantics, O(chunk)
+  /// memory for arbitrarily long synthetic streams.
+  template <AddrSource Source>
+  std::size_t access_batch(Source&& src) {
+    std::array<Addr, kAddrChunkLines> chunk;
+    std::size_t hits = 0;
+    for (;;) {
+      const std::size_t n = src.next_batch(std::span<Addr>(chunk));
+      if (n == 0) return hits;
+      hits += access_batch(std::span<const Addr>(chunk.data(), n));
+    }
+  }
+
   /// Probe without updating LRU or statistics.
   bool contains(Addr line) const {
     const std::size_t s = set_index(line);
@@ -162,6 +179,21 @@ class SetAssocCache {
   /// lines without probing the set twice.
   bool touch_fill(Addr line, FillReason reason,
                   LineClass cls = LineClass::kNormal);
+
+  /// Result of fill_line_if_absent: whether a fill happened, and the
+  /// evicted way if it displaced one.
+  struct FillOutcome {
+    bool filled = false;
+    std::optional<EvictedWay> evicted;
+  };
+
+  /// fill_line() that is a strict no-op when the line is already resident —
+  /// no LRU refresh, no reason re-mark, no statistics. This is the
+  /// `contains() ? skip : fill()` prefetch idiom fused into a single set
+  /// walk; the observable state is identical to the unfused pair.
+  FillOutcome fill_line_if_absent(Addr line, FillReason reason,
+                                  LineClass cls = LineClass::kNormal,
+                                  bool dirty = false);
 
   /// Set the dirty bit of a resident line (a write-back cache records the
   /// store; the data moves only on displacement). Returns false if absent.
@@ -265,15 +297,41 @@ class SetAssocCache {
   /// this one test, so they all agree after flush()/reset().
   bool way_live(Meta m) const { return (m >> kEpochShift) == epoch_; }
 
+  /// way_live() expressed as a mask predicate over the packed word:
+  /// (m & kLiveMask) == live_want() selects exactly the ways whose epoch
+  /// field equals epoch_ — the form the SIMD probes consume.
+  static constexpr Meta kLiveMask = ~((Meta{1} << kEpochShift) - 1);
+  Meta live_want() const { return epoch_ << kEpochShift; }
+
   /// Find the live way holding `line` in the set block, or assoc_ if the
-  /// line is not resident. One short scan over the contiguous tag array;
-  /// stale-epoch ways are filtered lazily right here in the tag compare (a
-  /// stale hole may keep its leftover tag), so no eager purge ever runs.
+  /// line is not resident. One packed scan over the contiguous tag array
+  /// with the live-epoch predicate fused in as a metadata mask
+  /// (simd.hpp; 2–4 ways per compare); stale-epoch ways are filtered
+  /// lazily right here in the probe (a stale hole may keep its leftover
+  /// tag), so no eager purge ever runs. First-match order is preserved
+  /// exactly, so results are bit-identical to the scalar loop.
   SEMPERM_HOT std::size_t find_way(const Addr* tags, const Meta* meta,
                                    Addr line) const {
-    for (std::size_t i = 0; i < assoc_; ++i)
-      if (tags[i] == line && way_live(meta[i])) return i;
-    return assoc_;
+    // MRU fast path: most demand hits land on way 0 (the whole point of
+    // move-to-front), and one scalar compare is cheaper than spinning up
+    // the packed probe. Falling through re-examines lane 0, which cannot
+    // change the answer (the arrays are unchanged and way 0 just missed).
+    if (tags[0] == line && way_live(meta[0])) return 0;
+    return simd::find_tag_masked(tags, meta, assoc_, line, kLiveMask,
+                                 live_want());
+  }
+
+  /// Bitmask of live ways in the set block (bit i = way i live).
+  std::uint64_t live_mask(const Meta* meta) const {
+    return simd::meta_match_mask(meta, assoc_, kLiveMask, live_want());
+  }
+
+  /// Bitmask of live ways belonging to `cls` (partition-class census:
+  /// the class bit joins the epoch field in the mask, one packed scan).
+  std::uint64_t class_mask(const Meta* meta, LineClass cls) const {
+    return simd::meta_match_mask(
+        meta, assoc_, kLiveMask | kNetworkBit,
+        live_want() | (cls == LineClass::kNetwork ? kNetworkBit : 0));
   }
 
   /// Rotate ways [0, i] of a set block right by one and write (`line`, `m`)
@@ -288,6 +346,14 @@ class SetAssocCache {
     tags[0] = line;
     meta[0] = m;
   }
+
+  /// Miss-path insertion shared by fill_line / fill_line_if_absent: counts
+  /// the fill, picks the hole (stale way or evicted victim), moves the new
+  /// line to the MRU slot. The caller has already established the line is
+  /// absent from the set.
+  std::optional<EvictedWay> fill_absent(std::size_t s, Addr* tags, Meta* meta,
+                                        Addr line, FillReason reason,
+                                        LineClass cls, bool dirty);
 
   Addr* set_tags(std::size_t set) { return tags_.data() + set * assoc_; }
   const Addr* set_tags(std::size_t set) const {

@@ -144,11 +144,16 @@ void Hierarchy::prefetch_fill(const PrefetchRequest& req) {
                             ? LineClass::kNetwork
                             : LineClass::kNormal;
   const unsigned target = std::min<unsigned>(req.target_level, level_count() - 1);
-  if (levels_[target].contains(req.line)) return;
-  levels_[target].fill(req.line, FillReason::kPrefetch, cls);
+  // fill_line_if_absent fuses the old `contains() ? skip : fill()` pair
+  // into one set walk per level; resident lines are left strictly alone
+  // (no LRU refresh), exactly as the unfused guard behaved.
+  if (!levels_[target].fill_line_if_absent(req.line, FillReason::kPrefetch, cls)
+           .filled)
+    return;
   // L2 prefetches also land in the LLC (the fill passes through it).
-  if (target + 1 < level_count() && !levels_[target + 1].contains(req.line))
-    levels_[target + 1].fill(req.line, FillReason::kPrefetch, cls);
+  if (target + 1 < level_count())
+    levels_[target + 1].fill_line_if_absent(req.line, FillReason::kPrefetch,
+                                            cls);
 }
 
 void Hierarchy::flush_all() {

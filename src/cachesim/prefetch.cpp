@@ -1,6 +1,10 @@
 #include "cachesim/prefetch.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/simd.hpp"
 
 namespace semperm::cachesim {
 
@@ -26,50 +30,95 @@ void AdjacentPairPrefetcher::observe(const AccessObservation& obs,
   out.push_back(PrefetchRequest{obs.line ^ 1, /*target_level=*/1});
 }
 
+namespace {
+/// Packed order word with nibble p holding slot id p: 0xFEDC...3210
+/// truncated to `n` nibbles.
+constexpr std::uint64_t identity_order(std::size_t n) {
+  std::uint64_t o = 0;
+  for (std::size_t p = 0; p < n; ++p) o |= std::uint64_t{p} << (4 * p);
+  return o;
+}
+}  // namespace
+
 StreamPrefetcher::StreamPrefetcher(unsigned trigger, unsigned degree,
                                    std::size_t table_size)
-    : trigger_(trigger), degree_(degree), table_(table_size) {}
+    : trigger_(trigger),
+      degree_(degree),
+      pages_(table_size, ~Addr{0}),
+      table_(table_size),
+      order_(identity_order(table_size)) {
+  SEMPERM_ASSERT_MSG(table_size >= 1 && table_size <= 16,
+                     "StreamPrefetcher table_size " << table_size
+                         << " exceeds the 16-slot packed-order limit");
+}
+
+void StreamPrefetcher::touch(std::size_t s) {
+  const unsigned n = static_cast<unsigned>(pages_.size());
+  const unsigned top = 4 * (n - 1);
+  if (((order_ >> top) & 0xF) == s) return;  // already MRU
+  // Locate the (unique) nibble holding s: XOR against s broadcast to every
+  // nibble, then flag zero nibbles with the borrow trick. Positions below
+  // the true match hold no zero nibble, so no borrow reaches it and the
+  // lowest flagged bit is exact; higher positions may flag spuriously but
+  // countr_zero never reaches them.
+  constexpr std::uint64_t kOnes = 0x1111111111111111ULL;
+  const std::uint64_t live =
+      n == 16 ? ~std::uint64_t{0} : (std::uint64_t{1} << (4 * n)) - 1;
+  const std::uint64_t x = (order_ ^ (s * kOnes)) | ~live;
+  const std::uint64_t zero = (x - kOnes) & ~x & (kOnes << 3);
+  const unsigned p = static_cast<unsigned>(std::countr_zero(zero)) / 4;
+  // Remove the nibble at p (close the gap) and append s at the MRU end.
+  const std::uint64_t below = order_ & ((std::uint64_t{1} << (4 * p)) - 1);
+  const std::uint64_t above = ((order_ >> (4 * (p + 1))) << (4 * p)) & live;
+  order_ = below | above | (std::uint64_t{s} << top);
+}
 
 void StreamPrefetcher::observe(const AccessObservation& obs,
                                std::vector<PrefetchRequest>& out) {
-  ++tick_;
   const Addr page = page_of_line(obs.line);
-  Stream* match = nullptr;
-  Stream* victim = &table_[0];
-  for (auto& s : table_) {
-    if (s.page == page) {
-      match = &s;
-      break;
-    }
-    if (s.lru < victim->lru) victim = &s;
-  }
-  if (match == nullptr) {
-    // Allocate a new stream over the LRU entry.
-    *victim = Stream{page, obs.line, 1, tick_};
+  // Packed probe over the page-tag array; first-match index, same slot the
+  // old struct scan would have stopped at.
+  const std::size_t i = simd::find_u64(pages_.data(), pages_.size(), page);
+  if (i == pages_.size()) {
+    // Allocate a new stream over the LRU slot — the low nibble of the
+    // packed order — then rotate it to the MRU end.
+    const std::size_t v = static_cast<std::size_t>(order_ & 0xF);
+    pages_[v] = page;
+    table_[v] = Stream{obs.line, 0, 1};
+    touch(v);
     return;
   }
-  match->lru = tick_;
-  if (obs.line == match->last_line) return;  // same line again: no signal
-  if (obs.line == match->last_line + 1) {
-    match->run += 1;
-  } else if (obs.line > match->last_line && obs.line - match->last_line <= 2) {
+  Stream& match = table_[i];
+  touch(i);
+  if (obs.line == match.last_line) return;  // same line again: no signal
+  if (obs.line == match.last_line + 1) {
+    match.run += 1;
+  } else if (obs.line > match.last_line && obs.line - match.last_line <= 2) {
     // Small forward skips keep the stream alive but do not extend the run.
   } else {
-    match->run = 1;  // direction break: re-arm
+    match.run = 1;        // direction break: re-arm
+    match.next_issue = 0;  // the fresh run gets its full window again
   }
-  match->last_line = obs.line;
-  if (match->run >= trigger_) {
-    for (unsigned d = 1; d <= degree_; ++d) {
-      const Addr ahead = obs.line + d;
+  match.last_line = obs.line;
+  if (match.run >= trigger_) {
+    // Issue only lines the run has not requested yet: from the issue
+    // pointer (or the line after the access, whichever is further) up to
+    // `degree` ahead, clipped at the page edge.
+    Addr ahead = obs.line + 1;
+    if (match.next_issue > ahead) ahead = match.next_issue;
+    const Addr limit = obs.line + degree_;
+    for (; ahead <= limit; ++ahead) {
       if (page_of_line(ahead) != page) break;  // streamer stops at page edge
       out.push_back(PrefetchRequest{ahead, /*target_level=*/1});
     }
+    match.next_issue = ahead;
   }
 }
 
 void StreamPrefetcher::reset() {
+  for (auto& p : pages_) p = ~Addr{0};
   for (auto& s : table_) s = Stream{};
-  tick_ = 0;
+  order_ = identity_order(pages_.size());
 }
 
 }  // namespace semperm::cachesim

@@ -49,6 +49,13 @@ class AdjacentPairPrefetcher {
 };
 
 /// L2 streamer: per-4KiB-page ascending-run detector.
+///
+/// Once a stream is armed the unit keeps a per-stream issue pointer (the
+/// highest line it has already requested) and emits only lines beyond it,
+/// the way a hardware streamer advances its prefetch pointer with the
+/// stream — it does not re-request the window it already sent. A
+/// direction break re-arms the stream and clears the pointer, so the
+/// fresh run prefetches its full window again.
 class StreamPrefetcher {
  public:
   /// `trigger` = run length that arms the stream; `degree` = lines fetched
@@ -61,16 +68,32 @@ class StreamPrefetcher {
 
  private:
   struct Stream {
-    Addr page = ~Addr{0};
     Addr last_line = 0;
+    Addr next_issue = 0;  // first line not yet requested for this run
     unsigned run = 0;
-    std::uint64_t lru = 0;
   };
+
+  /// Move slot `s` to the most-recently-used end of the packed order.
+  void touch(std::size_t s);
 
   unsigned trigger_;
   unsigned degree_;
+  // Page tags live in their own contiguous array (SoA) so the per-access
+  // lookup is one packed simd::find_u64 probe instead of a struct-strided
+  // scan; the cold per-stream state stays in table_[i]. ~Addr{0} marks a
+  // free slot (no real 4 KiB page maps there).
+  //
+  // Recency is a packed permutation instead of per-slot lru ticks: order_
+  // holds one 4-bit slot id per nibble, LRU at nibble 0 and MRU at nibble
+  // size-1 (hence table_size <= 16). The victim is `order_ & 0xF` and a
+  // touch is a constant-time nibble rotation — the miss path (every
+  // observation of irregular traffic) never scans the table for a
+  // minimum. Untouched slots keep their initial ascending order at the
+  // LRU end, which reproduces the old scan's first-smallest-index
+  // tie-break exactly.
+  std::vector<Addr> pages_;
   std::vector<Stream> table_;
-  std::uint64_t tick_ = 0;
+  std::uint64_t order_ = 0;
 };
 
 }  // namespace semperm::cachesim

@@ -57,16 +57,12 @@ std::uint64_t CoherentHierarchy::remote_sharers(unsigned core,
 }
 
 int CoherentHierarchy::remote_modified(unsigned core, Addr line) const {
-  std::uint64_t rem = remote_sharers(core, line);
-  while (rem != 0) {
-    const unsigned c = static_cast<unsigned>(std::countr_zero(rem));
-    rem &= rem - 1;
-    const auto& st = cores_[c].state;
-    const auto it = st.find(line);
-    if (it != st.end() && it->second == MesiState::kModified)
-      return static_cast<int>(c);
-  }
-  return -1;
+  // The directory carries the unique Modified holder (at most one exists
+  // under MESI), so this is one probe rather than a per-core state walk.
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return -1;
+  const int owner = it->second.owner;
+  return (owner >= 0 && owner != static_cast<int>(core)) ? owner : -1;
 }
 
 void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
@@ -82,7 +78,12 @@ void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
                                 static_cast<double>(core));
       })
   cores_[core].state[line] = st;
-  directory_[line].sharers |= bit(core);
+  DirEntry& e = directory_[line];
+  e.sharers |= bit(core);
+  if (st == MesiState::kModified)
+    e.owner = static_cast<int>(core);
+  else if (e.owner == static_cast<int>(core))
+    e.owner = -1;
 }
 
 void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
@@ -98,6 +99,7 @@ void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
   it->second.sharers &= ~bit(core);
+  if (it->second.owner == static_cast<int>(core)) it->second.owner = -1;
   if (it->second.sharers == 0) {
     directory_.erase(it);
     // No private copy remains, so the line can no longer be an inclusion
@@ -140,14 +142,22 @@ void CoherentHierarchy::on_private_evict(unsigned core, unsigned level,
   // the next level out only if already resident there (mark_dirty no-ops
   // otherwise). Prefetch-fill victims drop their dirty bit silently, as
   // the single-core prefetch_fill does.
-  if (propagate_dirty && ev.dirty) {
-    if (level == 0)
-      cs.l2.mark_dirty(ev.line);
-    else if (llc_)
-      llc_->mark_dirty(ev.line);
+  //
+  // The victim was just displaced from `level`, so only the sibling level
+  // decides whether the line is still privately resident — and for an L1
+  // dirty victim the mark_dirty probe already answers that (it reports
+  // whether the L2 copy it dirtied exists), so no second set walk is
+  // needed.
+  if (level == 0) {
+    if (propagate_dirty && ev.dirty) {
+      if (!cs.l2.mark_dirty(ev.line)) private_line_gone(core, ev.line);
+      return;
+    }
+    if (!cs.l2.contains(ev.line)) private_line_gone(core, ev.line);
+  } else {
+    if (propagate_dirty && ev.dirty && llc_) llc_->mark_dirty(ev.line);
+    if (!cs.l1.contains(ev.line)) private_line_gone(core, ev.line);
   }
-  if (!cs.l1.contains(ev.line) && !cs.l2.contains(ev.line))
-    private_line_gone(core, ev.line);
 }
 
 void CoherentHierarchy::on_llc_evict(const SetAssocCache::EvictedWay& ev) {
@@ -226,8 +236,15 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     }
   } else {
     // Private miss: the directory arbitrates before the shared level does.
-    const int owner = remote_modified(core, line);
-    const std::uint64_t remotes = remote_sharers(core, line);
+    // One probe yields both answers (remote_modified + remote_sharers
+    // would each walk the same entry).
+    int owner = -1;
+    std::uint64_t remotes = 0;
+    if (const auto dit = directory_.find(line); dit != directory_.end()) {
+      remotes = dit->second.sharers & ~bit(core);
+      const int o = dit->second.owner;
+      if (o >= 0 && o != static_cast<int>(core)) owner = o;
+    }
     if (owner >= 0) {
       // Cache-to-cache intervention out of a remote Modified copy. The
       // owner writes back into the shared level and downgrades (M→S on a
@@ -359,29 +376,36 @@ void CoherentHierarchy::prefetch_fill(unsigned core,
                                       const PrefetchRequest& req) {
   // A prefetch that snoop-hits another core's copy is squashed (hardware
   // prefetchers do not trigger interventions). With one core this path is
-  // identical to the single-core Hierarchy's.
-  if (remote_sharers(core, req.line) != 0) return;
+  // identical to the single-core Hierarchy's. One directory probe answers
+  // both questions: the audit pins bitmap == per-core state maps, so
+  // bit(core) doubles as "this core already holds private MESI state".
+  std::uint64_t sharers = 0;
+  if (const auto dit = directory_.find(req.line); dit != directory_.end())
+    sharers = dit->second.sharers;
+  if ((sharers & ~bit(core)) != 0) return;
 
   CoreStack& cs = cores_[core];
   const unsigned level_cnt = llc_ ? 3u : 2u;
   const unsigned target = std::min<unsigned>(req.target_level, level_cnt - 1);
   SetAssocCache* levels[3] = {&cs.l1, &cs.l2, llc_.get()};
-  if (levels[target]->contains(req.line)) return;
-
-  const bool was_private = cs.state.contains(req.line);
-  auto fill_at = [&](unsigned lvl) {
-    const auto ev = levels[lvl]->fill_line(req.line, FillReason::kPrefetch,
-                                           LineClass::kNormal, false);
-    if (!ev) return;
-    if (lvl <= 1)
-      on_private_evict(core, lvl, *ev, /*propagate_dirty=*/false);
-    else
-      on_llc_evict(*ev);
+  const bool was_private = (sharers & bit(core)) != 0;
+  // fill_line_if_absent fuses the old `contains() ? skip : fill()` pair
+  // into one set walk per level; a resident target squashes the prefetch
+  // without an LRU refresh, exactly as the unfused guard behaved.
+  auto fill_if_absent_at = [&](unsigned lvl) {
+    const auto out = levels[lvl]->fill_line_if_absent(
+        req.line, FillReason::kPrefetch, LineClass::kNormal, false);
+    if (out.evicted) {
+      if (lvl <= 1)
+        on_private_evict(core, lvl, *out.evicted, /*propagate_dirty=*/false);
+      else
+        on_llc_evict(*out.evicted);
+    }
+    return out.filled;
   };
-  fill_at(target);
+  if (!fill_if_absent_at(target)) return;
   // L2 prefetches also land in the LLC (the fill passes through it).
-  if (target + 1 < level_cnt && !levels[target + 1]->contains(req.line))
-    fill_at(target + 1);
+  if (target + 1 < level_cnt) fill_if_absent_at(target + 1);
 
   // A line pulled into a private level arrives Exclusive (nobody else
   // holds it — we squashed otherwise); an existing private state stands.
@@ -517,6 +541,7 @@ void CoherentHierarchy::audit_line(Addr line) const {
   std::uint64_t derived = 0;
   unsigned holders = 0;
   unsigned owners = 0;
+  int derived_modified = -1;
   for (unsigned c = 0; c < cores(); ++c) {
     const auto it = cores_[c].state.find(line);
     if (it == cores_[c].state.end()) continue;
@@ -526,6 +551,8 @@ void CoherentHierarchy::audit_line(Addr line) const {
                                 << " (absence is the only Invalid encoding)");
     derived |= bit(c);
     ++holders;
+    if (it->second == MesiState::kModified)
+      derived_modified = static_cast<int>(c);
     if (it->second == MesiState::kModified ||
         it->second == MesiState::kExclusive)
       ++owners;
@@ -541,6 +568,13 @@ void CoherentHierarchy::audit_line(Addr line) const {
                           << std::dec << " for line " << line);
   SEMPERM_AUDIT_CHECK(owners <= 1, "line " << line << " has " << owners
                                            << " Exclusive/Modified owners");
+  SEMPERM_AUDIT_CHECK(
+      (dit == directory_.end() ? -1 : dit->second.owner) == derived_modified,
+      "directory Modified-owner " << (dit == directory_.end()
+                                          ? -1
+                                          : dit->second.owner)
+                                  << " disagrees with per-core states ("
+                                  << derived_modified << ") for line " << line);
   SEMPERM_AUDIT_CHECK(
       owners == 0 || holders == 1,
       "line " << line

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "cachesim/hierarchy.hpp"
 #include "cachesim/prefetch.hpp"
 #include "check/audit.hpp"
+#include "coherence/line_map.hpp"
 #include "coherence/mesi.hpp"
 #include "common/types.hpp"
 
@@ -132,7 +132,9 @@ class CoherentHierarchy {
     cachesim::AdjacentPairPrefetcher adjacent_pair;
     cachesim::StreamPrefetcher streamer;
     // MESI state of privately resident lines; absence == kInvalid.
-    std::unordered_map<Addr, MesiState> state;
+    // Flat open-addressing map (line_map.hpp): per-access MESI lookups
+    // and transitions allocate nothing in steady state.
+    LineMap<MesiState> state;
     std::vector<cachesim::PrefetchRequest> scratch;
     mutable cachesim::HierarchyStats stats;
 
@@ -141,6 +143,11 @@ class CoherentHierarchy {
 
   struct DirEntry {
     std::uint64_t sharers = 0;  // bit c set => core c holds a private copy
+    // The core holding the line Modified, or -1. MESI allows at most one,
+    // so tracking it here makes the miss path's owner query one directory
+    // probe instead of a walk over every remote core's state map.
+    // Maintained exclusively by set_state/drop_sharer, like the bitmap.
+    int owner = -1;
   };
 
   static std::uint64_t bit(unsigned core) { return std::uint64_t{1} << core; }
@@ -187,7 +194,7 @@ class CoherentHierarchy {
   std::vector<CoreStack> cores_;
   std::unique_ptr<SetAssocCache> llc_;  // null on KNL
   Cycles llc_latency_ = 0;
-  std::unordered_map<Addr, DirEntry> directory_;
+  LineMap<DirEntry> directory_;
   CoherenceStats coh_;
   // Audit-only: lines legitimately violating LLC inclusion through the
   // documented L1-prefetch leak (filled privately without an LLC copy).

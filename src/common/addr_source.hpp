@@ -1,0 +1,71 @@
+// semperm/common/addr_source.hpp
+//
+// AddrSource — the chunked-pull streaming contract (DESIGN.md §15).
+//
+// A source of cache-line indices is anything with
+//
+//   std::size_t next_batch(std::span<Addr> out);
+//
+// filling up to out.size() lines and returning how many it produced; 0
+// means exhausted. This is exactly the shape of traffic::FlowGenerator's
+// next_batch, so every Zipf/trace generator already satisfies it.
+// Consumers (SetAssocCache::access_batch, Hierarchy::simulate and the
+// bench drivers) pull through a small stack chunk, so a 10^7-line run
+// costs O(chunk) memory instead of materializing a full
+// std::vector<Addr> trace.
+//
+// make_addr_source() adapts the other common driver shape — a pure
+// index→line function over a known count — without heap allocation.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace semperm {
+
+template <typename S>
+concept AddrSource = requires(S s, std::span<Addr> out) {
+  { s.next_batch(out) } -> std::convertible_to<std::size_t>;
+};
+
+/// Chunk size consumers pull through: 512 lines = one 4 KiB stack buffer,
+/// large enough to amortize the virtual-call-free inner loops, small
+/// enough to stay resident in L1 while the simulated arrays stream.
+inline constexpr std::size_t kAddrChunkLines = 512;
+
+/// Adapts `fn(i) -> Addr` over i in [0, count) into an AddrSource, so
+/// synthetic drivers (sweeps, churn rings, strided scans) stream without
+/// materializing the trace.
+template <typename Fn>
+  requires std::invocable<Fn, std::uint64_t>
+class FnAddrSource {
+ public:
+  FnAddrSource(std::uint64_t count, Fn fn)
+      : count_(count), fn_(std::move(fn)) {}
+
+  std::size_t next_batch(std::span<Addr> out) {
+    std::size_t n = 0;
+    for (; n < out.size() && next_ < count_; ++n, ++next_)
+      out[n] = static_cast<Addr>(fn_(next_));
+    return n;
+  }
+
+  /// Rewind for the next timed repetition (same stream, regenerated).
+  void reset() { next_ = 0; }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::uint64_t count_;
+  Fn fn_;
+};
+
+template <typename Fn>
+FnAddrSource<Fn> make_addr_source(std::uint64_t count, Fn fn) {
+  return FnAddrSource<Fn>(count, std::move(fn));
+}
+
+}  // namespace semperm

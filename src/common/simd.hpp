@@ -1,0 +1,314 @@
+// semperm/common/simd.hpp
+//
+// Portable packed-lane probes for the flat SoA tag/metadata arrays
+// (DESIGN.md §15). The cache hot path asks two questions per set:
+//
+//   find_tag_masked : first way i with tags[i] == tag and
+//                     (meta[i] & meta_mask) == meta_want   (the fused
+//                     tag + live-epoch/class predicate of find_way)
+//   meta_match_mask : per-way bitmask of (meta[i] & meta_mask) == meta_want
+//                     (live-way census and partition-class scans in
+//                     fill_line — popcount, countr_one and bit_width of
+//                     the mask replace the scalar bookkeeping loop)
+//
+// Both are defined over unaligned 64-bit lanes so the SoA arrays need no
+// layout change. A backend is chosen once at compile time:
+//
+//   AVX2    4 lanes/op   x86-64 with -mavx2 (or -march=native on most
+//                        post-2013 parts)
+//   SSE2    2 lanes/op   baseline x86-64 (always available; uses the
+//                        pcmpeqq instruction when SSE4.1 is visible,
+//                        otherwise emulates 64-bit lane equality with
+//                        pcmpeqd + a lane-swapped AND)
+//   NEON    2 lanes/op   aarch64
+//   scalar  1 lane/op    everything else, and any build configured with
+//                        -DSEMPERM_SIMD=OFF (the CI rot-guard)
+//
+// backend() returns the chosen name at runtime so bench reports can prove
+// which path was measured. The *_scalar variants are always compiled —
+// they are the oracle for the scalar-vs-SIMD equivalence test, and the
+// fallback bodies for the tail lanes of the vector loops.
+//
+// First-match semantics are exact: the vector loops reduce each block to
+// a lane bitmask and take the lowest set bit, which is the same way the
+// scalar loop would have returned. Stale-epoch holes may carry duplicate
+// tags (DESIGN.md §6), so the predicate mask is part of the probe, not a
+// post-filter.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef SEMPERM_SIMD
+#define SEMPERM_SIMD 1
+#endif
+
+#if SEMPERM_SIMD && defined(__AVX2__)
+#define SEMPERM_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif SEMPERM_SIMD && (defined(__SSE2__) || defined(_M_X64))
+#define SEMPERM_SIMD_BACKEND_SSE2 1
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#elif SEMPERM_SIMD && defined(__ARM_NEON)
+#define SEMPERM_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#else
+#define SEMPERM_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace semperm::simd {
+
+/// Name of the compiled-in backend, for bench reports and CI assertions.
+constexpr const char* backend() {
+#if defined(SEMPERM_SIMD_BACKEND_AVX2)
+  return "avx2";
+#elif defined(SEMPERM_SIMD_BACKEND_SSE2)
+#if defined(__SSE4_1__)
+  return "sse4.1";
+#else
+  return "sse2";
+#endif
+#elif defined(SEMPERM_SIMD_BACKEND_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// True when backend() is a packed-lane implementation (anything but the
+/// scalar fallback).
+constexpr bool vectorized() {
+#if defined(SEMPERM_SIMD_BACKEND_SCALAR)
+  return false;
+#else
+  return true;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Scalar oracle — always compiled, independent of the selected backend.
+
+inline std::size_t find_tag_masked_scalar(const std::uint64_t* tags,
+                                          const std::uint64_t* meta,
+                                          std::size_t n, std::uint64_t tag,
+                                          std::uint64_t meta_mask,
+                                          std::uint64_t meta_want) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (tags[i] == tag && (meta[i] & meta_mask) == meta_want) return i;
+  return n;
+}
+
+inline std::uint64_t meta_match_mask_scalar(const std::uint64_t* meta,
+                                            std::size_t n,
+                                            std::uint64_t meta_mask,
+                                            std::uint64_t meta_want) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out |= std::uint64_t{(meta[i] & meta_mask) == meta_want} << i;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backend implementations. Each produces bit-identical results to the
+// scalar oracle for any n <= 64 (the associativity ceiling: way masks are
+// carried in a single uint64_t).
+
+#if defined(SEMPERM_SIMD_BACKEND_AVX2)
+
+inline std::size_t find_tag_masked(const std::uint64_t* tags,
+                                   const std::uint64_t* meta, std::size_t n,
+                                   std::uint64_t tag, std::uint64_t meta_mask,
+                                   std::uint64_t meta_want) {
+  const __m256i vtag = _mm256_set1_epi64x(static_cast<long long>(tag));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Tags first: candidates are rare (at most one live match plus stale
+    // duplicates), so the metadata predicate is verified per candidate
+    // lane in ascending order — first-match semantics are preserved.
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + i));
+    auto bits = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(t, vtag))));
+    while (bits != 0) {
+      const std::size_t j = i + static_cast<std::size_t>(std::countr_zero(bits));
+      if ((meta[j] & meta_mask) == meta_want) return j;
+      bits &= bits - 1;
+    }
+  }
+  for (; i < n; ++i)
+    if (tags[i] == tag && (meta[i] & meta_mask) == meta_want) return i;
+  return n;
+}
+
+inline std::uint64_t meta_match_mask(const std::uint64_t* meta, std::size_t n,
+                                     std::uint64_t meta_mask,
+                                     std::uint64_t meta_want) {
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(meta_mask));
+  const __m256i vwant = _mm256_set1_epi64x(static_cast<long long>(meta_want));
+  std::uint64_t out = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(meta + i));
+    const __m256i hit =
+        _mm256_cmpeq_epi64(_mm256_and_si256(m, vmask), vwant);
+    out |= static_cast<std::uint64_t>(static_cast<unsigned>(
+               _mm256_movemask_pd(_mm256_castsi256_pd(hit))))
+           << i;
+  }
+  for (; i < n; ++i)
+    out |= std::uint64_t{(meta[i] & meta_mask) == meta_want} << i;
+  return out;
+}
+
+#elif defined(SEMPERM_SIMD_BACKEND_SSE2)
+
+namespace detail {
+/// 64-bit lane equality on baseline SSE2. pcmpeqq is SSE4.1; without it,
+/// compare 32-bit halves and AND each half with its lane sibling (shuffle
+/// pattern 2,3,0,1 swaps the halves within each 64-bit lane), so a lane is
+/// all-ones iff both halves matched.
+inline __m128i cmpeq64(__m128i a, __m128i b) {
+#if defined(__SSE4_1__)
+  return _mm_cmpeq_epi64(a, b);
+#else
+  const __m128i half = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(half, _mm_shuffle_epi32(half, _MM_SHUFFLE(2, 3, 0, 1)));
+#endif
+}
+}  // namespace detail
+
+inline std::size_t find_tag_masked(const std::uint64_t* tags,
+                                   const std::uint64_t* meta, std::size_t n,
+                                   std::uint64_t tag, std::uint64_t meta_mask,
+                                   std::uint64_t meta_want) {
+  const __m128i vtag = _mm_set1_epi64x(static_cast<long long>(tag));
+  std::size_t i = 0;
+  // Tags first, 4 lanes per branch (two 128-bit blocks): candidates are
+  // rare, so the metadata predicate is verified per candidate lane in
+  // ascending order — first-match semantics are preserved — and the
+  // emulated 64-bit compare runs once per block instead of twice.
+  for (; i + 4 <= n; i += 4) {
+    const __m128i t0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + i));
+    const __m128i t1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + i + 2));
+    auto bits =
+        static_cast<unsigned>(
+            _mm_movemask_pd(_mm_castsi128_pd(detail::cmpeq64(t0, vtag)))) |
+        (static_cast<unsigned>(
+             _mm_movemask_pd(_mm_castsi128_pd(detail::cmpeq64(t1, vtag))))
+         << 2);
+    while (bits != 0) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(std::countr_zero(bits));
+      if ((meta[j] & meta_mask) == meta_want) return j;
+      bits &= bits - 1;
+    }
+  }
+  for (; i + 2 <= n; i += 2) {
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + i));
+    auto bits = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(detail::cmpeq64(t, vtag))));
+    while (bits != 0) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(std::countr_zero(bits));
+      if ((meta[j] & meta_mask) == meta_want) return j;
+      bits &= bits - 1;
+    }
+  }
+  if (i < n && tags[i] == tag && (meta[i] & meta_mask) == meta_want) return i;
+  return n;
+}
+
+inline std::uint64_t meta_match_mask(const std::uint64_t* meta, std::size_t n,
+                                     std::uint64_t meta_mask,
+                                     std::uint64_t meta_want) {
+  const __m128i vmask = _mm_set1_epi64x(static_cast<long long>(meta_mask));
+  const __m128i vwant = _mm_set1_epi64x(static_cast<long long>(meta_want));
+  std::uint64_t out = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i m =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(meta + i));
+    const __m128i hit = detail::cmpeq64(_mm_and_si128(m, vmask), vwant);
+    out |= static_cast<std::uint64_t>(static_cast<unsigned>(
+               _mm_movemask_pd(_mm_castsi128_pd(hit))))
+           << i;
+  }
+  if (i < n)
+    out |= std::uint64_t{(meta[i] & meta_mask) == meta_want} << i;
+  return out;
+}
+
+#elif defined(SEMPERM_SIMD_BACKEND_NEON)
+
+inline std::size_t find_tag_masked(const std::uint64_t* tags,
+                                   const std::uint64_t* meta, std::size_t n,
+                                   std::uint64_t tag, std::uint64_t meta_mask,
+                                   std::uint64_t meta_want) {
+  const uint64x2_t vtag = vdupq_n_u64(tag);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Tags first; the metadata predicate is verified per candidate lane
+    // in ascending order, preserving first-match semantics.
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(tags + i), vtag);
+    if (vgetq_lane_u64(eq, 0) != 0 && (meta[i] & meta_mask) == meta_want)
+      return i;
+    if (vgetq_lane_u64(eq, 1) != 0 && (meta[i + 1] & meta_mask) == meta_want)
+      return i + 1;
+  }
+  if (i < n && tags[i] == tag && (meta[i] & meta_mask) == meta_want) return i;
+  return n;
+}
+
+inline std::uint64_t meta_match_mask(const std::uint64_t* meta, std::size_t n,
+                                     std::uint64_t meta_mask,
+                                     std::uint64_t meta_want) {
+  const uint64x2_t vmask = vdupq_n_u64(meta_mask);
+  const uint64x2_t vwant = vdupq_n_u64(meta_want);
+  std::uint64_t out = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t hit =
+        vceqq_u64(vandq_u64(vld1q_u64(meta + i), vmask), vwant);
+    out |= (vgetq_lane_u64(hit, 0) & 1u) << i;
+    out |= (vgetq_lane_u64(hit, 1) & 1u) << (i + 1);
+  }
+  if (i < n)
+    out |= std::uint64_t{(meta[i] & meta_mask) == meta_want} << i;
+  return out;
+}
+
+#else  // scalar fallback
+
+inline std::size_t find_tag_masked(const std::uint64_t* tags,
+                                   const std::uint64_t* meta, std::size_t n,
+                                   std::uint64_t tag, std::uint64_t meta_mask,
+                                   std::uint64_t meta_want) {
+  return find_tag_masked_scalar(tags, meta, n, tag, meta_mask, meta_want);
+}
+
+inline std::uint64_t meta_match_mask(const std::uint64_t* meta, std::size_t n,
+                                     std::uint64_t meta_mask,
+                                     std::uint64_t meta_want) {
+  return meta_match_mask_scalar(meta, n, meta_mask, meta_want);
+}
+
+#endif
+
+/// First index i with vals[i] == val, else n — the unpredicated special
+/// case of find_tag_masked (meta_mask = 0 accepts every lane, so only the
+/// tag compare decides). Used for small exact-match tables that are not
+/// epoch-tagged, e.g. the stream prefetcher's page table.
+inline std::size_t find_u64(const std::uint64_t* vals, std::size_t n,
+                            std::uint64_t val) {
+  return find_tag_masked(vals, vals, n, val, 0, 0);
+}
+
+}  // namespace semperm::simd

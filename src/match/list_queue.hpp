@@ -20,6 +20,7 @@
 
 #include "check/audit.hpp"
 #include "common/assert.hpp"
+#include "common/hot_path.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
 #include "memlayout/block_pool.hpp"
@@ -60,7 +61,7 @@ class ListQueue final : public QueueIface<Entry, Mem> {
     }
   }
 
-  void append(const Entry& entry) override {
+  SEMPERM_HOT void append(const Entry& entry) override {
     Node* node = static_cast<Node*>(pool_->acquire());
     node->entry = entry;
     node->next = nullptr;
@@ -78,7 +79,7 @@ class ListQueue final : public QueueIface<Entry, Mem> {
     ++stats_.appends;
   }
 
-  std::optional<Entry> find_and_remove(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> find_and_remove(const Key& key) override {
     std::uint64_t inspected = 0;
     for (Node* n = head_; n != nullptr;) {
       mem_->read(&n->entry, sizeof(Entry));
@@ -98,7 +99,7 @@ class ListQueue final : public QueueIface<Entry, Mem> {
     return std::nullopt;
   }
 
-  std::optional<Entry> peek(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> peek(const Key& key) override {
     std::uint64_t inspected = 0;
     for (Node* n = head_; n != nullptr; n = n->next) {
       mem_->read(&n->entry, sizeof(Entry));
@@ -114,7 +115,7 @@ class ListQueue final : public QueueIface<Entry, Mem> {
     return std::nullopt;
   }
 
-  bool remove_by_request(const MatchRequest* req) override {
+  SEMPERM_HOT bool remove_by_request(const MatchRequest* req) override {
     for (Node* n = head_; n != nullptr; n = n->next) {
       mem_->read(&n->entry, sizeof(Entry));
       if (n->entry.req == req) {

@@ -27,6 +27,7 @@
 
 #include "check/audit.hpp"
 #include "common/assert.hpp"
+#include "common/hot_path.hpp"
 #include "common/mem_policy.hpp"
 #include "match/queue_iface.hpp"
 #include "memlayout/block_pool.hpp"
@@ -73,7 +74,7 @@ class LlaQueue final : public QueueIface<Entry, Mem> {
     }
   }
 
-  void append(const Entry& entry) override {
+  SEMPERM_HOT void append(const Entry& entry) override {
     if (tail_node_ == nullptr || hdr(tail_node_)->tail == k_) grow();
     char* node = tail_node_;
     NodeHdr* h = hdr(node);
@@ -87,7 +88,7 @@ class LlaQueue final : public QueueIface<Entry, Mem> {
     ++stats_.appends;
   }
 
-  std::optional<Entry> find_and_remove(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> find_and_remove(const Key& key) override {
     std::uint64_t inspected = 0;
     std::uint64_t scanned = 0;
     char* prev = nullptr;
@@ -121,7 +122,7 @@ class LlaQueue final : public QueueIface<Entry, Mem> {
     return std::nullopt;
   }
 
-  std::optional<Entry> peek(const Key& key) override {
+  SEMPERM_HOT std::optional<Entry> peek(const Key& key) override {
     std::uint64_t inspected = 0;
     std::uint64_t scanned = 0;
     for (char* n = head_node_; n != nullptr;) {
@@ -150,7 +151,7 @@ class LlaQueue final : public QueueIface<Entry, Mem> {
     return std::nullopt;
   }
 
-  bool remove_by_request(const MatchRequest* req) override {
+  SEMPERM_HOT bool remove_by_request(const MatchRequest* req) override {
     char* prev = nullptr;
     for (char* n = head_node_; n != nullptr;) {
       NodeHdr* h = hdr(n);

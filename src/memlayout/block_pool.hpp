@@ -5,12 +5,23 @@
 // entries-per-array parameter, which the benchmark harness sweeps.
 // Shares Pool's guarantees: blocks are never returned to the arena, so
 // heater-registered memory stays valid for the pool's lifetime.
+//
+// acquire()/release() sit on the match engine's hot path (every queue
+// append/remove goes through them), so both are SEMPERM_HOT and
+// allocation-free in steady state: the free list is threaded intrusively
+// through the first word of each free block instead of held in a
+// side vector, and carve_chunk()'s shuffle scratch is sized once at
+// construction. The only allocation after the constructor is the arena
+// carve itself when the pool grows — the sanctioned warm-up event.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/hot_path.hpp"
 #include "common/rng.hpp"
 #include "memlayout/arena.hpp"
 #include "memlayout/pool.hpp"
@@ -29,7 +40,8 @@ class BlockPool {
         align_(align),
         policy_(policy),
         chunk_blocks_(chunk_blocks),
-        rng_(shuffle_seed) {
+        rng_(shuffle_seed),
+        scratch_(chunk_blocks) {
     SEMPERM_ASSERT(block_bytes > 0);
     SEMPERM_ASSERT(align >= kCacheLine && (align & (align - 1)) == 0);
     SEMPERM_ASSERT(chunk_blocks_ > 0);
@@ -38,20 +50,20 @@ class BlockPool {
   BlockPool(const BlockPool&) = delete;
   BlockPool& operator=(const BlockPool&) = delete;
 
-  void* acquire() {
-    if (free_.empty()) carve_chunk();
-    void* p = free_.back();
-    free_.pop_back();
+  SEMPERM_HOT void* acquire() {
+    if (free_head_ == nullptr) carve_chunk();
+    FreeNode* n = free_head_;
+    free_head_ = n->next;
     ++live_;
-    return p;
+    return n;
   }
 
-  void release(void* p) {
+  SEMPERM_HOT void release(void* p) {
     SEMPERM_ASSERT(p != nullptr);
     SEMPERM_ASSERT_MSG(arena_->contains(p), "releasing foreign pointer");
     SEMPERM_ASSERT(live_ > 0);
     --live_;
-    free_.push_back(p);
+    free_head_ = new (p) FreeNode{free_head_};
   }
 
   std::size_t block_bytes() const { return block_bytes_; }
@@ -62,21 +74,31 @@ class BlockPool {
   Arena& arena() const { return *arena_; }
 
  private:
+  // A free block's first word holds the link to the next free block; the
+  // block is otherwise dead (callers copy an entry out before releasing),
+  // and block_bytes_ >= kCacheLine leaves ample room. Placement-new keeps
+  // the object model honest; FreeNode is trivially destructible, so the
+  // caller placement-constructing over an acquired block is fine.
+  struct FreeNode {
+    FreeNode* next;
+  };
+
   void carve_chunk() {
     char* base = static_cast<char*>(
         arena_->allocate(block_bytes_ * chunk_blocks_, align_));
     carved_ += chunk_blocks_;
-    std::vector<void*> slots;
-    slots.reserve(chunk_blocks_);
     for (std::size_t i = 0; i < chunk_blocks_; ++i)
-      slots.push_back(base + i * block_bytes_);
+      scratch_[i] = base + i * block_bytes_;
     if (policy_ == AddressPolicy::kScattered) {
-      rng_.shuffle(slots);
+      rng_.shuffle(scratch_);
     } else {
-      std::vector<void*> rev(slots.rbegin(), slots.rend());
-      slots = std::move(rev);
+      std::reverse(scratch_.begin(), scratch_.end());
     }
-    for (void* s : slots) free_.push_back(s);
+    // Threading the free list in scratch order and popping from the head
+    // hands blocks out in reverse scratch order — the same order the old
+    // vector-stack implementation produced, so layouts (and every figure
+    // derived from them) are unchanged.
+    for (void* s : scratch_) free_head_ = new (s) FreeNode{free_head_};
   }
 
   Arena* arena_;
@@ -85,7 +107,8 @@ class BlockPool {
   AddressPolicy policy_;
   std::size_t chunk_blocks_;
   Rng rng_;
-  std::vector<void*> free_;
+  FreeNode* free_head_ = nullptr;
+  std::vector<void*> scratch_;  // sized once; reused by every carve
   std::size_t live_ = 0;
   std::size_t carved_ = 0;
 };

@@ -1,0 +1,91 @@
+// Seeded fixture for semperm_analyze: hotpath-alloc over the match path.
+//
+// Mirrors the real match-queue shape after the allocation-free rewrite:
+// SEMPERM_HOT queue operations (append / find_and_remove) sitting on a
+// pool whose acquire/release are themselves SEMPERM_HOT roots. Expected
+// findings: hotpath-alloc x2 —
+//
+//   * the `overflow_.push_back(n)` inside spill_node, reached
+//     transitively from SEMPERM_HOT `append` (the regression the
+//     extended root set exists to catch: a helper on the match path
+//     quietly growing a side vector);
+//   * the `free_.push_back(p)` directly inside the SEMPERM_HOT pool
+//     `release` (the pre-intrusive-free-list bug shape).
+//
+// Negative controls that must stay clean:
+//   * link_back — pointer threading of a pool-owned node, no growth;
+//   * grow()'s placement `new (p) ...` (allocation-free by definition);
+//   * warm_pool()'s reserve — setup code, unreachable from any hot root.
+
+namespace semperm::fixture {
+
+struct MatchNode {
+  int key;
+  MatchNode* next;
+};
+
+template <class T>
+struct SideVector {
+  void push_back(const T&) {}
+  void reserve(unsigned) {}
+  T* data = nullptr;
+};
+
+class LeakyNodePool {
+ public:
+  SEMPERM_HOT void* acquire() {
+    void* p = free_head_;
+    return p;
+  }
+
+  SEMPERM_HOT void release(void* p) {
+    free_.push_back(p);
+  }
+
+ private:
+  void* free_head_ = nullptr;
+  SideVector<void*> free_;
+};
+
+class SpillingQueue {
+ public:
+  SEMPERM_HOT void append(int key) {
+    MatchNode* n = static_cast<MatchNode*>(pool_.acquire());
+    n = grow(n, key);
+    link_back(n);
+    if (n->next == nullptr) spill_node(n);
+  }
+
+  SEMPERM_HOT int find_and_remove(int key) {
+    for (MatchNode* n = head_; n != nullptr; n = n->next)
+      if (n->key == key) return n->key;
+    return -1;
+  }
+
+ private:
+  MatchNode* grow(void* p, int key) {
+    MatchNode* n = new (p) MatchNode{key, nullptr};
+    return n;
+  }
+
+  void link_back(MatchNode* n) {
+    if (tail_ != nullptr) tail_->next = n;
+    tail_ = n;
+    if (head_ == nullptr) head_ = n;
+  }
+
+  void spill_node(MatchNode* n) {
+    overflow_.push_back(n);
+  }
+
+  LeakyNodePool pool_;
+  MatchNode* head_ = nullptr;
+  MatchNode* tail_ = nullptr;
+  SideVector<MatchNode*> overflow_;
+};
+
+void warm_pool(SideVector<void*>& v) {
+  v.reserve(4096);
+}
+
+}  // namespace semperm::fixture

@@ -40,6 +40,9 @@ EXPECTED = {
     "src/hotcache/hot_alloc.cpp": {
         "hotpath-alloc": 2,
     },
+    "src/match/match_hot_alloc.cpp": {
+        "hotpath-alloc": 2,
+    },
     "src/hotcache/seqlock_bad.hpp": {
         "seqlock-payload": 2,
     },

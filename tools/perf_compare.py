@@ -8,6 +8,12 @@ bench_selfperf, flows/lookups_per_sec for bench_traffic) must exist in the
 current report and must not be slower than baseline/max-regress. The bound
 is deliberately loose (2x by default): it catches "the simulator got
 pathologically slower" without tripping on runner-to-runner variance.
+
+Every compared metric prints its ratio and signed delta even when the run
+passes, so a CI log answers "how far from the cliff is this runner?"
+without rerunning anything. A metric present in the baseline but absent
+from the candidate fails with its own distinct message (a renamed or
+dropped scenario is a harness bug, not a slowdown — the fix is different).
 Metrics only in the current report (new scenarios) are reported, not
 compared. Exit code 0 = ok, 1 = regression or missing metric.
 """
@@ -30,30 +36,39 @@ def main() -> int:
     with open(args.current) as f:
         cur = json.load(f).get("metrics", {})
 
-    failures = []
+    regressions = []
+    missing = []
     for name, base_rate in sorted(base.items()):
         if not name.endswith("_per_sec"):
             continue
         if name not in cur:
-            failures.append(f"{name}: missing from current report")
+            missing.append(name)
+            print(f"{name:44s} {base_rate:12.4g} -> {'ABSENT':>12s} "
+                  f"         MISSING FROM CANDIDATE")
             continue
         cur_rate = cur[name]
         ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        delta_pct = (ratio - 1.0) * 100.0
         verdict = "ok"
         if cur_rate < base_rate / args.max_regress:
             verdict = f"REGRESSION (>{args.max_regress:g}x slower)"
-            failures.append(f"{name}: {base_rate:.3g} -> {cur_rate:.3g}")
+            regressions.append(f"{name}: {base_rate:.3g} -> {cur_rate:.3g}")
         print(f"{name:44s} {base_rate:12.4g} -> {cur_rate:12.4g} "
-              f"({ratio:5.2f}x)  {verdict}")
+              f"({ratio:5.2f}x, {delta_pct:+6.1f}%)  {verdict}")
 
     for name in sorted(set(cur) - set(base)):
         if name.endswith("_per_sec"):
             print(f"{name:44s} {'new':>12s} -> {cur[name]:12.4g}")
 
-    if failures:
+    if regressions or missing:
         print("\nperf-smoke failed:", file=sys.stderr)
-        for f_ in failures:
-            print(f"  {f_}", file=sys.stderr)
+        for m in missing:
+            print(f"  {m}: present in baseline but missing from the "
+                  "candidate report — scenario renamed, dropped, or "
+                  "filtered out (fix the harness, not the perf)",
+                  file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
         return 1
     print("\nperf-smoke ok")
     return 0
