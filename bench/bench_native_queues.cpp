@@ -233,7 +233,18 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   FunnelReporter reporter;
+  // One counter group around the whole benchmark run: the native queue
+  // loops are exactly the hot paths whose cache behaviour the simulator
+  // models, so the grouped reading lands in the JSON report for
+  // measured-vs-modeled comparison (DESIGN.md §16). Unavailable counters
+  // degrade to a label, never a failure.
+  obs::PerfCounters pc;
+  if (pc.ok()) pc.start();
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (pc.ok())
+    bench::report_hw_counters("native_queues", pc.stop());
+  else
+    bench::report_hw_unavailable(pc.error());
   benchmark::Shutdown();
   bench::emit("Native queue micro-benchmarks", reporter.table(), csv);
   return bench::finish_report();

@@ -23,6 +23,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "cachesim/arch.hpp"
@@ -31,6 +34,8 @@
 #include "coherence/coherent_hierarchy.hpp"
 #include "common/addr_source.hpp"
 #include "common/simd.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "tests/reference_cache.hpp"
 
 namespace semperm::bench {
@@ -42,6 +47,11 @@ using cachesim::SetAssocCache;
 struct Score {
   std::uint64_t lines = 0;
   double seconds = 0.0;
+  // Simulated demand-miss rate of the scenario's central cache (< 0 when
+  // the scenario has no meaningful one), reported next to the hardware
+  // LLC miss rate so the --json artifact carries the measured-vs-modeled
+  // delta (DESIGN.md §16).
+  double sim_miss_rate = -1.0;
   double lines_per_sec() const { return seconds > 0 ? lines / seconds : 0; }
 };
 
@@ -74,10 +84,12 @@ constexpr Addr sweep_line(std::uint64_t i) { return i / 4; }
 Score run_l1_hit_stream(int reps) {
   SetAssocCache c("L1", 32 * 1024, 8);
   for (Addr l = 0; l < 256; ++l) c.fill(l, FillReason::kDemand);
-  return timed(kSweepLen, reps, [&] {
+  Score s = timed(kSweepLen, reps, [&] {
     auto src = make_addr_source(kSweepLen, sweep_line);
     return c.access_batch(src);
   });
+  s.sim_miss_rate = 1.0 - c.stats().hit_rate();
+  return s;
 }
 
 Score run_l1_hit_stream_reference(int reps) {
@@ -96,10 +108,12 @@ Score run_l1_lru_churn(int reps) {
   // on the LRU way of its set, maximising rotation work.
   SetAssocCache c("L1", 32 * 1024, 8);
   for (Addr l = 0; l < 256; ++l) c.fill(l, FillReason::kDemand);
-  return timed(256, 4 * reps, [&] {
+  Score s = timed(256, 4 * reps, [&] {
     auto src = make_addr_source(256, [](std::uint64_t i) { return i; });
     return c.access_batch(src);
   });
+  s.sim_miss_rate = 1.0 - c.stats().hit_rate();
+  return s;
 }
 
 Score run_llc_miss_stream(int reps) {
@@ -107,7 +121,7 @@ Score run_llc_miss_stream(int reps) {
   // the one being timed: 1152 sets x 16 ways = 1.125 MiB.
   SetAssocCache llc("LLC", 1152 * 16 * kCacheLine, 16);
   const Addr span = static_cast<Addr>(4 * llc.set_count() * 16);
-  return timed(span, reps, [&] {
+  Score s = timed(span, reps, [&] {
     std::uint64_t filled = 0;
     for (Addr l = 0; l < span; ++l) {
       if (!llc.access(l)) {
@@ -117,15 +131,20 @@ Score run_llc_miss_stream(int reps) {
     }
     return filled;
   });
+  s.sim_miss_rate = 1.0 - llc.stats().hit_rate();
+  return s;
 }
 
 Score run_prefetch_heavy(int reps) {
   cachesim::Hierarchy h(cachesim::sandy_bridge());
   constexpr std::uint64_t kLines = 16384;  // 1 MiB sweep
-  return timed(kLines, reps, [&] {
+  Score s = timed(kLines, reps, [&] {
     return static_cast<std::uint64_t>(h.simulate(
         make_addr_source(kLines, [](std::uint64_t i) { return i; })));
   });
+  s.sim_miss_rate =
+      1.0 - h.level(h.level_count() - 1).stats().hit_rate();
+  return s;
 }
 
 Score run_coherent_4core_mix(int reps) {
@@ -147,7 +166,7 @@ Score run_coherent_4core_mix(int reps) {
     x ^= x >> 33;
     return x;
   };
-  return timed(kLen, reps, [&] {
+  Score s = timed(kLen, reps, [&] {
     std::uint64_t cycles = 0;
     for (std::size_t i = 0; i < kLen; ++i) {
       const std::uint64_t h = mix64(i ^ 0xc0);
@@ -158,8 +177,14 @@ Score run_coherent_4core_mix(int reps) {
                             : Addr{4096} * (i % kCores) + ((h >> 3) % 1024);
       cycles += coh.access_line(static_cast<unsigned>(i % kCores), line, write);
     }
+    // One occupancy sample per repetition: under --trace the coherent
+    // mix contributes per-core L1/L2 + shared-LLC owner curves.
+    SEMPERM_TRACE_ONLY(if (obs::trace_on()) coh.trace_sample_occupancy();)
     return cycles;
   });
+  if (coh.llc() != nullptr)
+    s.sim_miss_rate = 1.0 - coh.llc()->stats().hit_rate();
+  return s;
 }
 
 }  // namespace
@@ -171,11 +196,30 @@ int main(int argc, char** argv) {
   Cli cli("bench_selfperf",
           "Simulator self-performance: lines/sec per cachesim scenario");
   bench::add_standard_flags(cli);
+  cli.add_flag("profile",
+               "Attribute simulated cycles per access-path site and print "
+               "the bucket table (requires -DSEMPERM_TRACE=ON)");
+  cli.add_string("profile-out", "",
+                 "Also write the profile as flamegraph.pl collapsed-stack "
+                 "lines to this file");
   if (!cli.parse(argc, argv)) return 0;
   bench::configure_report(cli);
   bench::default_json_path("BENCH_cachesim.json");
   const bool quick = cli.flag("quick");
   const int reps = quick ? 200 : 2000;
+
+  const bool profile = cli.flag("profile");
+  if (profile) {
+#if SEMPERM_TRACE
+    obs::prof_reset();
+    obs::prof_enable(true);
+#else
+    std::fprintf(stderr,
+                 "warning: --profile requested but the profiler is compiled "
+                 "out; rebuild with -DSEMPERM_TRACE=ON (no buckets will be "
+                 "recorded)\n");
+#endif
+  }
 
   struct Scenario {
     const char* name;
@@ -200,13 +244,25 @@ int main(int argc, char** argv) {
   double ref_rate = 0;
   for (const auto& s : scenarios) {
     if (!bench::panel_enabled(s.name)) continue;
+    // One counter group per scenario, bracketing every run() call (the
+    // auto-scale reruns included), so the reading covers exactly the
+    // scenario's native hot loop. When the group cannot open the run
+    // proceeds and the report says "hw_counters": "unavailable".
+    obs::PerfCounters pc;
+    obs::PerfCounters::Reading hw;
+    const auto run_counted = [&](int n) {
+      pc.start();
+      Score sc = s.run(n);
+      hw = pc.stop();
+      return sc;
+    };
     // Auto-scale repetitions until the scenario runs >= 250 ms, so the
     // reported rate is not dominated by timer granularity or a cold first
     // pass. The table reps are the floor; quick mode keeps them as-is.
     // The chosen count is echoed per scenario ("<name>_reps") so two
     // reports are comparable at a glance.
     int reps = s.reps;
-    Score score = s.run(reps);
+    Score score = run_counted(reps);
     if (!quick) {
       for (int round = 0; round < 6 && score.seconds < 0.25; ++round) {
         const double scale =
@@ -214,7 +270,7 @@ int main(int argc, char** argv) {
         reps = std::max(
             reps + 1,
             static_cast<int>(reps * std::min(scale, 16.0)));
-        score = s.run(reps);
+        score = run_counted(reps);
       }
     }
     table.add_row({s.name, Table::num(score.lines),
@@ -224,6 +280,17 @@ int main(int argc, char** argv) {
     bench::report_metric(std::string(s.name) + "_lines_per_sec",
                          score.lines_per_sec());
     bench::report_metric(std::string(s.name) + "_reps", reps);
+    if (pc.ok())
+      bench::report_hw_counters(s.name, hw);
+    else
+      bench::report_hw_unavailable(pc.error());
+    if (score.sim_miss_rate >= 0.0) {
+      bench::report_metric(std::string(s.name) + "_sim_miss_rate",
+                           score.sim_miss_rate);
+      if (hw.has_llc_loads() && hw.has_llc_load_misses())
+        bench::report_metric(std::string(s.name) + "_miss_rate_delta",
+                             hw.llc_miss_rate() - score.sim_miss_rate);
+    }
     if (std::string(s.name) == "l1_hit_stream")
       soa_rate = score.lines_per_sec();
     if (std::string(s.name) == "l1_hit_stream_reference")
@@ -233,5 +300,23 @@ int main(int argc, char** argv) {
     bench::report_metric("l1_hit_stream_speedup_vs_reference",
                          soa_rate / ref_rate);
   bench::emit("cachesim self-performance", table, cli.flag("csv"));
+#if SEMPERM_TRACE
+  if (profile) {
+    obs::prof_enable(false);
+    const obs::ProfSnapshot snap = obs::prof_aggregate();
+    std::fputs(obs::prof_table(snap).c_str(), stdout);
+    bench::report_metric("profile_total_cycles",
+                         static_cast<double>(snap.total_cycles()));
+    const std::string out_path = cli.get_string("profile-out");
+    if (!out_path.empty()) {
+      std::ofstream os(out_path);
+      if (!os) {
+        std::fprintf(stderr, "cannot write profile to %s\n", out_path.c_str());
+        return 1;
+      }
+      os << obs::prof_collapsed(snap);
+    }
+  }
+#endif
   return bench::finish_report();
 }

@@ -357,7 +357,43 @@ void report_metric(const std::string& name, double value) {
 void report_label(const std::string& name, const std::string& value) {
   ReportState& r = report();
   std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& l : r.labels)
+    if (l.first == name) {
+      l.second = value;
+      return;
+    }
   r.labels.emplace_back(name, value);
+}
+
+void report_hw_counters(const std::string& prefix,
+                        const obs::PerfCounters::Reading& r) {
+  report_label("hw_counters", "available");
+  if (r.has_cycles())
+    report_metric(prefix + "_hw_cycles", static_cast<double>(r.cycles));
+  if (r.has_instructions()) {
+    report_metric(prefix + "_hw_instructions",
+                  static_cast<double>(r.instructions));
+    if (r.has_cycles()) report_metric(prefix + "_hw_ipc", r.ipc());
+  }
+  if (r.has_llc_loads())
+    report_metric(prefix + "_hw_llc_loads", static_cast<double>(r.llc_loads));
+  if (r.has_llc_load_misses())
+    report_metric(prefix + "_hw_llc_load_misses",
+                  static_cast<double>(r.llc_load_misses));
+  if (r.has_llc_loads() && r.has_llc_load_misses())
+    report_metric(prefix + "_hw_llc_miss_rate", r.llc_miss_rate());
+  if (r.has_l1d_misses())
+    report_metric(prefix + "_hw_l1d_misses",
+                  static_cast<double>(r.l1d_misses));
+  if (r.time_enabled_ns > 0 && r.time_running_ns < r.time_enabled_ns)
+    report_metric(prefix + "_hw_mux_ratio",
+                  static_cast<double>(r.time_running_ns) /
+                      static_cast<double>(r.time_enabled_ns));
+}
+
+void report_hw_unavailable(const std::string& reason) {
+  report_label("hw_counters", "unavailable");
+  if (!reason.empty()) report_label("hw_counters_error", reason);
 }
 
 void emit(const std::string& title, const Table& table, bool csv) {
@@ -374,6 +410,16 @@ int finish_report() {
   // Retire the guard: from here the run counts as complete, and a late
   // timeout/signal must not overwrite the final report with a partial.
   r.finished.store(true, std::memory_order_release);
+  // Flatten registered histogram tails into the flat "metrics" object so
+  // comparison scripts read <name>_p50/_p99/_p999 without walking bucket
+  // arrays (perf_compare.py treats *_p999 as informational-only).
+  for (const auto& [name, hist] :
+       obs::MetricsRegistry::global().histogram_snapshots()) {
+    if (hist.total() == 0) continue;
+    report_metric(name + "_p50", hist.quantile(0.50));
+    report_metric(name + "_p99", hist.quantile(0.99));
+    report_metric(name + "_p999", hist.quantile(0.999));
+  }
   int rc = 0;
 #if SEMPERM_TRACE
   if (r.trace_active) {

@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace semperm::bench {
 
@@ -91,8 +92,25 @@ void report_metric(const std::string& name, double value);
 
 /// Record a named string for the JSON report's "labels" object — run
 /// provenance that is not a measurement (e.g. the compiled-in SIMD
-/// backend). Written only when at least one label was recorded.
+/// backend). Last write to a name wins. Written only when at least one
+/// label was recorded.
 void report_label(const std::string& name, const std::string& value);
+
+/// Record a hardware-counter reading (obs::PerfCounters) as
+/// <prefix>_hw_cycles / _hw_instructions / _hw_ipc / _hw_llc_loads /
+/// _hw_llc_load_misses / _hw_llc_miss_rate / _hw_l1d_misses metrics,
+/// each emitted only when its counter actually opened, and set the
+/// "hw_counters" label to "available". When the kernel multiplexed the
+/// group, <prefix>_hw_mux_ratio (< 1) records the running/enabled
+/// fraction so scaled values are identifiable in the artifact.
+void report_hw_counters(const std::string& prefix,
+                        const obs::PerfCounters::Reading& r);
+
+/// Record that hardware counters could not be opened: "hw_counters"
+/// label becomes "unavailable" and `reason` lands in
+/// "hw_counters_error". The run continues — measurement is optional
+/// validation, never a failure (DESIGN.md §16).
+void report_hw_unavailable(const std::string& reason);
 
 /// Emit a table in the selected format, preceded by a banner; records the
 /// table for the JSON report. Filtered-out titles are dropped silently.

@@ -8,6 +8,26 @@ namespace semperm::cachesim {
 
 namespace obs = semperm::obs;
 
+#if SEMPERM_TRACE
+namespace {
+/// Resolve the owner a fill is attributed to: an explicit thread-local
+/// OwnerScope wins; otherwise the FillReason picks the well-known
+/// prefetcher/heater owner; otherwise the default "workload".
+obs::OwnerId fill_owner(FillReason reason) {
+  const obs::OwnerId scoped = obs::current_owner();
+  if (scoped != obs::kOwnerWorkload) return scoped;
+  switch (reason) {
+    case FillReason::kPrefetch:
+      return obs::kOwnerPrefetcher;
+    case FillReason::kHeater:
+      return obs::kOwnerHeater;
+    default:
+      return obs::kOwnerWorkload;
+  }
+}
+}  // namespace
+#endif  // SEMPERM_TRACE
+
 SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
                              unsigned assoc)
     : name_(std::move(name)), size_bytes_(size_bytes), assoc_(assoc) {
@@ -25,7 +45,8 @@ SetAssocCache::SetAssocCache(std::string name, std::size_t size_bytes,
   tags_.assign(set_count_ * assoc_, 0);
   meta_.assign(set_count_ * assoc_, pack(kStaleEpoch, FillReason::kDemand,
                                          LineClass::kNormal, false));
-  SEMPERM_TRACE_ONLY(trace_track_ = obs::intern_track(name_);)
+  SEMPERM_TRACE_ONLY(trace_track_ = obs::intern_track(name_);
+                     occ_prefix_ = name_;)
 }
 
 std::size_t SetAssocCache::access_batch(std::span<const Addr> lines) {
@@ -66,6 +87,18 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_line(
     m = cls == LineClass::kNetwork ? (m | kNetworkBit) : (m & ~kNetworkBit);
     SEMPERM_AUDIT_ONLY(if (dirty && !is_dirty(m)) ++audit_dirty_marks_;)
     if (dirty) m |= kDirtyBit;
+    // A refresh transfers ownership to the refreshing component (the
+    // heater re-claiming a workload line is the paper's occupancy story);
+    // demand *hits* in access() deliberately do not.
+    SEMPERM_TRACE_ONLY({
+      const obs::OwnerId ow = fill_owner(reason);
+      const obs::OwnerId prev = owner_of(m);
+      if (ow != prev) {
+        --owner_resident_[prev];
+        ++owner_resident_[ow];
+        m = (m & ~kOwnerMask) | (static_cast<Meta>(ow) << kOwnerShift);
+      }
+    })
     move_to_front(tags, meta, i, line, m);
     SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
     return std::nullopt;
@@ -151,7 +184,17 @@ std::optional<SetAssocCache::EvictedWay> SetAssocCache::fill_absent(
                                   : "fill_demand",
                               trace_track_, line, 0.0);
       })
-  move_to_front(tags, meta, hole, line, pack(epoch_, reason, cls, dirty));
+  Meta packed = pack(epoch_, reason, cls, dirty);
+  // Attribution accounting: the victim's owner (meta[hole] still holds
+  // its word) loses a resident line, the filling owner gains one. Stale
+  // holes lost theirs at flush/invalidate time and decrement nothing.
+  SEMPERM_TRACE_ONLY({
+    if (evicted) --owner_resident_[owner_of(meta[hole])];
+    const obs::OwnerId ow = fill_owner(reason);
+    ++owner_resident_[ow];
+    packed |= static_cast<Meta>(ow) << kOwnerShift;
+  })
+  move_to_front(tags, meta, hole, line, packed);
   SEMPERM_AUDIT_ONLY(audit_set(s); audit_stats();)
   return evicted;
 }
@@ -188,6 +231,7 @@ void SetAssocCache::invalidate(Addr line) {
   if (is_dirty(meta[i])) ++stats_.writebacks;
   SEMPERM_TRACE_INSTANT(obs::Category::kCache, "invalidate", trace_track_,
                         line, is_dirty(meta[i]) ? 1.0 : 0.0);
+  SEMPERM_TRACE_ONLY(--owner_resident_[owner_of(meta[i])];)
   meta[i] = pack(kStaleEpoch, FillReason::kDemand, LineClass::kNormal, false);
 }
 
@@ -205,6 +249,9 @@ void SetAssocCache::flush() {
                         static_cast<double>(flush_writebacks));
   ++epoch_;
   SEMPERM_ASSERT(epoch_ < kStaleEpoch);
+  // Every owner lost every line; the stale holes left behind decrement
+  // nothing when later fills reclaim them.
+  SEMPERM_TRACE_ONLY(owner_resident_.fill(0);)
 }
 
 void SetAssocCache::pollute(std::size_t bytes) {
@@ -233,6 +280,7 @@ void SetAssocCache::pollute(std::size_t bytes) {
     for (std::size_t i = assoc_; i-- > 0 && drop > 0;) {
       if (way_live(meta[i]) && !is_network(meta[i])) {
         if (is_dirty(meta[i])) ++stats_.writebacks;
+        SEMPERM_TRACE_ONLY(--owner_resident_[owner_of(meta[i])];)
         meta[i] = pack(kStaleEpoch, FillReason::kDemand, LineClass::kNormal,
                        false);
         --drop;
@@ -254,6 +302,47 @@ std::size_t SetAssocCache::resident_lines() const {
     if (way_live(m)) ++n;
   return n;
 }
+
+#if SEMPERM_TRACE
+
+void SetAssocCache::trace_set_occupancy_prefix(std::string prefix) {
+  occ_prefix_ = std::move(prefix);
+  occ_tracks_.fill(0);
+  occ_total_track_ = 0;
+}
+
+void SetAssocCache::trace_sample_owner_occupancy(std::uint64_t sim_ts) {
+  if (!obs::trace_on()) return;
+  // Every registered owner emits every pass — including zeros. Dense
+  // snapshots keep each pass self-consistent even when several cache
+  // instances share one exported prefix (sequential bench panels each
+  // build their own "L3"): a sequential reader never mistakes a stale
+  // lane from the previous instance for this instance's value, which is
+  // what makes the summarizer's conservation walk exact.
+  const unsigned owners = obs::owner_count();
+  for (unsigned id = 0; id < owners; ++id) {
+    const std::uint64_t v = owner_resident_[id];
+    if (occ_tracks_[id] == 0)
+      occ_tracks_[id] = obs::intern_track(
+          occ_prefix_ + "/occ/" +
+          std::string(obs::owner_name(static_cast<obs::OwnerId>(id))));
+    // Counters ride on interned tracks with an empty event name (the
+    // MetricsRegistry::sample pattern): the exported lane name is just
+    // the track string.
+    obs::emit_event(obs::EventKind::kCounter, obs::Category::kCache, "",
+                    occ_tracks_[id], 0, static_cast<double>(v), sim_ts);
+  }
+  if (occ_total_track_ == 0)
+    occ_total_track_ = obs::intern_track(occ_prefix_ + "/occ_total");
+  // Deliberately an independent metadata recount, not the counter sum:
+  // this is the ground truth the summarizer's conservation check
+  // compares the per-owner lanes against.
+  obs::emit_event(obs::EventKind::kCounter, obs::Category::kCache, "",
+                  occ_total_track_, 0,
+                  static_cast<double>(resident_lines()), sim_ts);
+}
+
+#endif  // SEMPERM_TRACE
 
 void SetAssocCache::reset_stats() {
   stats_ = CacheStats{};
@@ -353,6 +442,31 @@ void SetAssocCache::audit() const {
   audit_stats();
   SEMPERM_AUDIT_CHECK(resident_lines() <= set_count_ * assoc_,
                       name_ << " resident lines exceed capacity");
+#if SEMPERM_TRACE
+  // Residency-attribution conservation (DESIGN.md §16): the maintained
+  // per-owner counters must equal a fresh recount of the metadata owner
+  // fields, and their sum must equal the resident-line total.
+  std::array<std::uint64_t, obs::kMaxOwners> recount{};
+  std::uint64_t live = 0;
+  for (const Meta m : meta_)
+    if (way_live(m)) {
+      ++recount[owner_of(m)];
+      ++live;
+    }
+  std::uint64_t owner_sum = 0;
+  for (unsigned id = 0; id < obs::kMaxOwners; ++id) {
+    SEMPERM_AUDIT_CHECK(
+        recount[id] == owner_resident_[id],
+        name_ << " owner '"
+              << obs::owner_name(static_cast<obs::OwnerId>(id))
+              << "' counter " << owner_resident_[id]
+              << " disagrees with metadata recount " << recount[id]);
+    owner_sum += owner_resident_[id];
+  }
+  SEMPERM_AUDIT_CHECK(owner_sum == live,
+                      name_ << " per-owner occupancy sum " << owner_sum
+                            << " != resident lines " << live);
+#endif  // SEMPERM_TRACE
 }
 
 void SetAssocCache::audit_corrupt_lru_for_test(Addr line) {

@@ -29,6 +29,7 @@
 #include "common/hot_path.hpp"
 #include "common/simd.hpp"
 #include "common/types.hpp"
+#include "obs/owner.hpp"
 #include "obs/trace.hpp"
 
 namespace semperm::cachesim {
@@ -266,16 +267,50 @@ class SetAssocCache {
   /// "owned" by that provider — the heater-vs-app occupancy split).
   std::size_t resident_lines_filled_by(FillReason reason) const;
 
+#if SEMPERM_TRACE
+  /// Valid lines attributed to `owner` (DESIGN.md §16): an exact counter
+  /// maintained on every fill, eviction, invalidation, flush and pollute,
+  /// conservation-audited against a metadata recount under SEMPERM_AUDIT.
+  /// Unlike resident_lines_filled_by, the owner records who *filled or
+  /// refreshed* the line — demand hits do not transfer ownership.
+  std::size_t resident_lines_owned_by(obs::OwnerId owner) const {
+    return owner < obs::kMaxOwners ? owner_resident_[owner] : 0;
+  }
+
+  /// Prefix for this cache's occupancy counter tracks
+  /// ("<prefix>/occ/<owner>", "<prefix>/occ_total"); defaults to the
+  /// cache's name. Multi-core hierarchies set distinct prefixes so the
+  /// summarizer can validate conservation per cache instance.
+  void trace_set_occupancy_prefix(std::string prefix);
+
+  /// Emit one counter sample per registered owner (zeros included, so
+  /// each pass is a self-consistent snapshot even when sequential bench
+  /// panels reuse one prefix) plus "<prefix>/occ_total" — an independent
+  /// resident_lines() recount, which is exactly what the
+  /// Σ-owners==resident conservation check in tools/trace_summarize.py
+  /// compares against — at simulated timestamp `sim_ts`. No-op unless a
+  /// trace session is recording.
+  void trace_sample_owner_occupancy(std::uint64_t sim_ts = obs::kStampNow);
+#endif
+
  private:
-  // Packed per-way metadata word: [63:8] fill epoch, [3:2] FillReason,
-  // [1] LineClass, [0] dirty. A way is live iff its epoch field equals the
-  // cache's current epoch; flush() bumps the epoch, invalidate() stamps the
-  // never-current kStaleEpoch.
+  // Packed per-way metadata word: [63:8] fill epoch, [7:4] owner id,
+  // [3:2] FillReason, [1] LineClass, [0] dirty. A way is live iff its
+  // epoch field equals the cache's current epoch; flush() bumps the
+  // epoch, invalidate() stamps the never-current kStaleEpoch.
+  //
+  // The owner field (obs/owner.hpp) is written only in traced builds;
+  // Release leaves it zero, so packed words — and therefore every
+  // SIMD-probe predicate, which masks epoch and class bits only — are
+  // bit-identical across configurations. Riding inside the word means
+  // attribution travels through the LRU rotation for free.
   using Meta = std::uint64_t;
   static constexpr Meta kDirtyBit = 1;
   static constexpr Meta kNetworkBit = 2;
   static constexpr unsigned kReasonShift = 2;
   static constexpr Meta kReasonMask = Meta{3} << kReasonShift;
+  static constexpr unsigned kOwnerShift = 4;
+  static constexpr Meta kOwnerMask = Meta{obs::kMaxOwners - 1} << kOwnerShift;
   static constexpr unsigned kEpochShift = 8;
   static constexpr std::uint64_t kStaleEpoch =
       (std::uint64_t{1} << (64 - kEpochShift)) - 1;
@@ -288,6 +323,9 @@ class SetAssocCache {
   }
   static FillReason reason_of(Meta m) {
     return static_cast<FillReason>((m & kReasonMask) >> kReasonShift);
+  }
+  static obs::OwnerId owner_of(Meta m) {
+    return static_cast<obs::OwnerId>((m & kOwnerMask) >> kOwnerShift);
   }
   static bool is_network(Meta m) { return (m & kNetworkBit) != 0; }
   static bool is_dirty(Meta m) { return (m & kDirtyBit) != 0; }
@@ -400,6 +438,16 @@ class SetAssocCache {
   // Trace-only: this cache's interned timeline-track id (its name_),
   // stamped onto fill/evict/writeback probe events.
   SEMPERM_TRACE_ONLY(std::uint16_t trace_track_ = 0;)
+  // Trace-only residency attribution (DESIGN.md §16): exact per-owner
+  // resident-line counters (owner_resident_[owner_of(m)] over live ways),
+  // plus the lazily interned occupancy counter tracks. Maintained
+  // unconditionally in traced builds — not gated on trace_on() — so a
+  // session started mid-run still sees exact counters.
+  SEMPERM_TRACE_ONLY(
+      std::array<std::uint64_t, obs::kMaxOwners> owner_resident_{};
+      std::string occ_prefix_;
+      std::array<std::uint16_t, obs::kMaxOwners> occ_tracks_{};
+      std::uint16_t occ_total_track_ = 0;)
 };
 
 }  // namespace semperm::cachesim

@@ -131,6 +131,16 @@ class Hierarchy {
 
   void reset_stats();
 
+#if SEMPERM_TRACE
+  /// Sample every level's per-owner occupancy counters (plus the network
+  /// cache, if configured) onto the trace timeline — the fig6 epoch hook
+  /// for the paper's occupancy-timeline curves (DESIGN.md §16).
+  void trace_sample_occupancy(std::uint64_t sim_ts = obs::kStampNow) {
+    for (auto& level : levels_) level.trace_sample_owner_occupancy(sim_ts);
+    if (netcache_) netcache_->trace_sample_owner_occupancy(sim_ts);
+  }
+#endif
+
   /// Full hierarchy audit: every level's structural/accounting audit plus
   /// the cross-level conservation laws (DRAM fetches bounded by lines
   /// touched, byte accesses bounded by line accesses). Throws

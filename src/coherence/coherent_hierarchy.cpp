@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <sstream>
+#include <string>
 
 #include "check/mesi_rules.hpp"
 #include "common/assert.hpp"
+#include "obs/profiler.hpp"
 
 namespace semperm::coherence {
 
@@ -42,6 +44,15 @@ CoherentHierarchy::CoherentHierarchy(const ArchProfile& arch, unsigned cores)
                      "sharer bitmap is 64 bits wide");
   cores_.reserve(cores);
   for (unsigned c = 0; c < cores; ++c) cores_.emplace_back(arch_);
+  // Every core's L1/L2 shares the track name "L1"/"L2" on the event
+  // timeline, but occupancy lanes must be separable per cache instance
+  // for the summarizer's conservation check — give each its own prefix.
+  SEMPERM_TRACE_ONLY(for (unsigned c = 0; c < cores; ++c) {
+    cores_[c].l1.trace_set_occupancy_prefix("core" + std::to_string(c) +
+                                            ".L1");
+    cores_[c].l2.trace_set_occupancy_prefix("core" + std::to_string(c) +
+                                            ".L2");
+  })
   if (arch_.l3.present()) {
     llc_ = std::make_unique<SetAssocCache>("LLC", arch_.l3.size_bytes,
                                            arch_.l3.assoc);
@@ -77,6 +88,7 @@ void CoherentHierarchy::set_state(unsigned core, Addr line, MesiState st) {
                                 mesi_transition_name(from, st), 0, line,
                                 static_cast<double>(core));
       })
+  SEMPERM_PROF_COUNT(kMesiTransition);
   cores_[core].state[line] = st;
   DirEntry& e = directory_[line];
   e.sharers |= bit(core);
@@ -95,6 +107,7 @@ void CoherentHierarchy::drop_sharer(unsigned core, Addr line) {
                                 mesi_transition_name(from, MesiState::kInvalid),
                                 0, line, static_cast<double>(core));
       })
+  SEMPERM_PROF_COUNT(kMesiTransition);
   cores_[core].state.erase(line);
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
@@ -118,6 +131,7 @@ void CoherentHierarchy::invalidate_remotes(unsigned core, Addr line) {
         it->second == MesiState::kModified) {
       // Write the dirty data back into the shared level before dropping.
       ++coh_.dirty_writebacks;
+      SEMPERM_PROF_COUNT(kWriteback);
       if (llc_) llc_->mark_dirty(line);
     }
     cores_[c].l1.invalidate(line);
@@ -169,12 +183,15 @@ void CoherentHierarchy::on_llc_evict(const SetAssocCache::EvictedWay& ev) {
     const unsigned c = static_cast<unsigned>(std::countr_zero(sharers));
     sharers &= sharers - 1;
     const auto st = cores_[c].state.find(ev.line);
-    if (st != cores_[c].state.end() && st->second == MesiState::kModified)
+    if (st != cores_[c].state.end() && st->second == MesiState::kModified) {
       ++coh_.dirty_writebacks;  // drains to DRAM; LLC copy is already gone
+      SEMPERM_PROF_COUNT(kWriteback);
+    }
     cores_[c].l1.invalidate(ev.line);
     cores_[c].l2.invalidate(ev.line);
     drop_sharer(c, ev.line);
     ++coh_.back_invalidations;
+    SEMPERM_PROF_COUNT(kBackInvalidate);
     SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence,
                           "back_invalidation", 0, ev.line,
                           static_cast<double>(c));
@@ -215,9 +232,11 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
   if (cs.l1.access(line)) {
     serving = 0;
     cost = arch_.l1.hit_latency;
+    SEMPERM_PROF_ADD(kL1Probe, cost);
   } else if (cs.l2.access(line)) {
     serving = 1;
     cost = arch_.l2.hit_latency;
+    SEMPERM_PROF_ADD(kL2Probe, cost);
   }
 
   if (serving <= 1) {
@@ -230,6 +249,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
         SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "upgrade", 0,
                               line, static_cast<double>(core));
         cost += arch_.snoop_latency;
+        SEMPERM_PROF_ADD(kUpgradeSnoop, arch_.snoop_latency);
         invalidate_remotes(core, line);
       }
       set_state(core, line, MesiState::kModified);
@@ -240,6 +260,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     // would each walk the same entry).
     int owner = -1;
     std::uint64_t remotes = 0;
+    SEMPERM_PROF_COUNT(kDirLookup);
     if (const auto dit = directory_.find(line); dit != directory_.end()) {
       remotes = dit->second.sharers & ~bit(core);
       const int o = dit->second.owner;
@@ -255,6 +276,8 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
       SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "intervention",
                             0, line, static_cast<double>(owner));
       cost = arch_.intervention_latency;
+      SEMPERM_PROF_ADD(kIntervention, cost);
+      SEMPERM_PROF_COUNT(kWriteback);
       llc_fill(line, FillReason::kDemand, /*dirty=*/true);
       if (write) {
         cores_[owner].l1.invalidate(line);
@@ -267,10 +290,12 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     } else if (llc_ && llc_->access(line)) {
       serving = 2;
       cost = llc_latency_;
+      SEMPERM_PROF_ADD(kLlcProbe, llc_latency_);
       if (remotes != 0) {
         if (write) {
           ++coh_.snoops;
           cost += arch_.snoop_latency;
+          SEMPERM_PROF_ADD(kWriteInvalidate, arch_.snoop_latency);
           invalidate_remotes(core, line);
         } else {
           // A remote Exclusive copy must observe the read and downgrade;
@@ -284,6 +309,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
               ++coh_.snoops;
               ++coh_.clean_downgrades;
               cost += arch_.snoop_latency;
+              SEMPERM_PROF_ADD(kCleanDowngrade, arch_.snoop_latency);
             }
           }
         }
@@ -295,6 +321,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
       // cache-to-cache.
       ++coh_.snoops;
       cost = arch_.intervention_latency;
+      SEMPERM_PROF_ADD(kRemoteForward, cost);
       if (write) {
         invalidate_remotes(core, line);
       } else {
@@ -312,6 +339,7 @@ Cycles CoherentHierarchy::access_line(unsigned core, Addr line, bool write) {
     } else {
       cost = arch_.dram_latency;
       ++cs.stats.dram_fetches;
+      SEMPERM_PROF_ADD(kDramFill, cost);
       if (llc_) llc_fill(line, FillReason::kDemand, /*dirty=*/false);
     }
   }
@@ -437,6 +465,7 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
     ++coh_.dirty_writebacks;
     SEMPERM_TRACE_INSTANT(semperm::obs::Category::kCoherence, "intervention",
                           0, line, static_cast<double>(owner));
+    SEMPERM_PROF_COUNT(kWriteback);
     set_state(static_cast<unsigned>(owner), line, MesiState::kShared);
     t.cycles = arch_.intervention_latency;
     llc_fill(line, FillReason::kHeater, /*dirty=*/true);
@@ -449,6 +478,7 @@ CoherentHierarchy::HeaterTouch CoherentHierarchy::heater_touch_line(
     ++cs.stats.dram_fetches;
     llc_fill(line, FillReason::kHeater, /*dirty=*/false);
   }
+  SEMPERM_PROF_ADD(kHeaterTouch, t.cycles);
   SEMPERM_AUDIT_ONLY(audit_line(line);)
   cs.stats.total_cycles += t.cycles;
   SEMPERM_TRACE_CLOCK_ADVANCE(t.cycles);

@@ -102,6 +102,20 @@ class CoherentHierarchy {
   /// Heater-vs-application LLC occupancy (zeros when there is no LLC).
   LlcOccupancy llc_occupancy() const;
 
+#if SEMPERM_TRACE
+  /// Sample per-owner occupancy counters for every cache in the
+  /// hierarchy (each core's L1/L2 under a "coreN.LX" track prefix, the
+  /// shared LLC under "LLC") onto the trace timeline. The coherent-mix
+  /// epoch hook for the occupancy observatory (DESIGN.md §16).
+  void trace_sample_occupancy(std::uint64_t sim_ts = obs::kStampNow) {
+    for (auto& cs : cores_) {
+      cs.l1.trace_sample_owner_occupancy(sim_ts);
+      cs.l2.trace_sample_owner_occupancy(sim_ts);
+    }
+    if (llc_) llc_->trace_sample_owner_occupancy(sim_ts);
+  }
+#endif
+
   void reset_stats();
 
   std::string report() const;

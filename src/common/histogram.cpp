@@ -46,6 +46,29 @@ double BucketHistogram::mean() const {
   return t ? weighted_sum_ / static_cast<double>(t) : 0.0;
 }
 
+double BucketHistogram::quantile(double q) const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(t);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      const double lo = static_cast<double>(i) * static_cast<double>(width_);
+      const double hi =
+          std::min(lo + static_cast<double>(width_),
+                   static_cast<double>(max_value_) + 1.0);
+      return lo + within * std::max(0.0, hi - lo);
+    }
+    cum += c;
+  }
+  return static_cast<double>(max_value_);
+}
+
 std::string BucketHistogram::render(const std::string& title,
                                     std::size_t bar_width) const {
   std::ostringstream os;

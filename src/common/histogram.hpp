@@ -34,6 +34,11 @@ class BucketHistogram {
   std::uint64_t max_value_seen() const { return max_value_; }
   double mean() const;
 
+  /// Value at quantile q in [0,1], linearly interpolated within the
+  /// containing bucket (clamped to the largest observed value, so a
+  /// wide final bucket cannot inflate the tail). 0 when empty.
+  double quantile(double q) const;
+
   /// Render an ASCII version of the figure: one row per bucket with a
   /// log-scaled bar, matching Fig. 1's log y-axis visually.
   std::string render(const std::string& title, std::size_t bar_width = 50) const;

@@ -63,6 +63,15 @@ void MetricsRegistry::sample([[maybe_unused]] std::uint64_t sim_ts) {
 #endif
 }
 
+std::vector<std::pair<std::string, BucketHistogram>>
+MetricsRegistry::histogram_snapshots() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, BucketHistogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& e : histograms_) out.emplace_back(e.name, e.value->snapshot());
+  return out;
+}
+
 std::string MetricsRegistry::to_csv() const {
   MutexLock lock(mu_);
   std::ostringstream os;
@@ -110,7 +119,9 @@ std::string MetricsRegistry::to_json() const {
     os << '"';
     escape_json_str(os, e.name);
     os << "\":{\"bucket_width\":" << h.bucket_width() << ",\"total\":"
-       << h.total() << ",\"mean\":" << h.mean() << ",\"buckets\":[";
+       << h.total() << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.quantile(0.50) << ",\"p99\":" << h.quantile(0.99)
+       << ",\"p999\":" << h.quantile(0.999) << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.bucket_count(); ++i) {
       if (i != 0) os << ',';
       os << h.bucket(i);

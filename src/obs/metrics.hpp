@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -89,6 +90,12 @@ class MetricsRegistry {
   /// timeline at simulated timestamp `sim_ts` (no-op when tracing is
   /// compiled out or no session is recording).
   void sample(std::uint64_t sim_ts);
+
+  /// Name + snapshot of every registered histogram, in registration
+  /// order — the enumeration hook bench_util uses to flatten tail
+  /// quantiles (<name>_p50/_p99/_p999) into the --json metrics object.
+  std::vector<std::pair<std::string, BucketHistogram>> histogram_snapshots()
+      const;
 
   /// "kind,name,value" CSV rows (histograms flattened per bucket).
   std::string to_csv() const;

@@ -1,0 +1,61 @@
+#include "obs/owner.hpp"
+
+#if SEMPERM_TRACE
+
+#include <array>
+#include <string>
+
+#include "common/mutex.hpp"
+
+namespace semperm::obs {
+
+namespace {
+
+struct OwnerRegistry {
+  Mutex mu;
+  std::array<std::string, kMaxOwners> names;
+  unsigned count = 0;
+
+  OwnerRegistry() {
+    names[kOwnerWorkload] = "workload";
+    names[kOwnerPrefetcher] = "prefetcher";
+    names[kOwnerHeater] = "heater";
+    count = 3;
+  }
+};
+
+OwnerRegistry& registry() {
+  static OwnerRegistry r;
+  return r;
+}
+
+}  // namespace
+
+OwnerId intern_owner(std::string_view name) {
+  OwnerRegistry& r = registry();
+  MutexLock lock(r.mu);
+  for (unsigned i = 0; i < r.count; ++i)
+    if (r.names[i] == name) return static_cast<OwnerId>(i);
+  if (r.count >= kMaxOwners) return kOwnerWorkload;  // full: degrade
+  r.names[r.count] = std::string(name);
+  return static_cast<OwnerId>(r.count++);
+}
+
+std::string_view owner_name(OwnerId id) {
+  OwnerRegistry& r = registry();
+  MutexLock lock(r.mu);
+  if (id >= r.count) return "workload";
+  // Entries are never freed or renamed, so the string_view stays valid
+  // after the lock drops.
+  return r.names[id];
+}
+
+unsigned owner_count() {
+  OwnerRegistry& r = registry();
+  MutexLock lock(r.mu);
+  return r.count;
+}
+
+}  // namespace semperm::obs
+
+#endif  // SEMPERM_TRACE

@@ -1,0 +1,98 @@
+// semperm/obs/owner.hpp
+//
+// Residency-attribution owners (DESIGN.md §16): every cache-line fill is
+// tagged with a small interned *owner* id — heater, prefetcher, flow
+// table, match-queue arena, traffic stream, or the default "workload" —
+// so per-owner resident-line counters can answer the paper's central
+// question ("who occupies the LLC, and for how long?") continuously
+// instead of through the single heater-vs-other split of PR 4.
+//
+// The id is 4 bits wide because it rides inside the spare bits [7:4] of
+// cachesim's packed per-way metadata word: attribution costs no extra
+// per-way storage and travels through the LRU rotation for free. Ids are
+// process-global and never recycled; interning past the 4-bit capacity
+// falls back to the default owner 0 (attribution degrades to "workload",
+// it never fails).
+//
+// Ownership is established per-fill: an explicit thread-local OwnerScope
+// wins; otherwise the FillReason picks the well-known prefetcher/heater
+// owner; otherwise the line belongs to "workload". Like every other
+// probe in this layer, the whole mechanism compiles away when
+// SEMPERM_TRACE is 0 (Release): the macros expand to nothing and the
+// inline fallbacks below keep call sites valid.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace semperm::obs {
+
+/// Interned owner id. 0 is the always-valid default ("workload").
+using OwnerId = std::uint8_t;
+
+/// Width of the id field in cachesim's packed metadata word.
+inline constexpr unsigned kOwnerBits = 4;
+inline constexpr unsigned kMaxOwners = 1u << kOwnerBits;  // incl. default 0
+
+/// Pre-interned well-known owners (stable ids in every process).
+inline constexpr OwnerId kOwnerWorkload = 0;
+inline constexpr OwnerId kOwnerPrefetcher = 1;
+inline constexpr OwnerId kOwnerHeater = 2;
+
+#if SEMPERM_TRACE
+
+/// Intern `name` into a stable owner id. Idempotent; returns
+/// kOwnerWorkload once all kMaxOwners slots are taken (attribution
+/// degrades, never fails). Safe from component constructors.
+OwnerId intern_owner(std::string_view name);
+
+/// Name of an interned owner ("workload" for 0 and out-of-range ids).
+std::string_view owner_name(OwnerId id);
+
+/// Number of interned owners (>= 3: the well-known ones).
+unsigned owner_count();
+
+namespace detail {
+/// The thread's active fill owner (0 = none: derive from FillReason).
+inline thread_local OwnerId g_current_owner = kOwnerWorkload;
+}  // namespace detail
+
+inline OwnerId current_owner() { return detail::g_current_owner; }
+
+/// RAII: fills performed by this thread inside the scope are attributed
+/// to `id` (unless a nested scope overrides it).
+class OwnerScope {
+ public:
+  explicit OwnerScope(OwnerId id) : prev_(detail::g_current_owner) {
+    detail::g_current_owner = id;
+  }
+  ~OwnerScope() { detail::g_current_owner = prev_; }
+  OwnerScope(const OwnerScope&) = delete;
+  OwnerScope& operator=(const OwnerScope&) = delete;
+
+ private:
+  OwnerId prev_;
+};
+
+#define SEMPERM_OWNER_CONCAT_INNER(a, b) a##b
+#define SEMPERM_OWNER_CONCAT(a, b) SEMPERM_OWNER_CONCAT_INNER(a, b)
+
+/// Open an attribution scope for the rest of the enclosing block.
+#define SEMPERM_OWNER_SCOPE(id)             \
+  ::semperm::obs::OwnerScope SEMPERM_OWNER_CONCAT(semperm_owner_scope_, \
+                                                  __LINE__)(id)
+
+#else  // !SEMPERM_TRACE
+
+inline OwnerId intern_owner(std::string_view) { return kOwnerWorkload; }
+inline std::string_view owner_name(OwnerId) { return "workload"; }
+inline unsigned owner_count() { return 1; }
+inline OwnerId current_owner() { return kOwnerWorkload; }
+
+#define SEMPERM_OWNER_SCOPE(id)
+
+#endif  // SEMPERM_TRACE
+
+}  // namespace semperm::obs

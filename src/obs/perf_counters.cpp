@@ -1,0 +1,160 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace semperm::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr base_attr(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr a;
+  std::memset(&a, 0, sizeof(a));
+  a.size = sizeof(a);
+  a.type = type;
+  a.config = config;
+  a.disabled = 1;  // armed by start(); members inherit the leader's state
+  a.exclude_kernel = 1;
+  a.exclude_hv = 1;
+  a.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                  PERF_FORMAT_TOTAL_TIME_ENABLED |
+                  PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return a;
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+const char* open_errno_hint(int err) {
+  switch (err) {
+    case EPERM:
+    case EACCES:
+      return "permission denied (perf_event_paranoid or missing "
+             "CAP_PERFMON)";
+    case ENOENT:
+      return "event not supported on this CPU/kernel";
+    case ENOSYS:
+      return "kernel without perf_event_open";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  struct Slot {
+    std::uint32_t type;
+    std::uint64_t config;
+  };
+  // Declaration order matches Reading's fields and valid_mask bits.
+  const Slot slots[kSlots] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HW_CACHE,
+       cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+      {PERF_TYPE_HW_CACHE,
+       cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)},
+      {PERF_TYPE_HW_CACHE,
+       cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)},
+  };
+  for (int i = 0; i < kSlots; ++i) {
+    perf_event_attr a = base_attr(slots[i].type, slots[i].config);
+    const int fd = static_cast<int>(
+        perf_event_open(&a, /*pid=*/0, /*cpu=*/-1, leader_fd_, 0));
+    if (fd < 0) {
+      if (i == 0) {
+        // No leader, no group: report why and stay disabled.
+        const int err = errno;
+        error_ = "perf_event_open(cycles) failed: ";
+        error_ += std::strerror(err);
+        if (const char* hint = open_errno_hint(err)) {
+          error_ += " — ";
+          error_ += hint;
+        }
+        return;
+      }
+      continue;  // optional member (e.g. LLC events absent): skip it
+    }
+    fds_[i] = fd;
+    if (i == 0) leader_fd_ = fd;
+    std::uint64_t id = 0;
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &id) == 0) ids_[i] = id;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int i = kSlots; i-- > 0;)
+    if (fds_[i] >= 0) close(fds_[i]);
+}
+
+void PerfCounters::start() {
+  if (!ok()) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounters::Reading PerfCounters::stop() {
+  Reading r;
+  if (!ok()) return r;
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+  // then {value, id} per member.
+  std::uint64_t buf[3 + 2 * kSlots] = {};
+  const ssize_t n = read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return r;
+  const std::uint64_t nr = buf[0];
+  r.time_enabled_ns = buf[1];
+  r.time_running_ns = buf[2];
+  std::uint64_t* fields[kSlots] = {&r.cycles, &r.instructions, &r.llc_loads,
+                                   &r.llc_load_misses, &r.l1d_misses};
+  for (std::uint64_t m = 0; m < nr && m < static_cast<std::uint64_t>(kSlots);
+       ++m) {
+    const std::uint64_t value = buf[3 + 2 * m];
+    const std::uint64_t id = buf[3 + 2 * m + 1];
+    for (int i = 0; i < kSlots; ++i) {
+      if (fds_[i] >= 0 && ids_[i] == id) {
+        *fields[i] = value;
+        r.valid_mask |= 1u << i;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters()
+    : error_("perf_event_open is Linux-only; hardware counters "
+             "unavailable on this platform") {}
+
+PerfCounters::~PerfCounters() = default;
+
+void PerfCounters::start() {}
+
+PerfCounters::Reading PerfCounters::stop() { return {}; }
+
+#endif  // __linux__
+
+}  // namespace semperm::obs

@@ -1,0 +1,84 @@
+// semperm/obs/perf_counters.hpp
+//
+// Hardware performance counters via perf_event_open (DESIGN.md §16):
+// one grouped read of cycles, instructions, LLC loads/misses and L1d
+// misses around a native hot loop, so the simulator's modeled miss
+// rates can be validated against what the machine actually did (the
+// pMR pattern from PAPERS.md).
+//
+// Unlike the trace/profiler probes this class is compiled into EVERY
+// build configuration — Release is exactly where hardware measurement
+// matters — and is gated at runtime instead: construction attempts the
+// syscalls and degrades gracefully. In a container without
+// CAP_PERFMON, under a hardened perf_event_paranoid, or on a kernel
+// without the PMU events, ok() is false, error() says why, and every
+// other call is a harmless no-op; bench_util reports the condition as
+// "hw_counters": "unavailable" rather than failing the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace semperm::obs {
+
+class PerfCounters {
+ public:
+  struct Reading {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_loads = 0;
+    std::uint64_t llc_load_misses = 0;
+    std::uint64_t l1d_misses = 0;
+    // Multiplexing telemetry from the kernel: when running < enabled the
+    // group was time-shared with other users and values are scaled.
+    std::uint64_t time_enabled_ns = 0;
+    std::uint64_t time_running_ns = 0;
+    // Which of the five counters actually opened (bit i = field i, in
+    // declaration order). The leader (cycles) is always bit 0 when ok().
+    unsigned valid_mask = 0;
+
+    bool has_cycles() const { return valid_mask & 1u; }
+    bool has_instructions() const { return valid_mask & 2u; }
+    bool has_llc_loads() const { return valid_mask & 4u; }
+    bool has_llc_load_misses() const { return valid_mask & 8u; }
+    bool has_l1d_misses() const { return valid_mask & 16u; }
+
+    double ipc() const {
+      return cycles ? static_cast<double>(instructions) /
+                          static_cast<double>(cycles)
+                    : 0.0;
+    }
+    /// LLC load miss rate, when both LLC counters opened.
+    double llc_miss_rate() const {
+      return llc_loads ? static_cast<double>(llc_load_misses) /
+                             static_cast<double>(llc_loads)
+                       : 0.0;
+    }
+  };
+
+  /// Opens the counter group for the calling thread (counts this
+  /// process, all CPUs it runs on). Check ok() afterwards.
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Did the group leader open? When false, error() explains and
+  /// start()/stop() are no-ops returning an empty Reading.
+  bool ok() const { return leader_fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  /// Zero and enable the group.
+  void start();
+  /// Disable the group and read every member in one syscall.
+  Reading stop();
+
+ private:
+  static constexpr int kSlots = 5;
+  int fds_[kSlots] = {-1, -1, -1, -1, -1};
+  std::uint64_t ids_[kSlots] = {};
+  int leader_fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace semperm::obs

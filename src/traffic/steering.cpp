@@ -11,6 +11,7 @@
 #include "match/factory.hpp"
 #include "memlayout/arena.hpp"
 #include "obs/metrics.hpp"
+#include "obs/owner.hpp"
 #include "obs/trace.hpp"
 
 namespace semperm::traffic {
@@ -82,6 +83,19 @@ SteeringResult run_steering(const SteeringParams& p) {
       obs::MetricsRegistry::global().gauge("traffic.live_flows");
   obs::Counter& packets_metric =
       obs::MetricsRegistry::global().counter("traffic.packets");
+  // Per-miss rule-table walk cost and per-flush steering chunk size.
+  // Recording happens per miss / per flush, not per simulated access, so
+  // the histogram mutex stays off the hot path.
+  obs::Histogram& miss_walk_hist = obs::MetricsRegistry::global().histogram(
+      "match.miss_walk_cycles", /*bucket_width=*/64);
+  obs::Histogram& steer_chunk_hist = obs::MetricsRegistry::global().histogram(
+      "traffic.steer_chunk_lines", /*bucket_width=*/1);
+  // Residency attribution (DESIGN.md §16): lines the flow table streams
+  // through the hierarchy are owned by "flow_table"; lines the steering
+  // miss path walks in the rule table are owned by "rule_table".
+  SEMPERM_TRACE_ONLY(
+      const obs::OwnerId flow_table_owner = obs::intern_owner("flow_table");
+      const obs::OwnerId rule_table_owner = obs::intern_owner("rule_table");)
 
   FlowGenerator gen(p.gen);
   SteeringResult res;
@@ -94,6 +108,8 @@ SteeringResult run_steering(const SteeringParams& p) {
 
   const auto flush = [&] {
     if (chunk.empty()) return;
+    SEMPERM_OWNER_SCOPE(flow_table_owner);
+    steer_chunk_hist.add(chunk.size());
     mem.work(hier.simulate({chunk.data(), chunk.size()}));
     chunk.clear();
   };
@@ -104,6 +120,14 @@ SteeringResult run_steering(const SteeringParams& p) {
       ++epoch_no;
       SEMPERM_TRACE_INSTANT(obs::Category::kTraffic, "epoch", track, epoch_no,
                             static_cast<double>(table.live_flows()));
+      // End-of-epoch occupancy: the flow-table residency built up over
+      // the last epoch, sampled *before* the emulated compute phase
+      // displaces it (pollute on an unpartitioned cache is a full
+      // flush — sampling after it would only ever read zeros).
+      SEMPERM_TRACE_ONLY(if (obs::trace_on()) {
+        obs::MetricsRegistry::global().sample(obs::sim_now());
+        hier.trace_sample_occupancy(obs::sim_now());
+      })
       if (p.compute_working_set_bytes > 0)
         hier.pollute(p.compute_working_set_bytes);
       if (heater) {
@@ -113,6 +137,11 @@ SteeringResult run_steering(const SteeringParams& p) {
           res.heated_lines_refreshed += heater->refresh();
       }
       live_flows_metric.set(static_cast<double>(table.live_flows()));
+      // Start-of-epoch occupancy: what survived the compute phase plus
+      // what the heater just re-heated — the other edge of the
+      // occupancy saw-tooth the §4.3 story is about.
+      SEMPERM_TRACE_ONLY(
+          if (obs::trace_on()) hier.trace_sample_occupancy(obs::sim_now());)
     }
     if (gen.in_crowd_window(pkt) && pkt == p.gen.crowd.burst_start)
       SEMPERM_TRACE_INSTANT(obs::Category::kTraffic, "flash_crowd", track,
@@ -132,10 +161,13 @@ SteeringResult run_steering(const SteeringParams& p) {
     }
     const bool hit = table.steer(flow, &chunk);
     if (!hit) {
+      SEMPERM_OWNER_SCOPE(rule_table_owner);
       const Cycles mark = mem.cycles();
       const auto env = bundle->probe(miss_pattern);
       SEMPERM_ASSERT_MSG(!env.has_value(), "probe pattern matched a rule");
-      miss_walk_cycles += mem.cycles() - mark;
+      const Cycles walk = mem.cycles() - mark;
+      miss_walk_cycles += walk;
+      miss_walk_hist.add(walk);
     }
     if (chunk.size() >= p.chunk_lines) flush();
   }

@@ -48,6 +48,9 @@ struct Bench {
       obs::MetricsRegistry::global().counter("osu.iterations");
   obs::Gauge& heated_lines_metric =
       obs::MetricsRegistry::global().gauge("osu.llc_heated_lines");
+  obs::Histogram& match_cycles_hist =
+      obs::MetricsRegistry::global().histogram("match.iteration_cycles",
+                                               /*bucket_width=*/64);
   std::uint64_t iteration_no = 0;
   std::unique_ptr<fault::FaultInjector> injector;
   std::uint64_t wire_seq = 0;
@@ -141,8 +144,10 @@ struct Bench {
     heated_lines_metric.set(static_cast<double>(
         hier.level(hier.level_count() - 1)
             .resident_lines_filled_by(cachesim::FillReason::kHeater)));
-    SEMPERM_TRACE_ONLY(if (obs::trace_on())
-                           obs::MetricsRegistry::global().sample(obs::sim_now());)
+    SEMPERM_TRACE_ONLY(if (obs::trace_on()) {
+      obs::MetricsRegistry::global().sample(obs::sim_now());
+      hier.trace_sample_occupancy(obs::sim_now());
+    })
   }
 
   /// Extra wire time for one message under the chaos plan. A drop is
@@ -247,6 +252,7 @@ OsuResult run_osu_bw(const OsuParams& params) {
       iter_time_ns.add(iter_ns);
       match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles) /
                            static_cast<double>(params.window));
+      bench.match_cycles_hist.add(match_cycles);
     }
   }
 
@@ -293,6 +299,7 @@ OsuResult run_osu_latency(const OsuParams& params) {
     if (measured) {
       iter_time_ns.add(one_way_ns);
       match_ns_per_msg.add(params.arch.cycles_to_ns(match_cycles));
+      bench.match_cycles_hist.add(match_cycles);
     }
   }
 

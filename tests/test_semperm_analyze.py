@@ -43,6 +43,12 @@ EXPECTED = {
     "src/match/match_hot_alloc.cpp": {
         "hotpath-alloc": 2,
     },
+    # Negative control: allocations hidden inside the compiled-out
+    # SEMPERM_PROF_* / SEMPERM_OWNER_SCOPE observability macros must not
+    # fire; only the genuine tail push_back counts.
+    "src/obs/prof_owner_exempt.cpp": {
+        "hotpath-alloc": 1,
+    },
     "src/hotcache/seqlock_bad.hpp": {
         "seqlock-payload": 2,
     },

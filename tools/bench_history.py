@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Append a bench JSON report's key metrics to a JSONL history file.
+
+Usage: bench_history.py HISTORY REPORT [REPORT...] [--commit SHA]
+                        [--run-id ID] [--show N]
+
+CI's perf-smoke gate is deliberately loose (2x, tools/perf_compare.py):
+it catches cliffs, not drift. A slow 5%-per-PR erosion sails through
+every individual run. This tool keeps the trend visible: each perf-smoke
+run appends one line per report to BENCH_history.jsonl (uploaded as an
+artifact), so "how did lines_per_sec move over the last 30 commits?" is
+a one-liner over the history instead of an archaeology dig through CI
+logs.
+
+Each history line is a self-contained JSON object:
+
+    {"commit": ..., "run_id": ..., "report": <basename>,
+     "labels": {...}, "metrics": {...}}
+
+Only trend-worthy metrics are kept: `*_per_sec` rates (the gated
+throughputs), `*_p50`/`*_p99`/`*_p999` histogram quantiles, `*_hw_*`
+hardware-counter readings, and `*_miss_rate*` model-vs-machine deltas.
+Everything else (repetition counts, raw totals) is reproducible from the
+full report artifact and would only bloat the lines.
+
+Appending is idempotent per (commit, report): re-running on the same
+commit replaces that report's line instead of duplicating it, so a
+retried CI job does not skew the trend.
+
+--show N prints the last N entries per report as a table and exits 0
+without appending (a quick local look at a downloaded artifact).
+
+Exit code 0 on success, 2 on malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+KEEP_SUFFIXES = ("_per_sec", "_p50", "_p99", "_p999")
+KEEP_SUBSTRINGS = ("_hw_", "_miss_rate")
+
+
+def keep_metric(name):
+    return name.endswith(KEEP_SUFFIXES) or any(
+        s in name for s in KEEP_SUBSTRINGS)
+
+
+def entry_for(report_path, commit, run_id):
+    with open(report_path) as f:
+        doc = json.load(f)
+    metrics = {k: v for k, v in sorted(doc.get("metrics", {}).items())
+               if keep_metric(k)}
+    return {
+        "commit": commit,
+        "run_id": run_id,
+        "report": os.path.basename(report_path),
+        "labels": doc.get("labels", {}),
+        "metrics": metrics,
+    }
+
+
+def load_history(path):
+    entries = []
+    if os.path.isfile(path):
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    print(f"{path}:{lineno}: unparseable history line: {e}",
+                          file=sys.stderr)
+                    return None
+    return entries
+
+
+def show(entries, n):
+    by_report = {}
+    for e in entries:
+        by_report.setdefault(e.get("report", "?"), []).append(e)
+    for report, es in sorted(by_report.items()):
+        print(f"== {report} (last {min(n, len(es))} of {len(es)}) ==")
+        for e in es[-n:]:
+            commit = (e.get("commit") or "?")[:12]
+            parts = [f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                     for k, v in sorted(e.get("metrics", {}).items())
+                     if k.endswith("_per_sec")]
+            print(f"  {commit:12s} {'  '.join(parts)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("history", help="JSONL history file (created if absent)")
+    ap.add_argument("reports", nargs="*", help="bench --json reports to log")
+    ap.add_argument("--commit", default=os.environ.get("GITHUB_SHA", ""),
+                    help="commit SHA to stamp (default: $GITHUB_SHA)")
+    ap.add_argument("--run-id", default=os.environ.get("GITHUB_RUN_ID", ""),
+                    help="CI run id to stamp (default: $GITHUB_RUN_ID)")
+    ap.add_argument("--show", type=int, metavar="N",
+                    help="print the last N entries per report and exit")
+    args = ap.parse_args()
+
+    entries = load_history(args.history)
+    if entries is None:
+        return 2
+
+    if args.show is not None:
+        show(entries, args.show)
+        return 0
+
+    if not args.reports:
+        print("no reports given (and --show not requested)", file=sys.stderr)
+        return 2
+
+    for report_path in args.reports:
+        try:
+            new = entry_for(report_path, args.commit, args.run_id)
+        except (OSError, json.JSONDecodeError, AttributeError) as e:
+            print(f"{report_path}: cannot read report: {e}", file=sys.stderr)
+            return 2
+        entries = [e for e in entries
+                   if not (e.get("commit") == new["commit"]
+                           and e.get("report") == new["report"])]
+        entries.append(new)
+        n = len(new["metrics"])
+        print(f"{args.history}: logged {new['report']} @ "
+              f"{new['commit'][:12] or '(no commit)'} ({n} metrics)")
+
+    tmp = args.history + ".tmp"
+    with open(tmp, "w") as f:
+        for e in entries:
+            f.write(json.dumps(e, sort_keys=True) + "\n")
+    os.replace(tmp, args.history)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ without rerunning anything. A metric present in the baseline but absent
 from the candidate fails with its own distinct message (a renamed or
 dropped scenario is a harness bug, not a slowdown — the fix is different).
 Metrics only in the current report (new scenarios) are reported, not
-compared. Exit code 0 = ok, 1 = regression or missing metric.
+compared. *_p999 tail quantiles are always informational: they jitter too
+much between runners to gate on, so a baseline that carries them never
+fails a run over them. Exit code 0 = ok, 1 = regression or missing
+metric.
 """
 
 import argparse
@@ -39,6 +42,15 @@ def main() -> int:
     regressions = []
     missing = []
     for name, base_rate in sorted(base.items()):
+        if name.endswith("_p999"):
+            # p999 tail quantiles jitter wildly from runner to runner
+            # (one slow sample moves them); print for context but never
+            # gate on them — absent or shifted p999s are not failures.
+            cur_val = cur.get(name)
+            shown = f"{cur_val:12.4g}" if cur_val is not None else f"{'ABSENT':>12s}"
+            print(f"{name:44s} {base_rate:12.4g} -> {shown} "
+                  f"         (informational, never compared)")
+            continue
         if not name.endswith("_per_sec"):
             continue
         if name not in cur:

@@ -35,8 +35,12 @@ _NOT_CALLS = {
 }
 
 # Instrumentation macros whose arguments are compiled out of measurement
-# builds: calls inside them never run on a protected hot path.
-_EXEMPT_MACRO_PREFIXES = ("SEMPERM_AUDIT", "SEMPERM_TRACE", "SEMPERM_FAULT")
+# builds: calls inside them never run on a protected hot path. The
+# SEMPERM_PROF_* profiler probes and SEMPERM_OWNER_SCOPE attribution
+# macro (DESIGN.md §16) expand to nothing when SEMPERM_TRACE is 0, so
+# they earn the same exemption.
+_EXEMPT_MACRO_PREFIXES = ("SEMPERM_AUDIT", "SEMPERM_TRACE", "SEMPERM_FAULT",
+                          "SEMPERM_PROF", "SEMPERM_OWNER")
 
 
 def _is_macroish(name: str) -> bool:

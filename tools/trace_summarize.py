@@ -2,6 +2,16 @@
 """Summarize a Chrome-trace JSON timeline emitted by a --trace bench run.
 
 Usage: trace_summarize.py TRACE.json [--bins 20] [--json]
+       trace_summarize.py occupancy TRACE.json [--bins 20] [--json]
+
+The `occupancy` subcommand reads the per-owner residency lanes the
+cache simulator samples on epoch boundaries ("<cache>/occ/<owner>"
+counter tracks plus the independent "<cache>/occ_total" recount) and
+renders per-owner occupancy curves per cache, validating the
+conservation law at every sample: the owner-lane values current at the
+moment an occ_total sample is emitted must sum exactly to it (lanes are
+emitted before their total within one sampling pass, so a sequential
+walk is exact). Any violation fails the run with exit code 1.
 
 Validates the document (well-formed JSON, a "traceEvents" array, every
 event carrying ph/name/ts), then reports:
@@ -142,7 +152,120 @@ def eviction_breakdown(events):
     return {k: dict(v) for k, v in sorted(out.items())}
 
 
+def occupancy_groups(events):
+    """Group "<prefix>/occ/<owner>" lanes by cache prefix and check the
+    conservation law against every "<prefix>/occ_total" sample.
+
+    Walks events in emission order, tracking each lane's current value;
+    when a total arrives, the lanes current at that moment must sum to
+    it. Lanes that have not lit up yet count as 0 (the sampler skips
+    never-nonzero owners). Returns {prefix: {"owners": {owner: series},
+    "total": series, "violations": [...]}}.
+    """
+    current = {}  # full track name -> latest value
+    groups = defaultdict(lambda: {"owners": defaultdict(list),
+                                  "total": [], "violations": []})
+    for ev in events:
+        if ev.get("ph") != "C":
+            continue
+        name = ev.get("name", "")
+        args = ev.get("args", {})
+        value = next(iter(args.values()), None) if args else None
+        if value is None:
+            continue
+        ts, v = ev["ts"], float(value)
+        if "/occ/" in name:
+            prefix, _, owner = name.partition("/occ/")
+            current[name] = v
+            groups[prefix]["owners"][owner].append((ts, v))
+        elif name.endswith("/occ_total"):
+            prefix = name[: -len("/occ_total")]
+            g = groups[prefix]
+            g["total"].append((ts, v))
+            owner_sum = sum(current.get(f"{prefix}/occ/{o}", 0.0)
+                            for o in g["owners"])
+            if owner_sum != v:
+                g["violations"].append(
+                    {"ts": ts, "owner_sum": owner_sum, "total": v})
+    return {k: {"owners": {o: s for o, s in sorted(v["owners"].items())},
+                "total": v["total"], "violations": v["violations"]}
+            for k, v in sorted(groups.items())}
+
+
+def bin_series(pts, bins):
+    """Mean-per-time-bin rows for one (ts, value) series."""
+    t0, t1 = pts[0][0], pts[-1][0]
+    width = (t1 - t0) / bins if t1 > t0 else 1.0
+    grouped = defaultdict(list)
+    for ts, v in pts:
+        grouped[min(int((ts - t0) / width), bins - 1)].append(v)
+    return [{"bin": b, "t_start": t0 + b * width,
+             "mean": sum(vs) / len(vs), "n": len(vs)}
+            for b, vs in sorted(grouped.items())]
+
+
+def occupancy_main(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="trace_summarize.py occupancy",
+        description="Per-owner cache-occupancy curves + conservation check")
+    ap.add_argument("trace")
+    ap.add_argument("--bins", type=int, default=20,
+                    help="time bins for the per-owner curves")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {args.trace}: {e}")
+    events, errors = validate(doc)
+    if errors:
+        for e in errors[:20]:
+            print(f"trace_summarize: {e}", file=sys.stderr)
+        return 1
+
+    groups = occupancy_groups(events)
+    if not groups:
+        return fail("no occupancy lanes found (was the run traced with "
+                    "SEMPERM_TRACE=ON and an occupancy sampler wired in?)")
+    bins = max(args.bins, 1)
+    violations = 0
+    report = {}
+    for prefix, g in groups.items():
+        violations += len(g["violations"])
+        report[prefix] = {
+            "samples": len(g["total"]),
+            "owners": {o: {"final": s[-1][1], "peak": max(v for _, v in s),
+                           "curve": bin_series(s, bins)}
+                       for o, s in g["owners"].items()},
+            "total_final": g["total"][-1][1] if g["total"] else 0.0,
+            "violations": g["violations"][:20],
+        }
+
+    if args.json:
+        json.dump({"caches": report, "conservation_violations": violations},
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for prefix, r in report.items():
+            print(f"{prefix}: {r['samples']} samples, "
+                  f"final resident {r['total_final']:.0f}")
+            for owner, o in r["owners"].items():
+                curve = " ".join(f"{row['mean']:.0f}" for row in o["curve"])
+                print(f"  {owner:16s} final={o['final']:<8.0f} "
+                      f"peak={o['peak']:<8.0f} [{curve}]")
+    if violations:
+        print(f"trace_summarize: {violations} conservation violation(s): "
+              f"owner lanes do not sum to occ_total", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "occupancy":
+        return occupancy_main(sys.argv[2:])
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace")
     ap.add_argument("--bins", type=int, default=20,
