@@ -16,6 +16,13 @@
 //   traffic self-performance    native generator/steering throughput
 //                               (*_per_sec metrics, gated by perf-smoke
 //                               against bench/BENCH_traffic.baseline.json).
+//   traffic overload campaign   chaos × overload matrix (DESIGN.md §17.4):
+//                               steady vs flash-crowd at 1×/3×/10× offered
+//                               load × fault plans × admission on/off over
+//                               the full resilience layer — shed counts,
+//                               degradation-ladder excursions, hot-flow
+//                               hit-ratio ablation, and a served-work
+//                               floor that must degrade gracefully.
 //
 // Everything downstream of --seed is simulated and deterministic — two
 // runs with the same seed (and the same --fault plan) emit identical
@@ -32,6 +39,8 @@
 
 #include "bench/bench_util.hpp"
 #include "cachesim/arch.hpp"
+#include "fault/fault.hpp"
+#include "resilience/admission.hpp"
 #include "traffic/flow_gen.hpp"
 #include "traffic/flow_table.hpp"
 #include "traffic/steering.hpp"
@@ -74,6 +83,7 @@ std::string steering_title(const cachesim::ArchProfile& arch) {
 constexpr const char* kCrossoverTitle =
     "traffic crossover (heater speedup at peak skew)";
 constexpr const char* kSelfperfTitle = "traffic self-performance";
+constexpr const char* kCampaignTitle = "traffic overload campaign";
 
 struct Score {
   std::uint64_t items = 0;
@@ -173,7 +183,7 @@ int main(int argc, char** argv) {
     if (!bench::panel_enabled(title) && !want_crossover) continue;
     Table table({"flows", "skew", "pattern", "heater", "table MiB", "hit %",
                  "ns/pkt", "miss ns", "LLC hit %", "DRAM/pkt", "generated",
-                 "hits", "misses", "dropped", "evictions"});
+                 "hits", "misses", "shed", "dropped", "evictions"});
     for (const std::uint64_t flows : flows_list) {
       const double table_mib =
           static_cast<double>(
@@ -213,8 +223,8 @@ int main(int argc, char** argv) {
                          Table::num(100.0 * r.llc_hit_rate, 2),
                          Table::num(r.dram_per_packet, 3),
                          Table::num(r.generated), Table::num(r.hits),
-                         Table::num(r.misses), Table::num(r.dropped),
-                         Table::num(r.evictions)});
+                         Table::num(r.misses), Table::num(r.shed),
+                         Table::num(r.dropped), Table::num(r.evictions)});
         }
       }
     }
@@ -258,6 +268,81 @@ int main(int argc, char** argv) {
     bench::emit(bench::kCrossoverTitle, cross, csv);
   }
 
+  if (bench::panel_enabled(bench::kCampaignTitle)) {
+    // Chaos x overload campaign (DESIGN.md §17.4, EXPERIMENTS.md): the
+    // full resilience layer (admission on/off is the ablation axis) under
+    // steady vs flash-crowd traffic at 1x/3x/10x offered load, clean and
+    // with 1% fault drops. tools/check_traffic_report.py validates the
+    // shed-conservation identity per row, monotone shed in intensity, a
+    // non-collapsing served-work floor, and the admission filter's
+    // hot-flow protection under the flash crowd.
+    const std::uint64_t campaign_flows = quick ? (std::uint64_t{1} << 20)
+                                               : 10'000'000;
+    const std::vector<std::uint64_t> intensities =
+        quick ? std::vector<std::uint64_t>{1, 10}
+              : std::vector<std::uint64_t>{1, 3, 10};
+    const fault::FaultPlan drop_plan = fault::FaultPlan::parse("drop=0.01");
+    Table campaign({"pattern", "intensity", "fault", "admission", "generated",
+                    "hits", "misses", "shed", "dropped", "rejects", "hit %",
+                    "hot hit %", "peak depth", "walks", "L max", "L final",
+                    "served/kcycle"});
+    for (const char* pat : {"steady", "flash"}) {
+      for (const std::uint64_t intensity : intensities) {
+        for (const bool faulty : {false, true}) {
+          for (const bool admission : {false, true}) {
+            traffic::SteeringParams p;
+            p.arch = cachesim::sandy_bridge();
+            p.gen.flows = campaign_flows;
+            p.gen.zipf_s = 1.1;
+            p.gen.seed = seed;
+            p.packets = packets;
+            // Overcommit the table (~250x standing flows per slot is the
+            // paper's 10^7-flow regime): displacement is constant, so the
+            // doorkeeper's keep-the-hot-tail policy actually decides who
+            // stays resident. Auto geometry would leave it half empty at
+            // smoke-run packet counts.
+            p.table_slots = quick ? 4096 : 65536;
+            p.rules = static_cast<std::size_t>(cli.get_int("rules"));
+            p.epoch_packets =
+                static_cast<std::uint64_t>(cli.get_int("epoch-packets"));
+            p.heater_on = true;
+            if (std::string(pat) == "flash") {
+              p.gen.pattern = traffic::TemporalPattern::kFlashCrowd;
+              p.gen.crowd.burst_start = packets / 4;
+              p.gen.crowd.burst_len = packets / 2;
+              p.gen.crowd.crowd_flows = quick ? (std::uint64_t{1} << 18)
+                                              : (std::uint64_t{1} << 21);
+              p.gen.crowd.fraction = 0.85;
+            }
+            p.fault = faulty ? &drop_plan : nullptr;
+            p.res.enabled = true;
+            p.res.admission_on = admission;
+            p.res.service_numer = 1;
+            p.res.service_denom = intensity;
+            const traffic::SteeringResult r = traffic::run_steering(p);
+            const double served_per_kcycle =
+                r.total_cycles > 0
+                    ? 1000.0 * static_cast<double>(r.hits + r.misses) /
+                          static_cast<double>(r.total_cycles)
+                    : 0.0;
+            campaign.add_row(
+                {pat, Table::num(intensity), faulty ? "drop=0.01" : "none",
+                 admission ? "on" : "off", Table::num(r.generated),
+                 Table::num(r.hits), Table::num(r.misses), Table::num(r.shed),
+                 Table::num(r.dropped), Table::num(r.admission_rejects),
+                 Table::num(100.0 * r.hit_ratio, 2),
+                 Table::num(100.0 * r.hot_hit_ratio, 2),
+                 Table::num(r.peak_queue_depth), Table::num(r.serviced_walks),
+                 Table::num(std::uint64_t(r.level_max)),
+                 Table::num(std::uint64_t(r.level_final)),
+                 Table::num(served_per_kcycle, 4)});
+          }
+        }
+      }
+    }
+    bench::emit(bench::kCampaignTitle, campaign, csv);
+  }
+
   if (bench::panel_enabled(bench::kSelfperfTitle)) {
     // Native hot-path throughput: these are the *_per_sec metrics the
     // perf gate compares against bench/BENCH_traffic.baseline.json.
@@ -297,6 +382,20 @@ int main(int argc, char** argv) {
       return hits == 0xdead ? 0 : steers;
     });
 
+    // Same native steer loop with the TinyLFU admission filter attached —
+    // the resilience layer's worst-case per-lookup overhead (sketch
+    // record on every arrival, estimate pair on contested installs).
+    traffic::FlowGenerator admit_gen(sp);
+    traffic::FlowTable admit_table(traffic::auto_geometry(gp.flows));
+    resilience::AdmissionFilter admit_filter{resilience::AdmissionConfig{}};
+    admit_table.set_admission(&admit_filter);
+    const bench::Score admit_score = bench::timed([&] {
+      std::uint64_t hits = 0;
+      for (std::uint64_t i = 0; i < steers; ++i)
+        hits += admit_table.steer(admit_gen.next(), nullptr) ? 1 : 0;
+      return hits == 0xdead ? 0 : steers;
+    });
+
     Table perf({"path", "items", "seconds", "M/s"});
     perf.add_row({"generate (steady zipf)", Table::num(gen_score.items),
                   Table::num(gen_score.seconds, 3),
@@ -307,12 +406,17 @@ int main(int argc, char** argv) {
     perf.add_row({"steer (native table)", Table::num(steer_score.items),
                   Table::num(steer_score.seconds, 3),
                   Table::num(steer_score.per_sec() / 1e6, 1)});
+    perf.add_row({"steer (admission filter)", Table::num(admit_score.items),
+                  Table::num(admit_score.seconds, 3),
+                  Table::num(admit_score.per_sec() / 1e6, 1)});
     bench::report_metric("traffic_gen_zipf_flows_per_sec",
                          gen_score.per_sec());
     bench::report_metric("traffic_gen_flash_flows_per_sec",
                          flash_score.per_sec());
     bench::report_metric("traffic_steer_lookups_per_sec",
                          steer_score.per_sec());
+    bench::report_metric("traffic_steer_admission_lookups_per_sec",
+                         admit_score.per_sec());
     bench::emit(bench::kSelfperfTitle, perf, csv);
   }
 

@@ -75,6 +75,23 @@ int HeaterWatchdog::check_once(std::uint64_t now_ns) {
   checks_.fetch_add(1, std::memory_order_relaxed);
   if (baseline_ns_ == 0) baseline_ns_ = now_ns;
   const int lvl = level_.load(std::memory_order_relaxed);
+  // Per-level dwell (PR 10 observability): attribute the time since the
+  // previous check to the level that was in force across it, whatever
+  // this check decides. Runs before every early return below.
+  if (last_check_ns_ != 0 && now_ns > last_check_ns_) {
+    const std::uint64_t d =
+        dwell_ns_[lvl].fetch_add(now_ns - last_check_ns_,
+                                 std::memory_order_relaxed) +
+        (now_ns - last_check_ns_);
+    // Surfaced in every bench --json report via the embedded registry.
+    static const char* const kDwellNames[4] = {
+        "heater.watchdog.dwell_ns_l0", "heater.watchdog.dwell_ns_l1",
+        "heater.watchdog.dwell_ns_l2", "heater.watchdog.dwell_ns_l3"};
+    obs::MetricsRegistry::global()
+        .gauge(kDwellNames[lvl])
+        .set(static_cast<double>(d));
+  }
+  last_check_ns_ = now_ns;
   if (!heater_.running()) return lvl;  // nothing to observe or protect
   if (heater_.paused()) {
     // Either the application paused the heater (a legitimate compute
@@ -85,6 +102,8 @@ int HeaterWatchdog::check_once(std::uint64_t now_ns) {
     if (!paused_by_watchdog_) return lvl;
     if (++probation_checks_ >= config_.recover_after_checks) {
       recoveries_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("heater.watchdog.recoveries")
+          .add(1);
       apply_level_locked(2);
       baseline_ns_ = now_ns;  // fresh staleness reference after resume
       stale_streak_ = 0;
@@ -105,6 +124,8 @@ int HeaterWatchdog::check_once(std::uint64_t now_ns) {
       stale_streak_ = 0;
       if (lvl < 3) {
         degradations_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::global().counter("heater.watchdog.degradations")
+            .add(1);
         apply_level_locked(lvl + 1);
         SEMPERM_TRACE_INSTANT(obs::Category::kHeater, "watchdog_degrade", 0,
                               static_cast<std::uint64_t>(lvl + 1), 0.0);
@@ -116,6 +137,8 @@ int HeaterWatchdog::check_once(std::uint64_t now_ns) {
       healthy_streak_ = 0;
       if (lvl > 0) {
         recoveries_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::global().counter("heater.watchdog.recoveries")
+            .add(1);
         apply_level_locked(lvl - 1);
         SEMPERM_TRACE_INSTANT(obs::Category::kHeater, "watchdog_recover", 0,
                               static_cast<std::uint64_t>(lvl - 1), 0.0);
@@ -129,6 +152,7 @@ void HeaterWatchdog::reset() {
   MutexLock lock(policy_mutex_);
   apply_level_locked(0);
   baseline_ns_ = 0;
+  last_check_ns_ = 0;
   stale_streak_ = 0;
   healthy_streak_ = 0;
   probation_checks_ = 0;
@@ -141,6 +165,8 @@ WatchdogStats HeaterWatchdog::stats() const {
   s.stale_checks = stale_checks_.load(std::memory_order_relaxed);
   s.degradations = degradations_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  for (int i = 0; i < 4; ++i)
+    s.dwell_ns[i] = dwell_ns_[i].load(std::memory_order_relaxed);
   return s;
 }
 

@@ -65,6 +65,10 @@ struct WatchdogStats {
   std::uint64_t stale_checks = 0;   // checks that observed staleness
   std::uint64_t degradations = 0;   // level escalations
   std::uint64_t recoveries = 0;     // level de-escalations
+  /// Time spent at each ladder level, accumulated between consecutive
+  /// check_once clocks (so units are whatever clock drives the checks:
+  /// ns from the background thread, synthetic units from tests).
+  std::uint64_t dwell_ns[4] = {0, 0, 0, 0};
 };
 
 class HeaterWatchdog {
@@ -107,6 +111,8 @@ class HeaterWatchdog {
   Mutex policy_mutex_;  // serializes check_once/reset/apply
   // Staleness reference before pass #1.
   std::uint64_t baseline_ns_ GUARDED_BY(policy_mutex_) = 0;
+  // Previous check's clock — the per-level dwell accumulator's edge.
+  std::uint64_t last_check_ns_ GUARDED_BY(policy_mutex_) = 0;
   std::uint32_t stale_streak_ GUARDED_BY(policy_mutex_) = 0;
   std::uint32_t healthy_streak_ GUARDED_BY(policy_mutex_) = 0;
   // Checks spent at L3.
@@ -118,6 +124,7 @@ class HeaterWatchdog {
   std::atomic<std::uint64_t> stale_checks_{0};
   std::atomic<std::uint64_t> degradations_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> dwell_ns_[4] = {};
 
   std::thread thread_;
   std::atomic<bool> running_{false};

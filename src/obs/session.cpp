@@ -18,6 +18,8 @@ const char* category_name(Category cat) {
       return "app";
     case Category::kTraffic:
       return "traffic";
+    case Category::kResilience:
+      return "resilience";
   }
   return "?";
 }
@@ -56,7 +58,12 @@ void TraceSink::record(const TraceEvent& ev) {
   MutexLock lock(mu_);
   ++attempts_;
   // Counters are exempt from sampling so occupancy tracks stay dense.
+  // Resilience events (admission rejects, shed edges, ladder moves) are
+  // rare and each one marks a policy decision — sampling them out would
+  // leave trace_summarize.py unable to reconstruct the degradation
+  // story, so they are always kept too.
   if (cfg_.sample_every > 1 && ev.kind != EventKind::kCounter &&
+      ev.cat != Category::kResilience &&
       attempts_ % cfg_.sample_every != 1) {
     ++sampled_out_;
     return;

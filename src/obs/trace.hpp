@@ -53,6 +53,7 @@ enum class Category : std::uint8_t {
   kMpi,        // simmpi send/recv spans
   kApp,        // workload phase markers (compute phase, iteration)
   kTraffic,    // flow-cache epochs, flash-crowd markers, live-flow gauges
+  kResilience,  // admission rejects, shed on/off edges, ladder transitions
 };
 
 const char* category_name(Category cat);

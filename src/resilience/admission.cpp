@@ -1,0 +1,29 @@
+#include "resilience/admission.hpp"
+
+#include "common/assert.hpp"
+
+namespace semperm::resilience {
+
+AdmissionFilter::AdmissionFilter(AdmissionConfig cfg)
+    : cfg_(cfg),
+      row_size_(std::size_t{1} << cfg.counters_log2),
+      mask_(row_size_ - 1) {
+  SEMPERM_ASSERT_MSG(cfg.rows > 0 && cfg.counters_log2 > 0 &&
+                         cfg.counters_log2 < 32 && cfg.age_period > 0,
+                     "degenerate admission-sketch geometry");
+  counters_.assign(static_cast<std::size_t>(cfg.rows) * row_size_, 0);
+  row_seeds_.reserve(cfg.rows);
+  std::uint64_t s = cfg.seed;
+  for (std::uint32_t r = 0; r < cfg.rows; ++r)
+    row_seeds_.push_back(splitmix64_mix(s += 0x9e3779b97f4a7c15ULL));
+  SEMPERM_TRACE_ONLY(track_ = obs::intern_track("resilience/admission");)
+}
+
+void AdmissionFilter::age() {
+  ++stats_.agings;
+  for (std::uint8_t& c : counters_) c >>= 1;
+  SEMPERM_TRACE_INSTANT(obs::Category::kResilience, "admission_age", track_,
+                        stats_.agings, static_cast<double>(stats_.records));
+}
+
+}  // namespace semperm::resilience

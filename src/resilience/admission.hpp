@@ -1,0 +1,127 @@
+// semperm/resilience/admission.hpp
+//
+// Frequency-based cache admission (DESIGN.md §17.1): a TinyLFU-style
+// counting doorkeeper in front of the flow cache. The paper's thesis —
+// engineered occupancy beats letting raw traffic churn decide what stays
+// resident — applies to the flow table itself: under a flash crowd, a
+// stream of one-hit wonders would evict the semi-permanently hot tail via
+// plain LRU. The filter estimates each flow's recent arrival frequency in
+// a count-min sketch and only lets a miss displace a *live* victim when
+// the candidate has been seen at least as often as the victim (plus a
+// configurable strict margin — the degradation ladder's L1 lever).
+//
+// Determinism: the sketch's per-row hash mixers derive from the seed via
+// splitmix64, aging fires every `age_period` recorded arrivals (a count,
+// not a clock), and estimates are pure reads — the same arrival sequence
+// always produces the same admit/reject sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hot_path.hpp"
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace semperm::resilience {
+
+struct AdmissionConfig {
+  /// Count-min sketch geometry: `rows` independent hash rows of
+  /// 2^counters_log2 saturating 4-bit-style counters (stored as bytes).
+  std::uint32_t rows = 4;
+  std::uint32_t counters_log2 = 16;
+  std::uint8_t counter_max = 15;
+  /// Recorded arrivals between aging passes (every counter halves). Ties
+  /// the frequency horizon to traffic volume, not wall time — the
+  /// deterministic analogue of TinyLFU's reset-by-sample-size.
+  std::uint64_t age_period = std::uint64_t{1} << 15;
+  /// Seeds the per-row hash mixers.
+  std::uint64_t seed = 0x5eedf117ULL;
+};
+
+struct AdmissionStats {
+  std::uint64_t records = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t agings = 0;
+};
+
+class AdmissionFilter {
+ public:
+  explicit AdmissionFilter(AdmissionConfig cfg);
+
+  AdmissionFilter(const AdmissionFilter&) = delete;
+  AdmissionFilter& operator=(const AdmissionFilter&) = delete;
+
+  /// Record one arrival of `key` (the 5-tuple hash). Called on every
+  /// lookup, hit or miss; periodically triggers aging.
+  SEMPERM_HOT void record(std::uint64_t key) {
+    ++stats_.records;
+    for (std::uint32_t r = 0; r < cfg_.rows; ++r) {
+      std::uint8_t& c = counters_[row_index(r, key)];
+      if (c < cfg_.counter_max) ++c;
+    }
+    if (stats_.records % cfg_.age_period == 0) age();
+  }
+
+  /// Estimated recent frequency of `key`: the minimum over rows (the
+  /// count-min bound — overestimates only).
+  SEMPERM_HOT std::uint32_t estimate(std::uint64_t key) const {
+    std::uint32_t est = cfg_.counter_max;
+    for (std::uint32_t r = 0; r < cfg_.rows; ++r) {
+      const std::uint32_t c = counters_[row_index(r, key)];
+      if (c < est) est = c;
+    }
+    return est;
+  }
+
+  /// Should `candidate` displace the live `victim`? Admit iff the
+  /// candidate's estimate clears the victim's plus the strict margin.
+  /// (Equal-frequency cold flows may churn among themselves — that is
+  /// LRU's regime and it is harmless; a hot victim is never displaced by
+  /// a one-hit wonder.) Empty slots never consult the filter.
+  SEMPERM_HOT bool admit(std::uint64_t candidate, std::uint64_t victim) {
+    const std::uint32_t cand = estimate(candidate);
+    const std::uint32_t vict = estimate(victim);
+    if (cand >= vict + strict_margin_) {
+      ++stats_.admits;
+      return true;
+    }
+    ++stats_.rejects;
+    SEMPERM_TRACE_INSTANT(obs::Category::kResilience, "admission_reject",
+                          track_, cand, static_cast<double>(vict));
+    return false;
+  }
+
+  /// The ladder's L1 lever: raise the bar a rejected candidate must clear.
+  void set_strict_margin(std::uint32_t margin) { strict_margin_ = margin; }
+  std::uint32_t strict_margin() const { return strict_margin_; }
+
+  const AdmissionStats& stats() const { return stats_; }
+  std::size_t footprint_bytes() const { return counters_.size(); }
+
+ private:
+  SEMPERM_HOT std::size_t row_index(std::uint32_t row,
+                                    std::uint64_t key) const {
+    return static_cast<std::size_t>(row) * row_size_ +
+           (splitmix64_mix(key ^ row_seeds_[row]) & mask_);
+  }
+  static std::uint64_t splitmix64_mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  void age();
+
+  AdmissionConfig cfg_;
+  std::size_t row_size_;
+  std::uint64_t mask_;
+  std::uint32_t strict_margin_ = 0;
+  std::vector<std::uint8_t> counters_;  // rows * row_size_, row-major
+  std::vector<std::uint64_t> row_seeds_;
+  AdmissionStats stats_;
+  SEMPERM_TRACE_ONLY(std::uint16_t track_ = 0;)
+};
+
+}  // namespace semperm::resilience

@@ -1,0 +1,68 @@
+// semperm/resilience/backpressure.hpp
+//
+// Watermark load shedding (DESIGN.md §17.2): a hysteresis valve over a
+// caller-observed queue depth. Shedding switches ON when the depth
+// reaches the high watermark and OFF only once it drains to the low
+// watermark — the gap prevents flapping at the boundary. The valve holds
+// no clock and no randomness; it is a pure function of the depth sequence
+// fed to it, so seeded runs shed identically.
+//
+// The caller owns the conservation story: every arrival refused while the
+// valve is shedding must be counted as `shed` so that
+//     generated == cache_hits + admitted_misses + shed + fault_drops
+// holds exactly (SEMPERM_AUDIT enforces it in run_steering).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace semperm::resilience {
+
+struct BackpressureStats {
+  std::uint64_t updates = 0;
+  std::uint64_t shed_windows = 0;  // OFF -> ON transitions
+  std::size_t peak_depth = 0;
+};
+
+class BackpressureValve {
+ public:
+  BackpressureValve(std::size_t high, std::size_t low) : high_(high), low_(low) {
+    SEMPERM_ASSERT_MSG(low < high, "watermarks must satisfy low < high");
+    SEMPERM_TRACE_ONLY(track_ = obs::intern_track("resilience/valve");)
+  }
+
+  /// Feed the current queue depth; returns the shedding state after
+  /// applying hysteresis.
+  bool update(std::size_t depth) {
+    ++stats_.updates;
+    if (depth > stats_.peak_depth) stats_.peak_depth = depth;
+    if (!shedding_ && depth >= high_) {
+      shedding_ = true;
+      ++stats_.shed_windows;
+      SEMPERM_TRACE_INSTANT(obs::Category::kResilience, "shed_on", track_,
+                            depth, static_cast<double>(high_));
+    } else if (shedding_ && depth <= low_) {
+      shedding_ = false;
+      SEMPERM_TRACE_INSTANT(obs::Category::kResilience, "shed_off", track_,
+                            depth, static_cast<double>(low_));
+    }
+    return shedding_;
+  }
+
+  bool shedding() const { return shedding_; }
+  std::size_t high_watermark() const { return high_; }
+  std::size_t low_watermark() const { return low_; }
+  const BackpressureStats& stats() const { return stats_; }
+
+ private:
+  std::size_t high_;
+  std::size_t low_;
+  bool shedding_ = false;
+  BackpressureStats stats_;
+  SEMPERM_TRACE_ONLY(std::uint16_t track_ = 0;)
+};
+
+}  // namespace semperm::resilience

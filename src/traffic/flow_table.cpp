@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/admission.hpp"
 
 namespace semperm::traffic {
 
@@ -46,6 +47,7 @@ bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
   ++stats_.lookups;
   ++stamp_;
   const std::uint64_t h = flow_hash(flow_key(flow_id, cfg_.salt));
+  if (admission_ != nullptr) admission_->record(h);
   const std::size_t set = static_cast<std::size_t>(h % sets_);
   FlowSlot* row = &slots_[set * cfg_.ways];
   const Addr row_line = sim_first_line_ + static_cast<Addr>(set) * cfg_.ways;
@@ -80,6 +82,14 @@ bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
   misses_metric_.add(1);
   FlowSlot& v = row[victim];
   if (v.valid != 0) {
+    // A live victim is only displaced when the admission filter (if any)
+    // ranks the candidate at least as hot — one-hit wonders cannot churn
+    // the semi-permanently resident tail (DESIGN.md §17.1). Empty slots
+    // never consult the filter.
+    if (admission_ != nullptr && !admission_->admit(h, v.tag)) {
+      ++stats_.admission_rejects;
+      return false;
+    }
     ++stats_.evictions;
     evictions_metric_.add(1);
   } else {
@@ -93,6 +103,29 @@ bool FlowTable::steer(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
   ++stats_.insertions;
   if (record)  // semperm-analyze: allow(hotpath-alloc) -- same sim-only side channel as the probe loop above
     lines_out->push_back(row_line + victim);  // install write
+  return false;
+}
+
+bool FlowTable::probe(std::uint64_t flow_id, std::vector<Addr>* lines_out) {
+  ++stats_.probe_lookups;
+  const std::uint64_t h = flow_hash(flow_key(flow_id, cfg_.salt));
+  if (admission_ != nullptr) admission_->record(h);
+  const std::size_t set = static_cast<std::size_t>(h % sets_);
+  FlowSlot* row = &slots_[set * cfg_.ways];
+  const Addr row_line = sim_first_line_ + static_cast<Addr>(set) * cfg_.ways;
+  const bool record = lines_out != nullptr && sim_attached_;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    if (record)  // semperm-analyze: allow(hotpath-alloc) -- same sim-only side channel as steer()
+      lines_out->push_back(row_line + w);
+    FlowSlot& s = row[w];
+    if (s.valid != 0 && s.tag == h && s.flow_id == flow_id) {
+      ++s.hits;
+      s.last_use = ++stamp_;
+      ++stats_.probe_hits;
+      hits_metric_.add(1);
+      return true;
+    }
+  }
   return false;
 }
 

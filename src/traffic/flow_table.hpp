@@ -35,6 +35,10 @@ namespace semperm::obs {
 class Counter;
 }  // namespace semperm::obs
 
+namespace semperm::resilience {
+class AdmissionFilter;
+}  // namespace semperm::resilience
+
 namespace semperm::traffic {
 
 /// One steering-table entry, exactly one cache line. `heat_anchor` must
@@ -75,6 +79,13 @@ struct FlowTableStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Misses whose install was refused by the admission filter (a live
+  /// victim outranked the candidate). Counted inside `misses`.
+  std::uint64_t admission_rejects = 0;
+  /// probe() traffic is accounted separately so the steer() identity
+  /// lookups == hits + misses survives degraded (probe-only) operation.
+  std::uint64_t probe_lookups = 0;
+  std::uint64_t probe_hits = 0;
 
   double hit_ratio() const {
     return lookups > 0
@@ -100,6 +111,20 @@ class FlowTable {
   /// those through Hierarchy::simulate in chunks. Returns hit.
   SEMPERM_HOT bool steer(std::uint64_t flow_id,
                          std::vector<Addr>* lines_out);
+
+  /// Read-only lookup: probes the set like steer() (charging the same
+  /// lines) but never installs on a miss — the degradation ladder's L3
+  /// shed-new-flows lever. Returns hit.
+  SEMPERM_HOT bool probe(std::uint64_t flow_id, std::vector<Addr>* lines_out);
+
+  /// Attach a frequency-based admission filter (DESIGN.md §17.1): every
+  /// steer() records the arrival, and a miss may only displace a *live*
+  /// victim the filter admits against. nullptr detaches. The filter must
+  /// outlive the table (or the detach).
+  void set_admission(resilience::AdmissionFilter* filter) {
+    admission_ = filter;
+  }
+  resilience::AdmissionFilter* admission() const { return admission_; }
 
   /// Register the table's native storage with the hot-caching registry in
   /// `chunk_bytes` pieces (0 = one region covering the whole table).
@@ -131,6 +156,7 @@ class FlowTable {
   FlowTableStats stats_;
   bool sim_attached_ = false;
   Addr sim_first_line_ = 0;
+  resilience::AdmissionFilter* admission_ = nullptr;
   // Cached registry handles (obs counters are process-lifetime stable).
   obs::Counter& hits_metric_;
   obs::Counter& misses_metric_;

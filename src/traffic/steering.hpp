@@ -31,6 +31,56 @@
 
 namespace semperm::traffic {
 
+/// Overload-resilience layer (DESIGN.md §17), disabled by default — the
+/// plain steering loop is bit-for-bit the pre-resilience pipeline and
+/// costs nothing (perf-smoke asserts it).
+///
+/// When enabled, a table miss no longer walks the rule table inline:
+/// the packet posts a pending receive on a bounded match-engine PRQ and
+/// the walk happens when the slow path services it, at
+/// `service_numer/service_denom` walks per arrival — an integer token
+/// bucket, so "10x offered load" is exact and seed-reproducible. Depth
+/// watermarks on that queue shed arrivals (hysteresis: shed from `high`
+/// until drained to `low`), a TinyLFU admission filter guards installs,
+/// and a DegradationManager drives the L0..L3 ladder from epoch-boundary
+/// health signals. Conservation under all of it:
+///     generated == hits + misses + shed + dropped
+/// (hits include degraded probe-only hits; misses are admitted slow-path
+/// walks; shed covers backpressure and L3 shed-new-flows; dropped is the
+/// chaos plan). SEMPERM_AUDIT enforces the identity exactly.
+struct SteeringResilienceParams {
+  bool enabled = false;
+
+  /// Frequency-based admission (TinyLFU doorkeeper on the 5-tuple hash).
+  bool admission_on = true;
+  /// Arrivals between sketch agings (the "epoch" of the frequency
+  /// horizon); 0 = derive from epoch_packets.
+  std::uint64_t admission_age_period = 0;
+  /// Extra estimate margin a candidate must clear at L1+ (L0 margin is 0).
+  std::uint32_t strict_margin = 2;
+
+  /// Pending-walk queue bound and shedding watermarks (low < high <= cap).
+  std::size_t queue_capacity = 1024;
+  std::size_t queue_high = 768;
+  std::size_t queue_low = 256;
+
+  /// Slow-path service rate: `service_numer / service_denom` rule walks
+  /// per arrival. 1/1 keeps up with any miss rate; 1/10 models 10x
+  /// offered load.
+  std::uint64_t service_numer = 1;
+  std::uint64_t service_denom = 1;
+
+  /// Degradation ladder (L0 full service -> L1 strict admission -> L2
+  /// rule-walk budget + heater essential-only -> L3 shed-new-flows).
+  bool ladder_on = true;
+  double miss_rate_high = 0.75;
+  std::uint32_t degrade_after_checks = 2;
+  std::uint32_t recover_after_checks = 4;
+  std::uint32_t probation_checks = 4;
+  /// Rules walked per miss at L2+ (the essential head of the rule table).
+  std::size_t essential_rules = 8;
+};
+
 struct SteeringParams {
   cachesim::ArchProfile arch = cachesim::sandy_bridge();
   FlowGenParams gen;
@@ -57,19 +107,42 @@ struct SteeringParams {
   /// Chaos plan; nullptr or inactive = clean run. Packet drops roll per
   /// arrival on the kNetDrop site; heater stalls roll per epoch.
   const fault::FaultPlan* fault = nullptr;
+  /// Overload-resilience layer; default off (bit-identical legacy loop).
+  SteeringResilienceParams res;
 };
 
 struct SteeringResult {
-  // Flow conservation (DESIGN.md §13.4): generated == lookups + dropped,
-  // lookups == hits + misses; a clean run has dropped == 0.
+  // Flow conservation (DESIGN.md §13.4, §17.2):
+  //     generated == hits + misses + shed + dropped
+  // With resilience off, shed == 0 and lookups == hits + misses — the
+  // original identity. SEMPERM_AUDIT enforces the full identity at the
+  // end of every run.
   std::uint64_t generated = 0;
   std::uint64_t dropped = 0;
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t shed = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   double hit_ratio = 0.0;
+
+  // Resilience breakdown (all zero with the layer off).
+  std::uint64_t shed_backpressure = 0;  // watermark valve refusals
+  std::uint64_t shed_degraded = 0;      // L3 shed-new-flows probe misses
+  std::uint64_t admission_rejects = 0;  // installs refused by the filter
+  std::uint64_t serviced_walks = 0;     // pending slow-path walks completed
+  std::uint64_t peak_queue_depth = 0;
+  int level_final = 0;
+  int level_max = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t recoveries = 0;
+  /// Hit ratio over the standing population only (flow_id < gen.flows) —
+  /// the hot-tail protection the admission filter exists to provide
+  /// against flash-crowd one-hit wonders.
+  std::uint64_t hot_lookups = 0;
+  std::uint64_t hot_hits = 0;
+  double hot_hit_ratio = 0.0;
 
   /// Mean modelled match-path time per delivered packet (table probes
   /// plus miss-path rule walks), nanoseconds.

@@ -16,6 +16,7 @@
 
 #include "fault/fault.hpp"
 #include "hotcache/region_registry.hpp"
+#include "obs/metrics.hpp"
 
 namespace semperm::fault {
 namespace {
@@ -114,6 +115,47 @@ TEST(HeaterWatchdog, RecoversByProbationThenWalksDown) {
   EXPECT_EQ(dh.heater.effective_budget(), 0u);        // budget restored
   EXPECT_EQ(dh.heater.priority_ceiling(), 255);       // ceiling restored
   EXPECT_EQ(dog.stats().recoveries, 3u);  // L3->L2 probation, L2->L1, L1->L0
+}
+
+TEST(HeaterWatchdog, DwellAccountingAndRecoveryMetrics) {
+  DormantHeater dh;
+  WatchdogConfig wc;
+  wc.stale_threshold_ns = 1'000'000;
+  wc.degrade_after_checks = 1;  // every stale check escalates
+  wc.recover_after_checks = 2;
+  HeaterWatchdog dog(dh.heater, wc);
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t recoveries_before =
+      reg.counter("heater.watchdog.recoveries").value();
+  const std::uint64_t degradations_before =
+      reg.counter("heater.watchdog.degradations").value();
+
+  // Dwell is accumulated in the caller's clock units between consecutive
+  // checks, attributed to the level in force across each interval.
+  const std::uint64_t base =
+      dh.heater.last_pass_end_ns() + wc.stale_threshold_ns + 1;
+  EXPECT_EQ(dog.check_once(base), 1);        // first check: no interval yet
+  EXPECT_EQ(dog.check_once(base + 10), 2);   // 10 units at L1
+  EXPECT_EQ(dog.check_once(base + 30), 3);   // 20 units at L2
+  // L3 probation: two checks (20 + 40 units at L3) resume at L2.
+  EXPECT_EQ(dog.check_once(base + 50), 3);
+  EXPECT_EQ(dog.check_once(base + 90), 2);
+
+  const auto s = dog.stats();
+  EXPECT_EQ(s.dwell_ns[0], 0u);  // escalated away within the first check
+  EXPECT_EQ(s.dwell_ns[1], 10u);
+  EXPECT_EQ(s.dwell_ns[2], 20u);
+  EXPECT_EQ(s.dwell_ns[3], 60u);
+  // PR 10 satellite: recoveries and degradations surface in the process
+  // registry (the bench --json funnel embeds it in every report).
+  EXPECT_EQ(reg.counter("heater.watchdog.recoveries").value(),
+            recoveries_before + s.recoveries);
+  EXPECT_EQ(reg.counter("heater.watchdog.degradations").value(),
+            degradations_before + s.degradations);
+  EXPECT_EQ(s.recoveries, 1u);  // the probation resume
+  EXPECT_EQ(s.degradations, 3u);
+  // The dwell gauges mirror the per-level accumulators.
+  EXPECT_EQ(reg.gauge("heater.watchdog.dwell_ns_l3").value(), 60.0);
 }
 
 TEST(HeaterWatchdog, ExternalPauseIsNotTheWatchdogsBusiness) {

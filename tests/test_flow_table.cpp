@@ -7,6 +7,7 @@
 
 #include "hotcache/region_registry.hpp"
 #include "memlayout/arena.hpp"
+#include "resilience/admission.hpp"
 
 namespace semperm::traffic {
 namespace {
@@ -125,6 +126,52 @@ TEST(FlowTable, RegisterRegionsCoversStorageInChunks) {
   ASSERT_TRUE(whole.snapshot(one[0], view));
   EXPECT_EQ(view.base, table.storage());
   EXPECT_EQ(view.len, table.storage_bytes());
+}
+
+TEST(FlowTable, AdmissionFilterBlocksColdDisplacement) {
+  // One set: every flow collides. Residents are made frequent, so the
+  // doorkeeper must refuse a one-hit wonder the eviction slot.
+  FlowTable table(FlowTableConfig{.slots = 8, .ways = 8});
+  resilience::AdmissionFilter filter(resilience::AdmissionConfig{
+      .rows = 4, .counters_log2 = 8, .age_period = 1 << 20});
+  table.set_admission(&filter);
+  // Empty slots never consult the filter: the warmup installs freely.
+  for (std::uint64_t f = 0; f < 8; ++f) EXPECT_FALSE(table.steer(f, nullptr));
+  for (int round = 0; round < 4; ++round)
+    for (std::uint64_t f = 0; f < 8; ++f) EXPECT_TRUE(table.steer(f, nullptr));
+  const std::uint64_t insertions_before = table.stats().insertions;
+
+  // A first-time flow misses and is refused the displacement...
+  EXPECT_FALSE(table.steer(100, nullptr));
+  const FlowTableStats& s = table.stats();
+  EXPECT_EQ(s.admission_rejects, 1u);
+  EXPECT_EQ(s.insertions, insertions_before);  // no install
+  EXPECT_EQ(s.evictions, 0u);                  // no displacement
+  EXPECT_EQ(filter.stats().rejects, 1u);
+  // ...so the would-be victim is still resident and the newcomer is not.
+  for (std::uint64_t f = 0; f < 8; ++f) EXPECT_TRUE(table.steer(f, nullptr));
+  EXPECT_FALSE(table.steer(100, nullptr));
+  // Rejected misses still count as misses: conservation is unchanged.
+  EXPECT_EQ(s.lookups, s.hits + s.misses);
+  table.set_admission(nullptr);
+}
+
+TEST(FlowTable, ProbeNeverInstalls) {
+  FlowTable table(FlowTableConfig{.slots = 1024, .ways = 8});
+  // Probe misses leave the table untouched: the same flow still misses
+  // on the next demand lookup (L3 shed-new-flows semantics).
+  EXPECT_FALSE(table.probe(42, nullptr));
+  EXPECT_FALSE(table.probe(42, nullptr));
+  EXPECT_EQ(table.stats().insertions, 0u);
+  EXPECT_EQ(table.live_flows(), 0u);
+  EXPECT_FALSE(table.steer(42, nullptr));  // install happens here
+  EXPECT_TRUE(table.probe(42, nullptr));   // now a probe hit
+  const FlowTableStats& s = table.stats();
+  // Probes are accounted separately so the demand identity survives.
+  EXPECT_EQ(s.probe_lookups, 3u);
+  EXPECT_EQ(s.probe_hits, 1u);
+  EXPECT_EQ(s.lookups, 1u);
+  EXPECT_EQ(s.lookups, s.hits + s.misses);
 }
 
 TEST(FlowSlot, LayoutContractForTheHeater) {

@@ -136,5 +136,167 @@ TEST(Steering, FlashCrowdChurnsTheTable) {
   EXPECT_EQ(f.generated, f.lookups + f.dropped);
 }
 
+// ---------------------------------------------------------------------
+// Overload-resilience layer (DESIGN.md §17).
+
+void expect_identical_resilience(const SteeringResult& a,
+                                 const SteeringResult& b) {
+  expect_identical(a, b);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.shed_backpressure, b.shed_backpressure);
+  EXPECT_EQ(a.shed_degraded, b.shed_degraded);
+  EXPECT_EQ(a.admission_rejects, b.admission_rejects);
+  EXPECT_EQ(a.serviced_walks, b.serviced_walks);
+  EXPECT_EQ(a.peak_queue_depth, b.peak_queue_depth);
+  EXPECT_EQ(a.level_final, b.level_final);
+  EXPECT_EQ(a.level_max, b.level_max);
+  EXPECT_EQ(a.escalations, b.escalations);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.hot_lookups, b.hot_lookups);
+  EXPECT_EQ(a.hot_hits, b.hot_hits);
+}
+
+void expect_shed_conservation(const SteeringResult& r) {
+  EXPECT_EQ(r.generated, r.hits + r.misses + r.shed + r.dropped);
+  EXPECT_EQ(r.shed, r.shed_backpressure + r.shed_degraded);
+  EXPECT_EQ(r.serviced_walks, r.misses);  // every admitted miss is walked
+}
+
+TEST(SteeringResilience, LayerAtFullServiceMatchesLegacyTraffic) {
+  // With ample service capacity, no overload, and the doorkeeper off,
+  // the layer must not change what traffic is *served*: same
+  // hits/misses as the legacy loop, nothing shed, ladder at L0
+  // throughout. (The admission filter is a deliberate policy change —
+  // its effect is covered by AdmissionProtectsHotFlowsInFlashCrowd.)
+  SteeringParams legacy = small_params();
+  SteeringParams res = small_params();
+  res.res.enabled = true;
+  res.res.admission_on = false;
+  const SteeringResult a = run_steering(legacy), b = run_steering(res);
+  EXPECT_EQ(b.shed, 0u);
+  EXPECT_EQ(b.level_max, 0);
+  EXPECT_EQ(b.hits, a.hits);
+  EXPECT_EQ(b.misses, a.misses);
+  EXPECT_EQ(b.evictions, a.evictions);
+  expect_shed_conservation(b);
+}
+
+TEST(SteeringResilience, BackpressureShedsUnderOverload) {
+  SteeringParams p = small_params();
+  p.res.enabled = true;
+  p.res.ladder_on = false;  // isolate the valve
+  p.res.service_denom = 10;  // 10x offered load
+  p.res.queue_capacity = 256;
+  p.res.queue_high = 192;
+  p.res.queue_low = 64;
+  const SteeringResult r = run_steering(p);
+  EXPECT_GT(r.shed_backpressure, 0u);
+  EXPECT_GE(r.peak_queue_depth, p.res.queue_high);
+  EXPECT_LT(r.peak_queue_depth, p.res.queue_capacity);  // bounded queue
+  EXPECT_GT(r.hits, 0u);  // residents still served while shedding
+  expect_shed_conservation(r);
+  expect_identical_resilience(r, run_steering(p));
+}
+
+TEST(SteeringResilience, ShedConservationHoldsUnderFaultDrops) {
+  SteeringParams p = small_params();
+  p.res.enabled = true;
+  p.res.service_denom = 10;
+  p.res.queue_capacity = 256;
+  p.res.queue_high = 192;
+  p.res.queue_low = 64;
+  fault::FaultPlan plan;
+  plan.seed = 0xfa011;
+  plan.site(fault::FaultSite::kNetDrop).probability = 0.05;
+  p.fault = &plan;
+  const SteeringResult r = run_steering(p);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_GT(r.shed, 0u);
+  expect_shed_conservation(r);
+  EXPECT_EQ(r.faults.drops, r.dropped);
+  expect_identical_resilience(r, run_steering(p));
+}
+
+TEST(SteeringResilience, AdmissionProtectsHotFlowsInFlashCrowd) {
+  // The tentpole claim: under a flash crowd of one-hit wonders, the
+  // frequency doorkeeper keeps the standing hot tail resident, so the
+  // standing-population hit ratio beats the no-filter baseline.
+  SteeringParams p = small_params();
+  p.gen.flows = 1 << 14;
+  p.gen.zipf_s = 1.1;
+  p.packets = 60'000;
+  p.gen.pattern = TemporalPattern::kFlashCrowd;
+  p.gen.crowd.burst_start = 15'000;
+  p.gen.crowd.burst_len = 30'000;
+  p.gen.crowd.fraction = 0.85;
+  p.gen.crowd.crowd_flows = 1 << 15;
+  p.res.enabled = true;
+  p.res.ladder_on = false;  // isolate admission from L3 shedding
+  SteeringParams off = p;
+  off.res.admission_on = false;
+  const SteeringResult with = run_steering(p), without = run_steering(off);
+  EXPECT_GT(with.admission_rejects, 0u);
+  EXPECT_EQ(without.admission_rejects, 0u);
+  EXPECT_GT(with.hot_lookups, 0u);
+  EXPECT_EQ(with.hot_lookups, without.hot_lookups);  // same arrival stream
+  EXPECT_GT(with.hot_hit_ratio, without.hot_hit_ratio);
+  expect_shed_conservation(with);
+  expect_shed_conservation(without);
+}
+
+TEST(SteeringResilience, LadderEscalatesAndRecovers) {
+  // A flash crowd mid-run overloads a constrained server; the ladder
+  // climbs, and the post-burst cooldown walks it back down.
+  SteeringParams p = small_params();
+  p.packets = 80'000;
+  p.epoch_packets = 2048;  // frequent health checks
+  p.gen.pattern = TemporalPattern::kFlashCrowd;
+  p.gen.crowd.burst_start = 20'000;
+  p.gen.crowd.burst_len = 20'000;
+  p.gen.crowd.fraction = 0.9;
+  p.gen.crowd.crowd_flows = 1 << 15;
+  p.res.enabled = true;
+  p.res.service_denom = 4;
+  p.res.queue_capacity = 256;
+  p.res.queue_high = 128;
+  p.res.queue_low = 32;
+  p.res.degrade_after_checks = 1;
+  p.res.recover_after_checks = 2;
+  const SteeringResult r = run_steering(p);
+  EXPECT_GT(r.level_max, 0);
+  EXPECT_GT(r.escalations, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_LT(r.level_final, r.level_max);
+  if (r.level_max >= 3) {
+    EXPECT_GT(r.shed_degraded, 0u);
+  }
+  expect_shed_conservation(r);
+}
+
+TEST(SteeringResilience, DeterministicWithFullLayerAndChaos) {
+  SteeringParams p = small_params();
+  p.packets = 40'000;
+  p.gen.pattern = TemporalPattern::kFlashCrowd;
+  p.gen.crowd.burst_start = 10'000;
+  p.gen.crowd.burst_len = 20'000;
+  p.gen.crowd.fraction = 0.8;
+  p.gen.crowd.crowd_flows = 1 << 14;
+  p.res.enabled = true;
+  p.res.service_denom = 6;
+  p.res.queue_capacity = 128;
+  p.res.queue_high = 96;
+  p.res.queue_low = 16;
+  fault::FaultPlan plan;
+  plan.seed = 0xc4a05;
+  plan.site(fault::FaultSite::kNetDrop).probability = 0.01;
+  plan.site(fault::FaultSite::kHeaterStall).burst_start = 2;
+  plan.site(fault::FaultSite::kHeaterStall).burst_len = 2;
+  p.fault = &plan;
+  const SteeringResult a = run_steering(p), b = run_steering(p);
+  expect_identical_resilience(a, b);
+  EXPECT_GT(a.shed, 0u);
+  expect_shed_conservation(a);
+}
+
 }  // namespace
 }  // namespace semperm::traffic

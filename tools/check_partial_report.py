@@ -34,9 +34,18 @@ def main() -> int:
     if doc.get("partial") is not True:
         print(f"FAIL: report not marked partial: {doc.get('partial')!r}")
         return 1
-    for key in ("metrics_registry", "metrics", "tables"):
+    for key in ("metrics_registry", "metrics", "tables", "degradation_levels"):
         if key not in doc:
             print(f"FAIL: partial report missing {key!r}: {sorted(doc)}")
+            return 1
+    levels = doc["degradation_levels"]
+    for ladder in ("heater", "resilience"):
+        if not isinstance(levels.get(ladder), int):
+            print(f"FAIL: degradation_levels missing {ladder!r}: {levels!r}")
+            return 1
+        if not 0 <= levels[ladder] <= 3:
+            print(f"FAIL: degradation_levels[{ladder!r}] out of range: "
+                  f"{levels[ladder]!r}")
             return 1
     print("OK: exit 124 and valid partial JSON report")
     return 0

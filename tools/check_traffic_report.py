@@ -7,16 +7,34 @@ Usage: check_traffic_report.py REPORT [REPORT...] [--compare OTHER]
 Checks, per "traffic steering — <arch>" table:
 
   1. Flow conservation — every row satisfies
-         generated == hits + misses + dropped
+         generated == hits + misses + shed + dropped
      (the steering loop's invariant: an arrival is dropped by the chaos
-     plan or looked up, and a lookup either hits or misses; nothing is
-     double-counted or lost).
+     plan, shed by the resilience layer, or looked up, and a lookup
+     either hits or misses; nothing is double-counted or lost. Tables
+     without a "shed" column read shed = 0 — the legacy identity).
 
   2. Monotone hit ratio in skew — within one (flows, pattern, heater)
      group, a more skewed population must not lower the flow-cache hit
      ratio. The simulation is deterministic, so this holds exactly up to
      the printed precision; a small epsilon absorbs rounding of the
      "hit %" column.
+
+Checks, per "traffic overload campaign" table (DESIGN.md §17.4):
+
+  3. Shed conservation per row (the identity above, audited exactly in
+     SEMPERM_AUDIT builds — here re-proved from the printed counters).
+
+  4. Monotone degradation shape — within one (pattern, fault, admission)
+     group, shed must not decrease as offered-load intensity rises, and
+     the served-work floor must never collapse: every row's
+     served/kcycle is positive and the group's worst row stays within
+     50x of its best (graceful degradation, not a cliff).
+
+  5. The doorkeeper earns its keep — admission-off rows report zero
+     rejects; admission-on rows reject someone; and under the flash
+     crowd the admission filter's standing-population hit ratio ("hot
+     hit %") must not lose to the no-filter baseline at any intensity,
+     and must beat it outright somewhere.
 
 With --compare, the two reports' tables must be identical cell for cell —
 the determinism gate: two runs at the same --seed (and --fault spec) must
@@ -40,6 +58,7 @@ EPS = 5e-4  # hit % is printed with 2 decimals; ratios to 4 decimals
 
 STEERING_PREFIX = "traffic steering"
 CROSSOVER_PREFIX = "traffic crossover"
+CAMPAIGN_PREFIX = "traffic overload campaign"
 
 
 def load_tables(path):
@@ -58,11 +77,13 @@ def rows_as_dicts(table):
 def check_conservation(path, table, errors):
     for i, row in enumerate(rows_as_dicts(table)):
         generated = int(row["generated"])
-        accounted = int(row["hits"]) + int(row["misses"]) + int(row["dropped"])
+        accounted = (int(row["hits"]) + int(row["misses"]) +
+                     int(row.get("shed", 0)) + int(row["dropped"]))
         if generated != accounted:
             errors.append(
                 f"{path}: {table['title']} row {i}: conservation violated: "
-                f"generated {generated} != hits+misses+dropped {accounted}")
+                f"generated {generated} != hits+misses+shed+dropped "
+                f"{accounted}")
 
 
 def check_skew_monotonicity(path, table, errors):
@@ -79,6 +100,75 @@ def check_skew_monotonicity(path, table, errors):
                     f"{path}: {table['title']} row {i}: hit ratio fell with "
                     f"skew ({hit_lo}% at s={s_lo} -> {hit_hi}% at s={s_hi}) "
                     f"for group {key}")
+
+
+def check_campaign(path, table, errors):
+    title = table["title"]
+    rows = rows_as_dicts(table)
+    # Monotone degradation shape within one (pattern, fault, admission)
+    # group as offered-load intensity rises.
+    groups = {}
+    for i, row in enumerate(rows):
+        key = (row["pattern"], row["fault"], row["admission"])
+        groups.setdefault(key, []).append(
+            (int(row["intensity"]), int(row["shed"]),
+             float(row["served/kcycle"]), i))
+    for key, points in groups.items():
+        points.sort()
+        for (n_lo, shed_lo, _, _), (n_hi, shed_hi, _, i) in zip(
+                points, points[1:]):
+            if shed_hi < shed_lo:
+                errors.append(
+                    f"{path}: {title} row {i}: shed fell with intensity "
+                    f"({shed_lo} at {n_lo}x -> {shed_hi} at {n_hi}x) for "
+                    f"group {key}")
+        served = [s for (_, _, s, _) in points]
+        if min(served) <= 0.0:
+            errors.append(
+                f"{path}: {title}: served/kcycle collapsed to zero for "
+                f"group {key}: {served}")
+        elif min(served) < 0.02 * max(served):
+            errors.append(
+                f"{path}: {title}: served-work floor collapsed for group "
+                f"{key}: min {min(served):.4f} < 2% of max "
+                f"{max(served):.4f} — degradation must be graceful")
+    # The admission ablation: zero rejects with the doorkeeper off, some
+    # with it on, and the standing population ("hot hit %") protected
+    # under the flash crowd.
+    for i, row in enumerate(rows):
+        rejects = int(row["rejects"])
+        if row["admission"] == "off" and rejects != 0:
+            errors.append(
+                f"{path}: {title} row {i}: {rejects} admission rejects "
+                f"with the filter off")
+        if row["admission"] == "on" and rejects == 0:
+            errors.append(
+                f"{path}: {title} row {i}: admission filter on but no "
+                f"rejects — the campaign regime is not stressing it")
+    pairs = {}
+    for row in rows:
+        if row["pattern"] != "flash":
+            continue
+        key = (int(row["intensity"]), row["fault"])
+        pairs.setdefault(key, {})[row["admission"]] = float(row["hot hit %"])
+    best_win = None
+    for key, by_admission in sorted(pairs.items()):
+        if "on" not in by_admission or "off" not in by_admission:
+            errors.append(f"{path}: {title}: flash cell {key} missing an "
+                          f"admission ablation row")
+            continue
+        win = by_admission["on"] - by_admission["off"]
+        if win < -100 * EPS:
+            errors.append(
+                f"{path}: {title}: admission filter *lost* hot-flow hit "
+                f"ratio under flash at {key}: on {by_admission['on']}% < "
+                f"off {by_admission['off']}%")
+        best_win = win if best_win is None else max(best_win, win)
+    if best_win is not None and best_win <= 0.1:
+        errors.append(
+            f"{path}: {title}: admission filter never clearly beat the "
+            f"no-filter baseline under flash (best win {best_win:.2f} "
+            f"hot-hit percentage points)")
 
 
 def check_crossover(path, tables, errors):
@@ -142,18 +232,25 @@ def main() -> int:
         tables = load_tables(path)
         steering = [t for t in tables
                     if t["title"].startswith(STEERING_PREFIX)]
-        if not steering:
-            errors.append(f"{path}: no '{STEERING_PREFIX}' tables")
+        campaign = [t for t in tables
+                    if t["title"].startswith(CAMPAIGN_PREFIX)]
+        if not steering and not campaign:
+            errors.append(f"{path}: no '{STEERING_PREFIX}' or "
+                          f"'{CAMPAIGN_PREFIX}' tables")
         checked = 0
         for table in steering:
             check_conservation(path, table, errors)
             check_skew_monotonicity(path, table, errors)
             checked += len(table["rows"])
+        for table in campaign:
+            check_conservation(path, table, errors)
+            check_campaign(path, table, errors)
+            checked += len(table["rows"])
         if args.expect_crossover:
             check_crossover(path, tables, errors)
         if args.compare:
             check_compare(path, tables, args.compare, errors)
-        print(f"{path}: {checked} steering rows checked")
+        print(f"{path}: {checked} steering/campaign rows checked")
 
     if errors:
         print("\ntraffic-smoke failed:", file=sys.stderr)

@@ -152,6 +152,23 @@ def eviction_breakdown(events):
     return {k: dict(v) for k, v in sorted(out.items())}
 
 
+def resilience_breakdown(events):
+    """Per resilience track: admission/shed/ladder instant counts.
+
+    The robustness layer (DESIGN.md §17) emits category-"resilience"
+    instants: admission_reject / admission_age on the doorkeeper track,
+    shed_on / shed_off edges on the valve track, degrade / recover on
+    the ladder track (with the post-transition level in "arg").
+    """
+    out = defaultdict(lambda: defaultdict(int))
+    for ev in events:
+        if ev.get("ph") != "i" or ev.get("cat") != "resilience":
+            continue
+        track, _, leaf = ev.get("name", "").rpartition("/")
+        out[track or "?"][leaf] += 1
+    return {k: dict(sorted(v.items())) for k, v in sorted(out.items())}
+
+
 def occupancy_groups(events):
     """Group "<prefix>/occ/<owner>" lanes by cache prefix and check the
     conservation law against every "<prefix>/occ_total" sample.
@@ -297,6 +314,7 @@ def main() -> int:
     counters = counter_stats(events)
     occupancy = occupancy_bins(counters, max(args.bins, 1))
     evictions = eviction_breakdown(events)
+    resilience = resilience_breakdown(events)
 
     summary = {
         "events": len(events),
@@ -306,6 +324,7 @@ def main() -> int:
                      for n, st in counters.items()},
         "occupancy_over_time": occupancy,
         "eviction_breakdown": evictions,
+        "resilience_events": resilience,
         "span_errors": span_errors,
     }
 
@@ -343,6 +362,11 @@ def main() -> int:
                 print(f"  {track:24s} evict={kinds['evict']} "
                       f"evict_heated={kinds['evict_heated']} "
                       f"writeback={kinds['writeback']}")
+        if resilience:
+            print("\n-- resilience events --")
+            for track, kinds in resilience.items():
+                per = " ".join(f"{k}={n}" for k, n in kinds.items())
+                print(f"  {track:24s} {per}")
         if span_errors:
             print("\n-- span warnings --")
             for e in span_errors[:20]:
